@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: the §IV-D floating-policy knobs. Sweeps the history
+ * decision threshold and the miss-ratio requirement, and compares
+ * against "float everything" and "float nothing" extremes, showing
+ * why the paper gates floating on observed reuse/miss behaviour.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace sf;
+using namespace sf::bench;
+
+namespace {
+
+sys::SimResults
+runPolicy(const std::string &wl_name, const BenchOptions &opt,
+          uint64_t decision_reqs, double miss_ratio, double reuse_ratio)
+{
+    sys::SystemConfig cfg = sys::SystemConfig::make(
+        sys::Machine::SF, cpu::CoreConfig::ooo8(), opt.nx, opt.ny);
+    cfg.seCore.floatDecisionRequests = decision_reqs;
+    cfg.seCore.floatMissRatio = miss_ratio;
+    cfg.seCore.floatReuseRatio = reuse_ratio;
+    sys::TiledSystem system(cfg);
+    workload::WorkloadParams wp;
+    wp.numThreads = cfg.numTiles();
+    wp.scale = opt.scale;
+    wp.useStreams = true;
+    auto wl = workload::makeWorkload(wl_name, wp);
+    wl->init(system.addressSpace());
+    return system.run(wl->makeAllThreads());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(argc, argv);
+    // Default to a representative subset; pass --workloads= for all.
+    {
+        bool given = false;
+        for (int i = 1; i < argc; ++i)
+            if (std::strncmp(argv[i], "--workloads=", 12) == 0)
+                given = true;
+        if (!given)
+            opt.workloads = {"mv", "nn", "pathfinder"};
+    }
+    std::printf("=== Ablation: floating policy (%dx%d, scale %.3f) "
+                "===\n\n",
+                opt.nx, opt.ny, opt.scale);
+    std::printf("cycles normalized to the default policy "
+                "(thresh=64, miss>=0.6, reuse<=0.05)\n\n");
+    printHeader("workload", {"default", "eager", "greedy", "late",
+                             "strict"});
+
+    for (const auto &wl : opt.workloads) {
+        // default
+        sys::SimResults def = runPolicy(wl, opt, 64, 0.6, 0.05);
+        double d = double(def.cycles);
+        // eager: decide after only 8 requests
+        sys::SimResults eager = runPolicy(wl, opt, 8, 0.6, 0.05);
+        // greedy: float regardless of reuse/miss behaviour
+        sys::SimResults greedy = runPolicy(wl, opt, 8, 0.0, 1.0);
+        // late: very conservative decision point
+        sys::SimResults late = runPolicy(wl, opt, 1024, 0.6, 0.05);
+        // strict: nearly impossible to float by history
+        sys::SimResults strict = runPolicy(wl, opt, 64, 0.99, 0.0);
+        printRow(wl, {1.0, d / double(eager.cycles),
+                      d / double(greedy.cycles),
+                      d / double(late.cycles),
+                      d / double(strict.cycles)});
+        std::printf("%-16s floats: def=%llu eager=%llu greedy=%llu "
+                    "late=%llu strict=%llu; sinks def=%llu "
+                    "greedy=%llu\n",
+                    "", (unsigned long long)def.streamsFloated,
+                    (unsigned long long)eager.streamsFloated,
+                    (unsigned long long)greedy.streamsFloated,
+                    (unsigned long long)late.streamsFloated,
+                    (unsigned long long)strict.streamsFloated,
+                    (unsigned long long)def.streamsSunk,
+                    (unsigned long long)greedy.streamsSunk);
+    }
+    return 0;
+}

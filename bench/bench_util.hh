@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared benchmark-harness utilities: command-line options, simulation
+ * runners, and table formatting for the paper-figure reproductions.
+ *
+ * Every bench binary accepts:
+ *   --cores=NxN        mesh size (default 4x4; the paper uses 8x8)
+ *   --scale=S          dataset scale vs Table IV (default 0.03)
+ *   --workloads=a,b,c  subset of the 12 benchmarks
+ *   --full             paper-fidelity mode (8x8, scale 0.25)
+ */
+
+#ifndef SF_BENCH_BENCH_UTIL_HH
+#define SF_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "system/tiled_system.hh"
+#include "workload/workload.hh"
+
+namespace sf {
+namespace bench {
+
+struct BenchOptions
+{
+    int nx = 4;
+    int ny = 4;
+    double scale = 0.06;
+    std::vector<std::string> workloads = workload::workloadNames();
+
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        BenchOptions o;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto val = [&](const char *key) -> const char * {
+                size_t n = std::strlen(key);
+                if (arg.compare(0, n, key) == 0)
+                    return arg.c_str() + n;
+                return nullptr;
+            };
+            if (const char *v = val("--cores=")) {
+                std::sscanf(v, "%dx%d", &o.nx, &o.ny);
+            } else if (const char *v = val("--scale=")) {
+                o.scale = std::atof(v);
+            } else if (const char *v = val("--workloads=")) {
+                o.workloads.clear();
+                std::string s = v;
+                size_t pos = 0;
+                while (pos < s.size()) {
+                    size_t comma = s.find(',', pos);
+                    if (comma == std::string::npos)
+                        comma = s.size();
+                    o.workloads.push_back(s.substr(pos, comma - pos));
+                    pos = comma + 1;
+                }
+            } else if (arg == "--full") {
+                o.nx = o.ny = 8;
+                o.scale = 0.25;
+            } else if (arg == "--help") {
+                std::printf(
+                    "options: --cores=NxN --scale=S "
+                    "--workloads=a,b,c --full\n");
+                std::exit(0);
+            }
+        }
+        return o;
+    }
+};
+
+/** Run one (machine, workload) simulation. */
+inline sys::SimResults
+runSim(sys::Machine machine, const cpu::CoreConfig &core,
+       const std::string &wl_name, const BenchOptions &opt,
+       uint32_t link_bits = 0, uint32_t interleave = 0)
+{
+    sys::SystemConfig cfg =
+        sys::SystemConfig::make(machine, core, opt.nx, opt.ny);
+    if (link_bits)
+        cfg.noc.linkBits = link_bits;
+    if (interleave)
+        cfg.nucaInterleave = interleave;
+    sys::TiledSystem system(cfg);
+
+    workload::WorkloadParams wp;
+    wp.numThreads = cfg.numTiles();
+    wp.scale = opt.scale;
+    wp.useStreams = sys::machineUsesStreams(machine);
+    auto wl = workload::makeWorkload(wl_name, wp);
+    wl->init(system.addressSpace());
+    return system.run(wl->makeAllThreads());
+}
+
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : v)
+        s += std::log(std::max(x, 1e-12));
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+/** Print one row: name followed by fixed-width columns. */
+inline void
+printRow(const std::string &name, const std::vector<double> &cols,
+         const char *fmt = "%10.2f")
+{
+    std::printf("%-16s", name.c_str());
+    for (double c : cols)
+        std::printf(fmt, c);
+    std::printf("\n");
+}
+
+inline void
+printHeader(const std::string &name, const std::vector<std::string> &cols)
+{
+    std::printf("%-16s", name.c_str());
+    for (const auto &c : cols)
+        std::printf("%10s", c.c_str());
+    std::printf("\n");
+}
+
+} // namespace bench
+} // namespace sf
+
+#endif // SF_BENCH_BENCH_UTIL_HH

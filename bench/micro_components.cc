@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Google-benchmark micro benchmarks for the simulator's own hot
+ * components: event queue throughput, cache-array lookups, TLB
+ * translation, mesh message delivery and whole-system simulation rate.
+ * Useful when optimizing the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache_array.hh"
+#include "mem/phys_mem.hh"
+#include "mem/tlb.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "system/tiled_system.hh"
+#include "workload/workload.hh"
+
+using namespace sf;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Tick>(i % 97), [&]() { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheArrayAccess(benchmark::State &state)
+{
+    mem::CacheArray array(256 * 1024, 16, mem::ReplPolicy::LRU);
+    mem::Eviction ev;
+    for (Addr a = 0; a < 256 * 1024; a += 64)
+        array.fill(a, ev).state = mem::LineState::Shared;
+    Rng rng(7);
+    for (auto _ : state) {
+        Addr a = (rng.next() % (256 * 1024)) & ~Addr(63);
+        benchmark::DoNotOptimize(array.access(a));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayAccess);
+
+void
+BM_TlbTranslate(benchmark::State &state)
+{
+    mem::PhysMem pm;
+    mem::AddressSpace as(0, pm);
+    mem::TlbHierarchy tlb(64, 8, 2048, 16, 8, 80);
+    Addr base = as.alloc(1 << 22);
+    Rng rng(3);
+    for (auto _ : state) {
+        Cycles lat = 0;
+        Addr va = base + (rng.next() % (1 << 22));
+        benchmark::DoNotOptimize(tlb.translate(as, va, lat));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbTranslate);
+
+void
+BM_MeshMessageDelivery(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        EventQueue eq;
+        noc::MeshConfig cfg;
+        noc::Mesh mesh(eq, cfg);
+        uint64_t delivered = 0;
+        for (TileId t = 0; t < mesh.numTiles(); ++t) {
+            mesh.bindSink(t, [&](const noc::MsgPtr &) { ++delivered; });
+        }
+        state.ResumeTiming();
+        for (int i = 0; i < 500; ++i) {
+            auto m = std::make_shared<noc::Message>();
+            m->src = static_cast<TileId>(i % 64);
+            m->dests = {static_cast<TileId>((i * 13) % 64)};
+            m->payloadBytes = (i % 3) ? 64 : 0;
+            m->cls = noc::FlitClass::Data;
+            mesh.send(m);
+        }
+        eq.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_MeshMessageDelivery);
+
+void
+BM_WholeSystemSimulation(benchmark::State &state)
+{
+    // Simulated cycles per wall-second for a small SF system.
+    uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        sys::SystemConfig cfg = sys::SystemConfig::make(
+            sys::Machine::SF, cpu::CoreConfig::ooo4(), 2, 2);
+        sys::TiledSystem system(cfg);
+        workload::WorkloadParams wp;
+        wp.numThreads = 4;
+        wp.scale = 0.01;
+        wp.useStreams = true;
+        auto wl = workload::makeWorkload("pathfinder", wp);
+        wl->init(system.addressSpace());
+        sys::SimResults r = system.run(wl->makeAllThreads());
+        sim_cycles += r.cycles;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["simCycles/s"] = benchmark::Counter(
+        static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WholeSystemSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Configuration explorer: run any (machine, core, mesh, workload,
+ * scale) combination and print the full statistics report — the
+ * command-line front door to the whole library.
+ *
+ * Usage:
+ *   explore [--machine=SF] [--core=ooo8] [--cores=4x4]
+ *           [--workload=pathfinder] [--scale=0.05] [--link=256]
+ *           [--interleave=0] [--seed=1]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "system/report.hh"
+#include "system/tiled_system.hh"
+#include "workload/workload.hh"
+
+using namespace sf;
+
+namespace {
+
+sys::Machine
+parseMachine(const std::string &s)
+{
+    using sys::Machine;
+    if (s == "Base" || s == "base")
+        return Machine::Base;
+    if (s == "stride" || s == "StridePf")
+        return Machine::StridePf;
+    if (s == "bingo" || s == "BingoPf")
+        return Machine::BingoPf;
+    if (s == "stride-bulk")
+        return Machine::StrideBulk;
+    if (s == "bingo-bulk")
+        return Machine::BingoBulk;
+    if (s == "SS" || s == "ss")
+        return Machine::SS;
+    if (s == "SF-aff" || s == "sf-aff")
+        return Machine::SFAff;
+    if (s == "SF-ind" || s == "sf-ind")
+        return Machine::SFInd;
+    if (s == "SF" || s == "sf")
+        return Machine::SF;
+    fatal("unknown machine '%s'", s.c_str());
+}
+
+cpu::CoreConfig
+parseCore(const std::string &s)
+{
+    if (s == "io4")
+        return cpu::CoreConfig::io4();
+    if (s == "ooo4")
+        return cpu::CoreConfig::ooo4();
+    if (s == "ooo8")
+        return cpu::CoreConfig::ooo8();
+    fatal("unknown core '%s' (io4 | ooo4 | ooo8)", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string machine = "SF", core = "ooo8", workload = "pathfinder";
+    int nx = 4, ny = 4;
+    double scale = 0.05;
+    uint32_t link = 0, interleave = 0;
+    uint64_t seed = 1;
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto val = [&](const char *key) -> const char * {
+            size_t n = std::strlen(key);
+            return arg.compare(0, n, key) == 0 ? arg.c_str() + n
+                                               : nullptr;
+        };
+        if (const char *v = val("--machine="))
+            machine = v;
+        else if (const char *v = val("--core="))
+            core = v;
+        else if (const char *v = val("--cores="))
+            std::sscanf(v, "%dx%d", &nx, &ny);
+        else if (const char *v = val("--workload="))
+            workload = v;
+        else if (const char *v = val("--scale="))
+            scale = std::atof(v);
+        else if (const char *v = val("--link="))
+            link = static_cast<uint32_t>(std::atoi(v));
+        else if (const char *v = val("--interleave="))
+            interleave = static_cast<uint32_t>(std::atoi(v));
+        else if (const char *v = val("--seed="))
+            seed = std::strtoull(v, nullptr, 10);
+        else if (arg == "--stats")
+            dump_stats = true;
+        else {
+            std::printf("usage: explore [--machine=M] [--core=C] "
+                        "[--cores=NxN] [--workload=W] [--scale=S] "
+                        "[--link=BITS] [--interleave=BYTES] "
+                        "[--seed=N]\n");
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    sys::SystemConfig cfg = sys::SystemConfig::make(
+        parseMachine(machine), parseCore(core), nx, ny);
+    cfg.seed = seed;
+    if (link)
+        cfg.noc.linkBits = link;
+    if (interleave)
+        cfg.nucaInterleave = interleave;
+
+    sys::TiledSystem system(cfg);
+    workload::WorkloadParams wp;
+    wp.numThreads = cfg.numTiles();
+    wp.scale = scale;
+    wp.seed = seed;
+    wp.useStreams = sys::machineUsesStreams(cfg.machine);
+    auto wl = workload::makeWorkload(workload, wp);
+    wl->init(system.addressSpace());
+
+    sys::SimResults r = system.run(wl->makeAllThreads());
+    writeReport(std::cout, r,
+                workload + " on " + machineName(cfg.machine) + "-" +
+                    cfg.core.label);
+    if (dump_stats) {
+        std::cout << "\n=== full per-component statistics ===\n";
+        system.dumpStats(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,638 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sf {
+namespace cpu {
+
+namespace {
+
+/** Refill the fetch buffer when it drops below this many ops. */
+constexpr size_t fetchLowWater = 512;
+
+} // namespace
+
+Core::Core(const std::string &name, EventQueue &eq, TileId tile,
+           const CoreConfig &cfg, mem::PrivCache &cache,
+           mem::TlbHierarchy &tlb, mem::AddressSpace &as,
+           BarrierController *barrier, isa::OpSource *source)
+    : SimObject(name, eq), _cfg(cfg), _tile(tile), _cache(cache),
+      _tlb(tlb), _as(as), _barrier(barrier), _source(source),
+      _completedRing(1 << 16, 1)
+{
+    _fu.intDivBusy.assign(static_cast<size_t>(cfg.numIntMultDiv), 0);
+    _fu.fpDivBusy.assign(static_cast<size_t>(cfg.numFpDiv), 0);
+}
+
+void
+Core::start()
+{
+    refillFetchBuffer();
+    wake();
+}
+
+void
+Core::wake()
+{
+    if (_done || _ticking)
+        return;
+    _ticking = true;
+    _sleeping = false;
+    // Completion events (Delivery priority) run before pipeline ticks
+    // (ClockTick priority) within a cycle, so a core woken by a
+    // completion may still tick in the SAME cycle - as long as it has
+    // not ticked this cycle already.
+    Cycles delay = (_lastTickAt == curTick()) ? 1 : 0;
+    scheduleIn(delay, [this]() { tick(); }, EventPriority::ClockTick);
+}
+
+void
+Core::tick()
+{
+    _ticking = false;
+    _lastTickAt = curTick();
+    if (_done)
+        return;
+
+    // Per-cycle FU counters reset; dividers keep their busy horizon.
+    _fu.intAluUsed = 0;
+    _fu.multDivUsed = 0;
+    _fu.fpAluUsed = 0;
+    _fu.fpDivUsed = 0;
+    _fu.memPortsUsed = 0;
+
+    bool progress = false;
+    progress |= commitStage();
+    progress |= drainStoreBuffer();
+    progress |= issueStage();
+    progress |= dispatchStage();
+
+    finishIfDrained();
+    if (_done)
+        return;
+
+    if (progress || _sbInUse > 0) {
+        wake();
+    } else {
+        // Quiesce: every later state change arrives via a completion
+        // callback (memory, SE FIFO, barrier, FU horizon), and each of
+        // those calls wake().
+        _sleeping = true;
+    }
+}
+
+bool
+Core::depsCompleted(const RobEntry &e) const
+{
+    for (int i = 0; i < e.op.numSrcs; ++i) {
+        uint64_t dep_seq = e.seq - e.op.srcs[i];
+        if (!_completedRing[dep_seq & 0xffff])
+            return false;
+    }
+    return true;
+}
+
+void
+Core::markCompleted(uint64_t seq)
+{
+    _completedRing[seq & 0xffff] = 1;
+}
+
+void
+Core::complete(RobEntry &e, Cycles extra_latency)
+{
+    uint64_t seq = e.seq;
+    if (extra_latency == 0) {
+        e.completed = true;
+        markCompleted(seq);
+        return;
+    }
+    scheduleIn(extra_latency, [this, seq]() {
+        // The entry may have moved in the deque; find it by seq.
+        for (auto &re : _rob) {
+            if (re.seq == seq) {
+                re.completed = true;
+                break;
+            }
+        }
+        markCompleted(seq);
+        wake();
+    });
+}
+
+bool
+Core::fuAvailable(isa::OpKind kind, Tick now, Tick &earliest)
+{
+    using isa::OpKind;
+    switch (fuClassOf(kind)) {
+      case isa::FuClass::IntAlu:
+        return _fu.intAluUsed < _cfg.numIntAlu;
+      case isa::FuClass::FpAlu:
+        return _fu.fpAluUsed < _cfg.numFpAlu;
+      case isa::FuClass::IntMultDiv: {
+        if (_fu.multDivUsed >= _cfg.numIntMultDiv)
+            return false;
+        if (kind == OpKind::IntMult)
+            return true;
+        for (Tick t : _fu.intDivBusy) {
+            if (t <= now)
+                return true;
+            earliest = earliest ? std::min(earliest, t) : t;
+        }
+        return false;
+      }
+      case isa::FuClass::FpDiv: {
+        if (_fu.fpDivUsed >= _cfg.numFpDiv)
+            return false;
+        for (Tick t : _fu.fpDivBusy) {
+            if (t <= now)
+                return true;
+            earliest = earliest ? std::min(earliest, t) : t;
+        }
+        return false;
+      }
+      case isa::FuClass::Mem:
+        return _fu.memPortsUsed < _cfg.memPorts;
+      case isa::FuClass::None:
+        return true;
+    }
+    return true;
+}
+
+void
+Core::fuOccupy(isa::OpKind kind, Tick now)
+{
+    using isa::OpKind;
+    switch (fuClassOf(kind)) {
+      case isa::FuClass::IntAlu:
+        ++_fu.intAluUsed;
+        break;
+      case isa::FuClass::FpAlu:
+        ++_fu.fpAluUsed;
+        break;
+      case isa::FuClass::IntMultDiv:
+        ++_fu.multDivUsed;
+        if (kind == OpKind::IntDiv) {
+            for (auto &t : _fu.intDivBusy) {
+                if (t <= now) {
+                    t = now + opLatency(kind);
+                    break;
+                }
+            }
+        }
+        break;
+      case isa::FuClass::FpDiv:
+        ++_fu.fpDivUsed;
+        for (auto &t : _fu.fpDivBusy) {
+            if (t <= now) {
+                t = now + opLatency(kind);
+                break;
+            }
+        }
+        break;
+      case isa::FuClass::Mem:
+        ++_fu.memPortsUsed;
+        break;
+      case isa::FuClass::None:
+        break;
+    }
+}
+
+bool
+Core::tryIssue(RobEntry &e)
+{
+    using isa::OpKind;
+    if (!depsCompleted(e))
+        return false;
+
+    Tick now = curTick();
+    Tick earliest = 0;
+    if (!fuAvailable(e.op.kind, now, earliest)) {
+        if (earliest > now) {
+            scheduleIn(earliest - now, [this]() { wake(); });
+        }
+        return false;
+    }
+
+    switch (e.op.kind) {
+      case OpKind::IntAlu:
+      case OpKind::IntMult:
+      case OpKind::IntDiv:
+      case OpKind::FpAlu:
+      case OpKind::FpDiv:
+        fuOccupy(e.op.kind, now);
+        e.issued = true;
+        complete(e, opLatency(e.op.kind));
+        return true;
+
+      case OpKind::Load: {
+        fuOccupy(e.op.kind, now);
+        e.issued = true;
+        uint64_t seq = e.seq;
+        issueMemAccess(e.op.addr, e.op.size, false, e.op.pc,
+                       e.op.streamEligible, [this, seq]() {
+                           for (auto &re : _rob) {
+                               if (re.seq == seq) {
+                                   re.completed = true;
+                                   break;
+                               }
+                           }
+                           markCompleted(seq);
+                           wake();
+                       });
+        return true;
+      }
+
+      case OpKind::Store: {
+        fuOccupy(e.op.kind, now);
+        e.issued = true;
+        e.storeVaddr = e.op.addr;
+        // Address generation + data ready; the write happens at commit
+        // through the store buffer.
+        complete(e, 1);
+        return true;
+      }
+
+      case OpKind::StreamLoad: {
+        if (!e.dataReady)
+            return false;
+        fuOccupy(e.op.kind, now);
+        e.issued = true;
+        complete(e, 1); // FIFO read
+        return true;
+      }
+
+      case OpKind::StreamStore: {
+        fuOccupy(e.op.kind, now);
+        e.issued = true;
+        complete(e, 1);
+        return true;
+      }
+
+      case OpKind::StreamCfg:
+      case OpKind::StreamStep:
+      case OpKind::StreamEnd:
+      case OpKind::Nop:
+        e.issued = true;
+        complete(e, 1);
+        return true;
+
+      case OpKind::Barrier: {
+        // Execute only at the ROB head with the store buffer drained.
+        // (Younger stores may hold SQ entries speculatively; only the
+        // older, committed stores in the store buffer must drain.)
+        if (&e != &_rob.front() || _sbInUse > 0)
+            return false;
+        if (!e.barrierSignalled) {
+            e.barrierSignalled = true;
+            e.issued = true;
+            uint64_t seq = e.seq;
+            if (_barrier) {
+                _barrier->arrive([this, seq]() {
+                    for (auto &re : _rob) {
+                        if (re.seq == seq) {
+                            re.completed = true;
+                            break;
+                        }
+                    }
+                    markCompleted(seq);
+                    wake();
+                });
+            } else {
+                complete(e, 1);
+            }
+            return true;
+        }
+        return false;
+      }
+    }
+    return false;
+}
+
+bool
+Core::issueStage()
+{
+    int issued = 0;
+    int scanned_unissued = 0;
+    bool in_order = _cfg.kind == CoreConfig::Kind::InOrder;
+
+    for (auto &e : _rob) {
+        if (issued >= _cfg.width)
+            break;
+        if (e.issued)
+            continue;
+        ++scanned_unissued;
+        if (scanned_unissued > _cfg.iqSize)
+            break;
+        bool ok = tryIssue(e);
+        if (ok) {
+            ++issued;
+        } else if (in_order) {
+            break; // strict program-order issue
+        }
+    }
+    return issued > 0;
+}
+
+bool
+Core::commitStage()
+{
+    using isa::OpKind;
+    int committed = 0;
+    while (committed < _cfg.width && !_rob.empty()) {
+        RobEntry &e = _rob.front();
+        if (!e.completed)
+            break;
+
+        switch (e.op.kind) {
+          case OpKind::Store:
+          case OpKind::StreamStore: {
+            if (_sbInUse >= _cfg.sbSize) {
+                ++_stats.sbFullStalls;
+                goto done_commit;
+            }
+            ++_sbInUse;
+            Addr vaddr = e.storeVaddr;
+            uint16_t size = e.op.size ? e.op.size : 4;
+            if (_se)
+                _se->storeCommitted(vaddr, size);
+            // The SB entry drains via drainStoreBuffer(); we record the
+            // pending write and issue it from there.
+            _pendingStores.push_back({vaddr, size});
+            --_sqInUse;
+            if (e.op.kind == OpKind::Store)
+                ++_stats.committedStores;
+            else
+                ++_stats.committedStreamStores;
+            break;
+          }
+          case OpKind::Load:
+            --_lqInUse;
+            ++_stats.committedLoads;
+            break;
+          case OpKind::StreamLoad:
+            --_lqInUse;
+            ++_stats.committedStreamLoads;
+            break;
+          case OpKind::StreamCfg:
+            if (_se) {
+                _se->configure(
+                    _source->streamConfigGroup(e.op.cfgIdx));
+            }
+            break;
+          case OpKind::StreamStep:
+            if (_se)
+                _se->releaseAtCommit(e.op.sid, e.op.elems);
+            break;
+          case OpKind::StreamEnd:
+            if (_se)
+                _se->end(e.op.sid);
+            break;
+          case OpKind::Barrier:
+            ++_stats.barriers;
+            break;
+          case OpKind::IntAlu:
+          case OpKind::IntMult:
+          case OpKind::IntDiv:
+            ++_stats.intOps;
+            break;
+          case OpKind::FpAlu:
+          case OpKind::FpDiv:
+            ++_stats.fpOps;
+            break;
+          default:
+            break;
+        }
+
+        ++_stats.committedOps;
+        _rob.pop_front();
+        ++committed;
+    }
+  done_commit:
+    return committed > 0;
+}
+
+bool
+Core::drainStoreBuffer()
+{
+    if (_pendingStores.empty())
+        return false;
+    PendingStore ps = _pendingStores.front();
+    _pendingStores.pop_front();
+
+    issueMemAccess(ps.vaddr, ps.size, true, 0, false, [this]() {
+        --_sbInUse;
+        wake();
+    });
+    return true;
+}
+
+void
+Core::issueMemAccess(Addr vaddr, uint16_t size, bool is_write,
+                     uint32_t pc, bool stream_eligible,
+                     std::function<void()> on_done)
+{
+    // Split on virtual line boundaries: pages are scrambled in the
+    // physical space, so each piece must be translated separately.
+    int pieces = 1 +
+                 (lineAlign(vaddr) != lineAlign(vaddr + size - 1) ? 1
+                                                                  : 0);
+    std::shared_ptr<int> remaining;
+    std::shared_ptr<std::function<void()>> joined;
+    if (pieces > 1) {
+        remaining = std::make_shared<int>(pieces);
+        joined = std::make_shared<std::function<void()>>(
+            std::move(on_done));
+    }
+
+    Addr piece_addr = vaddr;
+    uint16_t left = size;
+    for (int i = 0; i < pieces; ++i) {
+        uint16_t piece_size = static_cast<uint16_t>(std::min<uint64_t>(
+            left, lineAlign(piece_addr) + lineBytes - piece_addr));
+        Cycles tlb_lat = 0;
+        Addr paddr = _tlb.translate(_as, piece_addr, tlb_lat);
+
+        mem::Access a;
+        a.kind = mem::AccessKind::Demand;
+        a.vaddr = piece_addr;
+        a.paddr = paddr;
+        a.size = piece_size;
+        a.isWrite = is_write;
+        a.pc = pc;
+        a.streamEligible = stream_eligible;
+        if (pieces > 1) {
+            a.onDone = [remaining, joined]() {
+                if (--*remaining == 0 && *joined)
+                    (*joined)();
+            };
+        } else {
+            a.onDone = std::move(on_done);
+        }
+        if (tlb_lat == 0) {
+            _cache.access(std::move(a));
+        } else {
+            scheduleIn(tlb_lat, [this, a = std::move(a)]() mutable {
+                _cache.access(std::move(a));
+            });
+        }
+        piece_addr += piece_size;
+        left = static_cast<uint16_t>(left - piece_size);
+    }
+}
+
+bool
+Core::dispatchStage()
+{
+    using isa::OpKind;
+    int dispatched = 0;
+    while (dispatched < _cfg.width) {
+        if (static_cast<int>(_rob.size()) >= _cfg.robSize) {
+            ++_stats.robFullStalls;
+            break;
+        }
+        if (_fetchBuf.empty()) {
+            refillFetchBuffer();
+            if (_fetchBuf.empty())
+                break;
+        }
+
+        isa::Op &head = _fetchBuf.front();
+
+        // Stream use dispatch needs SE acceptance: FIFO space, and no
+        // in-flight (dispatched, uncommitted) reconfiguration.
+        if (_se &&
+            (head.kind == OpKind::StreamLoad ||
+             head.kind == OpKind::StreamStep ||
+             head.kind == OpKind::StreamStore) &&
+            !_se->canAcceptUse(head.sid)) {
+            break;
+        }
+
+        // LQ/SQ entries are reserved in program order at dispatch
+        // (rename), exactly so younger independent loads cannot
+        // starve an older one.
+        bool is_load = head.kind == OpKind::Load ||
+                       head.kind == OpKind::StreamLoad;
+        bool is_store = head.kind == OpKind::Store ||
+                        head.kind == OpKind::StreamStore;
+        if (is_load && _lqInUse >= _cfg.lqSize)
+            break;
+        if (is_store && _sqInUse >= _cfg.sqSize)
+            break;
+        if (is_load)
+            ++_lqInUse;
+        if (is_store)
+            ++_sqInUse;
+
+        RobEntry e;
+        e.op = head;
+        e.seq = _nextSeq++;
+        _completedRing[e.seq & 0xffff] = 0;
+        _fetchBuf.pop_front();
+
+        // Push first: SE callbacks may fire synchronously (data
+        // already in the FIFO) and must find the ROB entry.
+        _rob.push_back(std::move(e));
+        RobEntry &re_new = _rob.back();
+
+        // Dispatch-time decoupled-stream actions (iteration map).
+        if (_se) {
+            switch (re_new.op.kind) {
+              case OpKind::StreamLoad: {
+                uint64_t seq = re_new.seq;
+                _se->requestElems(re_new.op.sid, re_new.op.elems,
+                                  [this, seq]() {
+                                      for (auto &re : _rob) {
+                                          if (re.seq == seq) {
+                                              re.dataReady = true;
+                                              break;
+                                          }
+                                      }
+                                      wake();
+                                  });
+                break;
+              }
+              case OpKind::StreamStep:
+                _se->step(re_new.op.sid, re_new.op.elems);
+                break;
+              case OpKind::StreamStore:
+                re_new.storeVaddr = _se->storeAddr(re_new.op.sid);
+                break;
+              case OpKind::StreamCfg:
+                _se->noteConfigDispatched(
+                    _source->streamConfigGroup(re_new.op.cfgIdx));
+                break;
+              default:
+                break;
+            }
+        } else {
+            sf_assert(!isStreamOp(re_new.op.kind) ||
+                          re_new.op.kind == OpKind::StreamCfg,
+                      "stream op with no stream engine");
+        }
+        ++dispatched;
+    }
+    return dispatched > 0;
+}
+
+void
+Core::debugDump(std::FILE *f) const
+{
+    std::fprintf(f,
+                 "  %s rob=%zu fetchBuf=%zu lq=%d sq=%d sb=%d "
+                 "pendStores=%zu sleeping=%d ticking=%d\n",
+                 name().c_str(), _rob.size(), _fetchBuf.size(),
+                 _lqInUse, _sqInUse, _sbInUse, _pendingStores.size(),
+                 _sleeping, _ticking);
+    size_t shown = 0;
+    for (const auto &e : _rob) {
+        if (shown++ >= 4)
+            break;
+        std::fprintf(f,
+                     "    head op kind=%d sid=%d seq=%llu issued=%d "
+                     "completed=%d dataReady=%d elems=%u srcs=[%u %u "
+                     "%u] deps=%d\n",
+                     (int)e.op.kind, e.op.sid,
+                     (unsigned long long)e.seq, e.issued, e.completed,
+                     e.dataReady, e.op.elems, e.op.srcs[0],
+                     e.op.srcs[1], e.op.srcs[2], depsCompleted(e));
+    }
+}
+
+void
+Core::refillFetchBuffer()
+{
+    if (_sourceExhausted)
+        return;
+    std::vector<isa::Op> chunk;
+    while (_fetchBuf.size() + chunk.size() < fetchLowWater) {
+        size_t n = _source->refill(chunk);
+        if (n == 0) {
+            _sourceExhausted = true;
+            break;
+        }
+    }
+    for (auto &op : chunk)
+        _fetchBuf.push_back(op);
+}
+
+void
+Core::finishIfDrained()
+{
+    if (_done || !_sourceExhausted || !_fetchBuf.empty() ||
+        !_rob.empty() || _sbInUse > 0 || !_pendingStores.empty()) {
+        return;
+    }
+    _done = true;
+    _stats.doneTick = curTick();
+    if (_barrier)
+        _barrier->retire();
+    if (onDone)
+        onDone();
+}
+
+} // namespace cpu
+} // namespace sf

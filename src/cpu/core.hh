@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Execution-driven core models: a scoreboarded in-order core (IO4) and
+ * a dataflow-scheduled out-of-order core (OOO4 / OOO8).
+ *
+ * The core consumes the stream-annotated op sequence of one OpSource.
+ * Dependences are explicit (relative back-references), so the OOO model
+ * issues any ready op inside its ROB window subject to IQ/LQ/SQ/FU and
+ * width limits, while the in-order model issues strictly in program
+ * order with overlapping completion (loads stall at first use).
+ *
+ * Decoupled-stream semantics follow §III: the iteration map advances at
+ * dispatch (program order), stream FIFO data is consumed by
+ * stream_load, and architectural effects (configure, end, FIFO
+ * release, store alias checks) happen at commit.
+ */
+
+#ifndef SF_CPU_CORE_HH
+#define SF_CPU_CORE_HH
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/barrier.hh"
+#include "cpu/core_config.hh"
+#include "cpu/stream_engine_if.hh"
+#include "isa/op_source.hh"
+#include "mem/priv_cache.hh"
+#include "mem/tlb.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace sf {
+namespace cpu {
+
+struct CoreStats
+{
+    stats::Scalar committedOps;
+    stats::Scalar committedLoads, committedStores;
+    stats::Scalar committedStreamLoads, committedStreamStores;
+    stats::Scalar intOps, fpOps;
+    stats::Scalar barriers;
+    /** Cycle the core finished its op stream. */
+    Tick doneTick = 0;
+    stats::Scalar robFullStalls, sbFullStalls;
+
+    /** Register every counter with @p g for report dumping. */
+    void
+    regStats(stats::StatGroup &g) const
+    {
+        g.regScalar("committedOps", &committedOps);
+        g.regScalar("committedLoads", &committedLoads);
+        g.regScalar("committedStores", &committedStores);
+        g.regScalar("committedStreamLoads", &committedStreamLoads);
+        g.regScalar("committedStreamStores", &committedStreamStores);
+        g.regScalar("intOps", &intOps);
+        g.regScalar("fpOps", &fpOps);
+        g.regScalar("barriers", &barriers);
+        g.regScalar("robFullStalls", &robFullStalls);
+        g.regScalar("sbFullStalls", &sbFullStalls);
+    }
+};
+
+/** One hardware thread's pipeline. */
+class Core : public SimObject
+{
+  public:
+    Core(const std::string &name, EventQueue &eq, TileId tile,
+         const CoreConfig &cfg, mem::PrivCache &cache,
+         mem::TlbHierarchy &tlb, mem::AddressSpace &as,
+         BarrierController *barrier, isa::OpSource *source);
+
+    /** Attach the SE_core (required when the source emits stream ops). */
+    void setStreamEngine(StreamEngineIf *se) { _se = se; }
+
+    /** Begin execution (schedules the first pipeline tick). */
+    void start();
+
+    bool done() const { return _done; }
+    CoreStats &stats() { return _stats; }
+    const CoreStats &stats() const { return _stats; }
+    TileId tile() const { return _tile; }
+    const CoreConfig &config() const { return _cfg; }
+
+    /** Invoked once when the op stream fully commits. */
+    std::function<void()> onDone;
+
+    /** Dump pipeline state (debugging aid). */
+    void debugDump(std::FILE *f) const;
+
+    /**
+     * Wake the pipeline from quiescence (called by completion paths;
+     * public so the stream engine can wake the core on FIFO refills).
+     */
+    void wake();
+
+  private:
+    struct RobEntry
+    {
+        isa::Op op;
+        uint64_t seq = 0;
+        bool issued = false;
+        bool completed = false;
+        /** StreamLoad: FIFO data available. */
+        bool dataReady = false;
+        /** Barrier: arrival signalled. */
+        bool barrierSignalled = false;
+        /** StreamStore/Store resolved virtual address. */
+        Addr storeVaddr = 0;
+    };
+
+    void tick();
+
+    /** Returns true if any op was committed. */
+    bool commitStage();
+    /** Returns true if any op issued. */
+    bool issueStage();
+    /** Returns true if any op dispatched. */
+    bool dispatchStage();
+    /** Drain one store-buffer entry to the L1; true if one issued. */
+    bool drainStoreBuffer();
+
+    bool depsCompleted(const RobEntry &e) const;
+    bool tryIssue(RobEntry &e);
+
+    /**
+     * Issue a demand access, splitting on virtual line boundaries
+     * (physical frames are scrambled, so each virtual line translates
+     * independently).
+     */
+    void issueMemAccess(Addr vaddr, uint16_t size, bool is_write,
+                        uint32_t pc, bool stream_eligible,
+                        std::function<void()> on_done);
+    void complete(RobEntry &e, Cycles extra_latency);
+    void markCompleted(uint64_t seq);
+
+    void refillFetchBuffer();
+    void finishIfDrained();
+
+    /** FU availability this cycle. */
+    struct FuState
+    {
+        int intAluUsed = 0;
+        int multDivUsed = 0;
+        int fpAluUsed = 0;
+        int fpDivUsed = 0;
+        int memPortsUsed = 0;
+        /** Non-pipelined divider busy-until horizons. */
+        std::vector<Tick> intDivBusy;
+        std::vector<Tick> fpDivBusy;
+    };
+
+    bool fuAvailable(isa::OpKind kind, Tick now, Tick &earliest);
+    void fuOccupy(isa::OpKind kind, Tick now);
+
+    CoreConfig _cfg;
+    TileId _tile;
+    mem::PrivCache &_cache;
+    mem::TlbHierarchy &_tlb;
+    mem::AddressSpace &_as;
+    BarrierController *_barrier;
+    isa::OpSource *_source;
+    StreamEngineIf *_se = nullptr;
+
+    std::deque<RobEntry> _rob;
+    std::deque<isa::Op> _fetchBuf;
+    bool _sourceExhausted = false;
+
+    /** Committed stores waiting to drain from the store buffer. */
+    struct PendingStore
+    {
+        Addr vaddr;
+        uint16_t size;
+    };
+    std::deque<PendingStore> _pendingStores;
+
+    /**
+     * Completion ring indexed by seq % 2^16. Slots start "completed";
+     * dispatch clears the slot, completion sets it. Works because the
+     * in-flight window is far smaller than the 2^16 max back-reference.
+     */
+    std::vector<uint8_t> _completedRing;
+    uint64_t _nextSeq = 1;
+
+    /** In-flight load/store queue occupancy (freed at commit). */
+    int _lqInUse = 0;
+    int _sqInUse = 0;
+    /** Store buffer entries draining to L1. */
+    int _sbInUse = 0;
+
+    FuState _fu;
+    /** Cycle of the most recent pipeline tick (one tick per cycle). */
+    Tick _lastTickAt = maxTick;
+    bool _ticking = false;
+    bool _sleeping = false;
+    bool _done = false;
+
+    CoreStats _stats;
+};
+
+} // namespace cpu
+} // namespace sf
+
+#endif // SF_CPU_CORE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Interface between the core pipeline and the SE_core stream engine
+ * (implemented in src/stream). Keeps cpu/ decoupled from stream/.
+ */
+
+#ifndef SF_CPU_STREAM_ENGINE_IF_HH
+#define SF_CPU_STREAM_ENGINE_IF_HH
+
+#include <functional>
+#include <vector>
+
+#include "isa/stream_pattern.hh"
+#include "sim/types.hh"
+
+namespace sf {
+namespace cpu {
+
+/**
+ * What the core pipeline needs from SE_core.
+ *
+ * Dispatch-time calls implement the iteration map (decoder renaming):
+ * they happen in program order. Commit-time calls make architectural
+ * effects (configuration offload, FIFO release, alias checks) precise.
+ */
+class StreamEngineIf
+{
+  public:
+    virtual ~StreamEngineIf() = default;
+
+    /**
+     * stream_cfg dispatched (program order): uses of these streams
+     * must stall until the configuration commits, mirroring the
+     * decoder's iteration-map update.
+     */
+    virtual void
+    noteConfigDispatched(const std::vector<isa::StreamConfig> &group) = 0;
+
+    /** stream_cfg committed: define this group of streams. */
+    virtual void configure(const std::vector<isa::StreamConfig> &group) = 0;
+
+    /** stream_end committed. */
+    virtual void end(StreamId sid) = 0;
+
+    /**
+     * Dispatch of a stream_load consuming @p elems elements at the
+     * current iteration of @p sid. @p on_ready fires when the data is
+     * available in the FIFO (possibly immediately).
+     * @return the first element index consumed (for bookkeeping).
+     */
+    virtual uint64_t requestElems(StreamId sid, uint16_t elems,
+                                  std::function<void()> on_ready) = 0;
+
+    /** Dispatch of a stream_step: advance the iteration map. */
+    virtual void step(StreamId sid, uint16_t elems) = 0;
+
+    /** Commit of a stream_step: elements can be freed from the FIFO. */
+    virtual void releaseAtCommit(StreamId sid, uint16_t elems) = 0;
+
+    /**
+     * Dispatch of a stream_store at the current iteration: returns the
+     * store's target address (SE-generated address).
+     */
+    virtual Addr storeAddr(StreamId sid) = 0;
+
+    /**
+     * A store is being committed: check the PEB / stream buffer for
+     * aliasing prefetched elements (§III-B, §IV-E).
+     */
+    virtual void storeCommitted(Addr vaddr, uint16_t size) = 0;
+
+    /** True if the SE can accept another in-flight element use. */
+    virtual bool canAcceptUse(StreamId sid) const = 0;
+};
+
+} // namespace cpu
+} // namespace sf
+
+#endif // SF_CPU_STREAM_ENGINE_IF_HH

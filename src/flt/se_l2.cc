@@ -1,0 +1,603 @@
+#include "flt/se_l2.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace sf {
+namespace flt {
+
+SEL2::SEL2(const std::string &name, EventQueue &eq, TileId tile,
+           const SEL2Config &cfg, noc::Mesh &mesh,
+           const mem::NucaMap &nuca, mem::PrivCache &cache,
+           mem::TlbHierarchy &tlb, mem::AddressSpace &as,
+           stream::SECore &se_core)
+    : SimObject(name, eq), _cfg(cfg), _tile(tile), _mesh(mesh),
+      _nuca(nuca), _cache(cache), _tlb(tlb), _as(as), _seCore(se_core)
+{
+    _cache.setStreamBuffer(this);
+}
+
+SEL2::FloatedStream *
+SEL2::find(StreamId sid)
+{
+    auto it = _floated.find(sid);
+    return it == _floated.end() ? nullptr : &it->second;
+}
+
+const SEL2::FloatedStream *
+SEL2::findConst(StreamId sid) const
+{
+    auto it = _floated.find(sid);
+    return it == _floated.end() ? nullptr : &it->second;
+}
+
+bool
+SEL2::isFloating(StreamId sid) const
+{
+    return findConst(sid) != nullptr;
+}
+
+uint64_t
+SEL2::tryStencilAlias(FloatedStream &s, uint64_t start)
+{
+    const isa::AffinePattern &p = s.cfg.affine;
+    if (p.stride[0] == 0)
+        return start;
+    for (auto &[other_sid, other] : _floated) {
+        if (other_sid == s.cfg.sid || other.cfg.hasIndirect ||
+            other.cfg.isStore || other.aliasRoot != invalidStream) {
+            continue;
+        }
+        const isa::AffinePattern &q = other.cfg.affine;
+        if (q.elemSize != p.elemSize || q.nDims != p.nDims)
+            continue;
+        bool same_shape = true;
+        for (int d = 0; d < p.nDims; ++d) {
+            if (q.stride[d] != p.stride[d] || q.len[d] != p.len[d])
+                same_shape = false;
+        }
+        if (!same_shape || other.startElem != start)
+            continue;
+        // Our element i sits at base + i*stride; the leader's element
+        // i + K does when our base leads by K strides.
+        int64_t diff = static_cast<int64_t>(p.base) -
+                       static_cast<int64_t>(q.base);
+        if (diff <= 0 || diff % p.stride[0] != 0)
+            continue;
+        uint64_t k = static_cast<uint64_t>(diff / p.stride[0]);
+        if (k == 0 || k > other.capacityElems)
+            continue;
+
+        uint64_t horizon =
+            s.cfg.lengthKnown ? s.cfg.totalElems() : ~0ULL;
+        // The leader must actually cover a useful part of our range:
+        // our element i equals its element i+K, which only exists for
+        // i < horizon - K. Demand a majority overlap.
+        if (horizon != ~0ULL && k * 2 > horizon)
+            continue;
+        s.aliasRoot = other_sid;
+        s.aliasOffset = k;
+        s.tailStart = horizon == ~0ULL ? ~0ULL
+                                       : (horizon > k ? horizon - k
+                                                      : start);
+        s.tailStart = std::max(s.tailStart, start);
+        s.nextExpected = s.tailStart;
+        other.aliasedBy.push_back(s.cfg.sid);
+        ++_stats.stencilMerges;
+        return s.tailStart;
+    }
+    return start;
+}
+
+uint64_t
+SEL2::availableUpTo(const FloatedStream &s)
+{
+    if (s.aliasRoot == invalidStream)
+        return s.nextExpected;
+    auto it = _floated.find(s.aliasRoot);
+    if (it == _floated.end())
+        return s.nextExpected; // leader gone; only the tail remains
+    uint64_t via_root = it->second.nextExpected > s.aliasOffset
+                            ? it->second.nextExpected - s.aliasOffset
+                            : 0;
+    if (via_root < s.tailStart)
+        return via_root;
+    return std::max(s.tailStart, s.nextExpected);
+}
+
+Addr
+SEL2::elemVaddr(const FloatedStream &s, uint64_t idx)
+{
+    if (!s.cfg.hasIndirect)
+        return s.cfg.affine.elemAddr(idx);
+    uint32_t w_len = std::max<uint32_t>(1, s.cfg.indirect.wLen);
+    uint64_t parent_idx = idx / w_len;
+    uint32_t w = static_cast<uint32_t>(idx % w_len);
+    // The index array value is functionally stable within the stream's
+    // synchronization-free region.
+    auto bit = _floated.find(s.baseSid);
+    const isa::AffinePattern &base_pat =
+        bit != _floated.end() ? bit->second.cfg.affine : s.cfg.affine;
+    Addr idx_addr = base_pat.elemAddr(parent_idx);
+    int64_t idx_value = _as.readInt(idx_addr, s.cfg.indirect.idxSize);
+    return s.cfg.indirect.targetAddr(idx_value, w);
+}
+
+TileId
+SEL2::bankOfElem(const FloatedStream &s, uint64_t idx)
+{
+    Cycles lat = 0;
+    Addr paddr = _tlb.translate(_as, elemVaddr(s, idx), lat);
+    return _nuca.bankOf(paddr);
+}
+
+bool
+SEL2::floatStream(const stream::FloatRequest &req)
+{
+    int needed = 1 + static_cast<int>(req.indirects.size());
+    if (static_cast<int>(_floated.size()) + needed > _cfg.maxStreams)
+        return false;
+
+    // Split the buffer among live streams; an affine element reserves
+    // space for itself plus its dependent indirect elements.
+    int live = static_cast<int>(_floated.size()) + needed;
+    uint64_t bytes_per_stream = _cfg.bufferBytes / live;
+
+    auto setup = [&](const isa::StreamConfig &cfg, uint64_t start,
+                     StreamId base_sid) -> FloatedStream & {
+        FloatedStream &s = _floated[cfg.sid];
+        s = FloatedStream();
+        s.cfg = cfg;
+        s.gen = ++_genCounter[cfg.sid];
+        s.baseSid = base_sid;
+        s.startElem = start;
+        s.nextExpected = start;
+        s.consumedUpTo = start;
+        uint32_t esz = cfg.hasIndirect ? cfg.indirect.elemSize
+                                       : cfg.affine.elemSize;
+        s.capacityElems =
+            std::max<uint64_t>(8, bytes_per_stream / std::max(1u, esz));
+        s.grantedUpTo = start + s.capacityElems;
+        if (s.cfg.lengthKnown)
+            s.grantedUpTo = std::min(s.grantedUpTo, s.cfg.totalElems());
+        return s;
+    };
+
+    FloatedStream &base = setup(req.base, req.baseStart, invalidStream);
+    for (const auto &ind : req.indirects) {
+        setup(ind.cfg, ind.start, req.base.sid);
+        base.children.push_back(ind.cfg.sid);
+    }
+
+    // §IV-B constant-offset reuse: if a leading same-pattern stream
+    // is already floating, the remote engine only produces our
+    // uncovered tail; the rest is served from the leader's buffer.
+    uint64_t remote_start = req.baseStart;
+    if (_cfg.enableStencilReuse && req.indirects.empty() &&
+        !req.base.hasIndirect) {
+        remote_start = tryStencilAlias(base, req.baseStart);
+    }
+
+    _grants.push_back(
+        {++_headSeq, req.base.sid, base.gen, base.grantedUpTo});
+
+    // Send the configuration packet to the home bank of the first
+    // element the engine must produce (translated through the core's
+    // L2 TLB, §IV-E).
+    uint64_t horizon =
+        base.cfg.lengthKnown ? base.cfg.totalElems() : ~0ULL;
+    uint64_t bank_elem = remote_start;
+    if (horizon != ~0ULL && bank_elem >= horizon)
+        bank_elem = horizon ? horizon - 1 : 0;
+    TileId bank = bankOfElem(base, bank_elem);
+    auto msg = StreamFloatMsg::make(_tile, bank);
+    msg->gsid = {_tile, req.base.sid};
+    msg->gen = base.gen;
+    msg->asid = _as.asid();
+    msg->base = req.base;
+    for (const auto &ind : req.indirects)
+        msg->indirects.push_back({ind.cfg, ind.start});
+    msg->nextElem = remote_start;
+    uint64_t tail_credit = remote_start + base.capacityElems;
+    if (horizon != ~0ULL)
+        tail_credit = std::min(tail_credit, horizon);
+    msg->creditLimit = std::max(base.grantedUpTo, tail_credit);
+    base.grantedUpTo = msg->creditLimit;
+    msg->finalizeSize();
+    _mesh.send(msg);
+
+    ++_stats.floats;
+    ++_stats.configsSent;
+    return true;
+}
+
+void
+SEL2::unfloatStream(StreamId sid)
+{
+    auto it = _floated.find(sid);
+    if (it == _floated.end())
+        return;
+    // Resolve to the base stream; terminate the whole group.
+    if (it->second.baseSid != invalidStream) {
+        unfloatStream(it->second.baseSid);
+        return;
+    }
+    FloatedStream &base = it->second;
+    ++_stats.unfloats;
+
+    bool finished = base.cfg.lengthKnown &&
+                    base.nextExpected >= base.cfg.totalElems();
+    if (!finished) {
+        // Early termination / sink: chase the engine with an end
+        // packet (known-length streams that completed end silently).
+        // The engine keeps issuing and migrating until it reaches its
+        // credit horizon, so the horizon's home bank is guaranteed to
+        // see the stream: send the end there (it waits as a pending
+        // end if the stream has not arrived yet).
+        uint64_t horizon =
+            base.cfg.lengthKnown ? base.cfg.totalElems() : ~0ULL;
+        uint64_t target = base.grantedUpTo;
+        if (horizon != ~0ULL)
+            target = std::min(target, horizon - 1);
+        target = std::max(target, base.startElem);
+        TileId bank = bankOfElem(base, target);
+        auto msg = StreamEndMsg::make(_tile, bank);
+        msg->gsid = {_tile, sid};
+        msg->gen = base.gen;
+        _mesh.send(msg);
+        ++_stats.endsSent;
+    }
+
+    // Lagging constant-offset streams lose their data source: sink
+    // them back to the core (their SE_core refetches via the cache).
+    for (StreamId lag_sid : base.aliasedBy) {
+        if (FloatedStream *lag = find(lag_sid)) {
+            lag->aliasRoot = invalidStream;
+            _seCore.requestSink(lag_sid);
+        }
+    }
+    // And detach from our own leader, if any.
+    if (base.aliasRoot != invalidStream) {
+        if (FloatedStream *root = find(base.aliasRoot)) {
+            auto &v = root->aliasedBy;
+            v.erase(std::remove(v.begin(), v.end(), sid), v.end());
+        }
+    }
+
+    std::vector<StreamId> to_erase = {sid};
+    for (StreamId child : base.children)
+        to_erase.push_back(child);
+
+    for (StreamId victim : to_erase) {
+        auto vit = _floated.find(victim);
+        if (vit == _floated.end())
+            continue;
+        // Unserved waiters fall back to fetching through the cache.
+        FloatedStream s = std::move(vit->second);
+        _floated.erase(vit);
+        for (auto &w : s.waiters) {
+            uint64_t first = s.consumedUpTo;
+            uint64_t span = w.endElem > first ? w.endElem - first : 1;
+            auto count = static_cast<uint16_t>(
+                std::min<uint64_t>(span, 16));
+            reissueThroughCache(victim, s, first, count, std::move(w.cb));
+        }
+    }
+    advanceTail();
+}
+
+void
+SEL2::reissueThroughCache(StreamId sid, const FloatedStream &s,
+                          uint64_t first, uint16_t count,
+                          std::function<void()> cb)
+{
+    Addr vaddr = elemVaddr(s, first);
+    Cycles tlb_lat = 0;
+    Addr paddr = _tlb.translate(_as, vaddr, tlb_lat);
+    mem::Access a;
+    a.kind = mem::AccessKind::StreamFetch;
+    a.vaddr = vaddr;
+    a.paddr = paddr;
+    uint32_t esz = s.cfg.hasIndirect ? s.cfg.indirect.elemSize
+                                     : s.cfg.affine.elemSize;
+    a.size = static_cast<uint16_t>(
+        std::min<uint32_t>(esz * count, lineBytes));
+    a.stream = {_tile, sid};
+    a.elemIdx = first;
+    a.streamEligible = true;
+    a.onDone = std::move(cb);
+    _cache.access(std::move(a));
+}
+
+void
+SEL2::fetchFloatedElems(StreamId sid, uint64_t first_idx, uint16_t count,
+                        std::function<void()> on_ready)
+{
+    FloatedStream *s = find(sid);
+    if (!s) {
+        // Sunk in the meantime: fall back through the cache. We need a
+        // config to compute addresses, which is gone; complete after a
+        // nominal L2 round trip instead (rare transient).
+        scheduleIn(20, std::move(on_ready));
+        return;
+    }
+    uint64_t end = first_idx + count;
+    s->consumedUpTo = std::max(s->consumedUpTo, end);
+    if (end <= availableUpTo(*s)) {
+        ++_stats.servedFetches;
+        if (s->aliasRoot != invalidStream && end <= s->tailStart)
+            ++_stats.stencilServes;
+        _seCore.notifyFloatedBufferServe(sid);
+        maybeGrantCredits(sid, *s);
+        scheduleIn(1, std::move(on_ready));
+        return;
+    }
+    s->waiters.push_back({end, std::move(on_ready)});
+}
+
+bool
+SEL2::handleFloatedFetch(const mem::Access &access)
+{
+    StreamId sid = access.stream.sid;
+    FloatedStream *s = find(sid);
+    if (!s)
+        return false;
+    uint32_t esz = s->cfg.hasIndirect ? s->cfg.indirect.elemSize
+                                      : s->cfg.affine.elemSize;
+    uint16_t count = static_cast<uint16_t>(
+        std::max<uint32_t>(1, access.size / std::max(1u, esz)));
+    fetchFloatedElems(sid, access.elemIdx, count, access.onDone);
+    return true;
+}
+
+void
+SEL2::onFloatedHitInCache(const GlobalStreamId &stream, uint64_t elem_idx)
+{
+    FloatedStream *s = find(stream.sid);
+    if (s)
+        s->consumedUpTo = std::max(s->consumedUpTo, elem_idx + 1);
+    _seCore.notifyFloatedCacheHit(stream.sid);
+}
+
+void
+SEL2::advanceArrival(FloatedStream &s, uint64_t first, uint16_t count)
+{
+    for (uint16_t i = 0; i < count; ++i) {
+        uint64_t idx = first + i;
+        if (idx < s.nextExpected)
+            continue;
+        if (idx == s.nextExpected) {
+            ++s.nextExpected;
+            // Absorb any buffered out-of-order arrivals.
+            bool advanced = true;
+            while (advanced) {
+                advanced = false;
+                for (size_t k = 0; k < s.outOfOrder.size(); ++k) {
+                    if (s.outOfOrder[k] == s.nextExpected) {
+                        ++s.nextExpected;
+                        s.outOfOrder[k] = s.outOfOrder.back();
+                        s.outOfOrder.pop_back();
+                        advanced = true;
+                        break;
+                    }
+                }
+            }
+        } else {
+            if (std::find(s.outOfOrder.begin(), s.outOfOrder.end(),
+                          idx) == s.outOfOrder.end()) {
+                s.outOfOrder.push_back(idx);
+            }
+        }
+    }
+}
+
+void
+SEL2::recvDataU(const mem::MemMsgPtr &msg)
+{
+    // Resolve which of our streams this response belongs to: direct
+    // responses carry our (core, sid); confluence multicasts carry the
+    // group in mergedStreams.
+    StreamId sid = invalidStream;
+    if (msg->stream.core == _tile) {
+        sid = msg->stream.sid;
+    } else {
+        for (const auto &gs : msg->mergedStreams) {
+            if (gs.core == _tile) {
+                sid = gs.sid;
+                break;
+            }
+        }
+    }
+    FloatedStream *s = sid != invalidStream ? find(sid) : nullptr;
+    if (!s || (msg->stream.core == _tile && msg->streamGen != s->gen)) {
+        ++_stats.dataDropped;
+        return;
+    }
+
+    ++_stats.dataArrived;
+    advanceArrival(*s, msg->elemIdx, msg->elemCount);
+    serveWaiters(sid, *s);
+    // New leader data may unblock lagging constant-offset streams.
+    // Work from a copy: serving can mutate the stream table.
+    std::vector<StreamId> lag_copy = s->aliasedBy;
+    for (StreamId lag_sid : lag_copy) {
+        if (FloatedStream *lag = find(lag_sid))
+            serveWaiters(lag_sid, *lag);
+    }
+    if ((s = find(sid)) != nullptr)
+        maybeGrantCredits(sid, *s);
+    advanceTail();
+}
+
+void
+SEL2::serveWaiters(StreamId sid, FloatedStream &s)
+{
+    if (s.waiters.empty())
+        return;
+    std::vector<Waiter> keep;
+    std::vector<std::function<void()>> fire;
+    uint64_t avail = availableUpTo(s);
+    for (auto &w : s.waiters) {
+        if (w.endElem <= avail) {
+            fire.push_back(std::move(w.cb));
+            s.consumedUpTo = std::max(s.consumedUpTo, w.endElem);
+            if (s.aliasRoot != invalidStream && w.endElem <= s.tailStart)
+                ++_stats.stencilServes;
+        } else {
+            keep.push_back(std::move(w));
+        }
+    }
+    s.waiters = std::move(keep);
+    if (!fire.empty()) {
+        _stats.servedFetches += fire.size();
+        _seCore.notifyFloatedBufferServe(sid);
+        // Defer: callbacks can re-enter the SE (refetch, refloat) and
+        // must not run while we hold references into _floated.
+        scheduleIn(1, [fire = std::move(fire)]() {
+            for (auto &cb : fire)
+                cb();
+        });
+    }
+}
+
+void
+SEL2::maybeGrantCredits(StreamId sid, FloatedStream &s)
+{
+    // Indirect children share the base stream's credits (§IV-B).
+    if (s.baseSid != invalidStream)
+        return;
+    uint64_t horizon = s.cfg.lengthKnown ? s.cfg.totalElems() : ~0ULL;
+    if (s.grantedUpTo >= horizon)
+        return;
+    // A leader's elements stay buffered until every lagging constant-
+    // offset stream has consumed them too.
+    uint64_t effective_consumed = s.consumedUpTo;
+    for (StreamId lag_sid : s.aliasedBy) {
+        if (const FloatedStream *lag = find(lag_sid)) {
+            effective_consumed = std::min(
+                effective_consumed,
+                lag->consumedUpTo + lag->aliasOffset);
+        }
+    }
+    // consumedUpTo can run ahead of the grant horizon (the core
+    // registers waiters for elements it has not been granted yet), so
+    // clamp instead of letting the subtraction wrap.
+    uint64_t outstanding = s.grantedUpTo > effective_consumed
+                               ? s.grantedUpTo - effective_consumed
+                               : 0;
+    uint64_t free_elems =
+        s.capacityElems > outstanding ? s.capacityElems - outstanding : 0;
+    if (outstanding > s.capacityElems)
+        return; // laggards still need the buffered window
+    if (free_elems <
+        static_cast<uint64_t>(s.capacityElems * _cfg.creditRefreshFraction))
+        return;
+
+    // The engine stalls at the first non-credited element; route the
+    // refresh to that element's home bank (§IV-A).
+    uint64_t stall_elem = s.grantedUpTo;
+    s.grantedUpTo = std::min(horizon, s.grantedUpTo + free_elems);
+    _grants.push_back({++_headSeq, sid, s.gen, s.grantedUpTo});
+
+    TileId bank = bankOfElem(s, std::min(stall_elem, horizon - 1));
+    auto msg = StreamCreditMsg::make(_tile, bank);
+    msg->gsid = {_tile, sid};
+    msg->gen = s.gen;
+    msg->creditLimit = s.grantedUpTo;
+    msg->seq = _headSeq;
+    _mesh.send(msg);
+    ++_stats.creditsSent;
+}
+
+void
+SEL2::advanceTail()
+{
+    while (!_grants.empty()) {
+        const Grant &g = _grants.front();
+        auto it = _floated.find(g.sid);
+        bool satisfied = it == _floated.end() ||
+                         it->second.gen != g.gen ||
+                         it->second.nextExpected >= g.endElem;
+        if (!satisfied)
+            break;
+        _tailSeq = g.seq;
+        _grants.pop_front();
+    }
+    _cache.drainDelayedEvictions();
+}
+
+void
+SEL2::onDirtyEviction(Addr line_paddr)
+{
+    ++_stats.dirtyEvictionSearches;
+    std::vector<StreamId> aliased;
+    for (auto &[sid, s] : _floated) {
+        uint64_t horizon =
+            s.cfg.lengthKnown ? s.cfg.totalElems() : s.grantedUpTo;
+        uint64_t end = std::min(s.grantedUpTo, horizon);
+        end = std::min(end, s.consumedUpTo + s.capacityElems +
+                                s.aliasOffset);
+        for (uint64_t idx = s.consumedUpTo; idx < end; ++idx) {
+            Addr va = elemVaddr(s, idx);
+            Addr pa = _as.translateExisting(va);
+            if (pa != invalidAddr && lineAlign(pa) == line_paddr) {
+                aliased.push_back(sid);
+                break;
+            }
+        }
+    }
+    for (StreamId sid : aliased) {
+        ++_stats.dirtyEvictionAliases;
+        _seCore.requestSink(sid);
+    }
+}
+
+uint16_t
+SEL2::currentCreditHead()
+{
+    return _headSeq;
+}
+
+bool
+SEL2::mustDelayEviction(uint16_t seq_num)
+{
+    if (_floated.empty())
+        return false;
+    // Wrap-aware: the line was tagged at head == seq_num; hold it back
+    // while any credit grant at or before that head is unsatisfied.
+    return static_cast<int16_t>(seq_num - _tailSeq) > 0;
+}
+
+void
+SEL2::debugDump(std::FILE *f) const
+{
+    for (const auto &[sid, s] : _floated) {
+        std::fprintf(f,
+                     "  %s sid=%d gen=%u start=%llu nextExp=%llu "
+                     "consumed=%llu granted=%llu cap=%llu ooo=%zu "
+                     "waiters=%zu\n",
+                     name().c_str(), sid, s.gen,
+                     (unsigned long long)s.startElem,
+                     (unsigned long long)s.nextExpected,
+                     (unsigned long long)s.consumedUpTo,
+                     (unsigned long long)s.grantedUpTo,
+                     (unsigned long long)s.capacityElems,
+                     s.outOfOrder.size(), s.waiters.size());
+    }
+    std::fprintf(f, "  %s head=%u tail=%u grants=%zu\n", name().c_str(),
+                 _headSeq, _tailSeq, _grants.size());
+}
+
+void
+SEL2::onEvictionPressure()
+{
+    if (_grants.empty())
+        return;
+    ++_stats.evictionPressureSinks;
+    _seCore.requestSink(_grants.front().sid);
+}
+
+} // namespace flt
+} // namespace sf

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * SE_L2: the requesting-tile stream engine (Fig. 9).
+ *
+ * Buffers uncached floated-stream data arriving as DataU, matches it
+ * against the SE_core's tagged fetch requests, runs the coarse-grained
+ * credit-based flow control toward remote SE_L3s, and implements the
+ * §IV-E memory-disambiguation machinery (dirty-eviction search and the
+ * head/tail credit sequence window).
+ */
+
+#ifndef SF_FLT_SE_L2_HH
+#define SF_FLT_SE_L2_HH
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "flt/stream_msg.hh"
+#include "mem/nuca.hh"
+#include "mem/phys_mem.hh"
+#include "mem/priv_cache.hh"
+#include "mem/tlb.hh"
+#include "noc/mesh.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "stream/float_if.hh"
+#include "stream/se_core.hh"
+
+namespace sf {
+namespace flt {
+
+struct SEL2Config
+{
+    /** Stream buffer capacity (Table III: 16 kB). */
+    uint32_t bufferBytes = 16 * 1024;
+    int maxStreams = 12;
+    /** Send a credit refresh when at least this fraction is free. */
+    double creditRefreshFraction = 0.5;
+    /**
+     * §IV-B constant-offset reuse: when streams A[i] and A[i+K] float
+     * together and K fits in the buffer, the remote engine sends the
+     * overlap once and the SE_L2 serves the lagging stream from the
+     * leading stream's data.
+     */
+    bool enableStencilReuse = true;
+};
+
+struct SEL2Stats
+{
+    stats::Scalar floats, unfloats;
+    stats::Scalar configsSent, endsSent, creditsSent;
+    stats::Scalar dataArrived, dataDropped;
+    stats::Scalar servedFetches;
+    stats::Scalar dirtyEvictionSearches, dirtyEvictionAliases;
+    stats::Scalar evictionPressureSinks;
+    /** §IV-B constant-offset merges and element serves. */
+    stats::Scalar stencilMerges, stencilServes;
+
+    /** Register every counter with @p g for report dumping. */
+    void
+    regStats(stats::StatGroup &g) const
+    {
+        g.regScalar("floats", &floats);
+        g.regScalar("unfloats", &unfloats);
+        g.regScalar("configsSent", &configsSent);
+        g.regScalar("endsSent", &endsSent);
+        g.regScalar("creditsSent", &creditsSent);
+        g.regScalar("dataArrived", &dataArrived);
+        g.regScalar("dataDropped", &dataDropped);
+        g.regScalar("servedFetches", &servedFetches);
+        g.regScalar("dirtyEvictionSearches", &dirtyEvictionSearches);
+        g.regScalar("dirtyEvictionAliases", &dirtyEvictionAliases);
+        g.regScalar("evictionPressureSinks", &evictionPressureSinks);
+        g.regScalar("stencilMerges", &stencilMerges);
+        g.regScalar("stencilServes", &stencilServes);
+    }
+};
+
+/** The per-tile L2 stream engine. */
+class SEL2 : public SimObject,
+             public mem::StreamBufferIf,
+             public stream::FloatControllerIf
+{
+  public:
+    SEL2(const std::string &name, EventQueue &eq, TileId tile,
+         const SEL2Config &cfg, noc::Mesh &mesh,
+         const mem::NucaMap &nuca, mem::PrivCache &cache,
+         mem::TlbHierarchy &tlb, mem::AddressSpace &as,
+         stream::SECore &se_core);
+
+    // --- stream::FloatControllerIf (calls from SE_core) ---
+    bool floatStream(const stream::FloatRequest &req) override;
+    void unfloatStream(StreamId sid) override;
+    bool isFloating(StreamId sid) const override;
+    void fetchFloatedElems(StreamId sid, uint64_t first_idx,
+                           uint16_t count,
+                           std::function<void()> on_ready) override;
+
+    // --- mem::StreamBufferIf (calls from the private cache) ---
+    bool handleFloatedFetch(const mem::Access &access) override;
+    void onFloatedHitInCache(const GlobalStreamId &stream,
+                             uint64_t elem_idx) override;
+    void recvDataU(const mem::MemMsgPtr &msg) override;
+    void onDirtyEviction(Addr line_paddr) override;
+    uint16_t currentCreditHead() override;
+    bool mustDelayEviction(uint16_t seq_num) override;
+    void onEvictionPressure() override;
+
+    SEL2Stats &stats() { return _stats; }
+
+    /** Dump buffered stream state (debugging aid). */
+    void debugDump(std::FILE *f) const;
+
+  private:
+    struct Waiter
+    {
+        uint64_t endElem;
+        std::function<void()> cb;
+    };
+
+    struct FloatedStream
+    {
+        isa::StreamConfig cfg;
+        uint32_t gen = 0;
+        StreamId baseSid = invalidStream; //!< valid for indirect children
+        std::vector<StreamId> children;
+
+        uint64_t startElem = 0;
+        /** Arrival frontier: contiguous data received below this. */
+        uint64_t nextExpected = 0;
+        /** Elements arrived beyond the contiguous frontier. */
+        std::vector<uint64_t> outOfOrder;
+        /** Consumption frontier (served to SE_core / cache hits). */
+        uint64_t consumedUpTo = 0;
+        /** Credit horizon granted to the SE_L3. */
+        uint64_t grantedUpTo = 0;
+        uint64_t capacityElems = 0;
+
+        // --- §IV-B constant-offset reuse ---
+        /** Leading stream whose data covers ours (invalid if none). */
+        StreamId aliasRoot = invalidStream;
+        /** Our element i equals root element i + aliasOffset. */
+        uint64_t aliasOffset = 0;
+        /** Our elements >= tailStart come from our own remote tail. */
+        uint64_t tailStart = 0;
+        /** Lagging streams served from our buffer. */
+        std::vector<StreamId> aliasedBy;
+
+        std::vector<Waiter> waiters;
+    };
+
+    /** Outstanding credit grant for the §IV-E seq window. */
+    struct Grant
+    {
+        uint16_t seq;
+        StreamId sid;
+        uint32_t gen;
+        uint64_t endElem;
+    };
+
+    FloatedStream *find(StreamId sid);
+    const FloatedStream *findConst(StreamId sid) const;
+
+    /**
+     * §IV-B: try to alias the incoming stream onto an already-floated
+     * leading stream with the same pattern at a constant element
+     * offset. @return the element index the remote engine must still
+     * produce from (the uncovered tail), or @p start when no match.
+     */
+    uint64_t tryStencilAlias(FloatedStream &s, uint64_t start);
+
+    /** Contiguous element availability, including via the alias root. */
+    uint64_t availableUpTo(const FloatedStream &s);
+
+    void advanceArrival(FloatedStream &s, uint64_t first, uint16_t count);
+    void serveWaiters(StreamId sid, FloatedStream &s);
+    void maybeGrantCredits(StreamId sid, FloatedStream &s);
+    void advanceTail();
+
+    /** Virtual address of one element (functional indirect chase). */
+    Addr elemVaddr(const FloatedStream &s, uint64_t idx);
+
+    /** Re-issue an unserved fetch through the cache (after a sink). */
+    void reissueThroughCache(StreamId sid, const FloatedStream &s,
+                             uint64_t first, uint16_t count,
+                             std::function<void()> cb);
+
+    TileId bankOfElem(const FloatedStream &s, uint64_t idx);
+
+    SEL2Config _cfg;
+    TileId _tile;
+    noc::Mesh &_mesh;
+    const mem::NucaMap &_nuca;
+    mem::PrivCache &_cache;
+    mem::TlbHierarchy &_tlb;
+    mem::AddressSpace &_as;
+    stream::SECore &_seCore;
+
+    std::unordered_map<StreamId, FloatedStream> _floated;
+    std::unordered_map<StreamId, uint32_t> _genCounter;
+
+    std::deque<Grant> _grants;
+    uint16_t _headSeq = 0;
+    uint16_t _tailSeq = 0;
+
+    SEL2Stats _stats;
+};
+
+} // namespace flt
+} // namespace sf
+
+#endif // SF_FLT_SE_L2_HH

@@ -1,0 +1,478 @@
+#include "flt/se_l3.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace sf {
+namespace flt {
+
+SEL3::SEL3(const std::string &name, EventQueue &eq, TileId tile,
+           const SEL3Config &cfg, noc::Mesh &mesh,
+           const mem::NucaMap &nuca, mem::L3Bank &bank,
+           AsResolver resolve_as)
+    : SimObject(name, eq), _cfg(cfg), _tile(tile), _mesh(mesh),
+      _nuca(nuca), _bank(bank), _resolveAs(std::move(resolve_as)),
+      _tlb(cfg.tlbEntries, cfg.tlbWays)
+{
+}
+
+mem::AddressSpace &
+SEL3::spaceOf(const Entry &e)
+{
+    mem::AddressSpace *as = _resolveAs(e.asid);
+    sf_assert(as, "unknown address space %d", e.asid);
+    return *as;
+}
+
+int
+SEL3::blockOf(TileId t) const
+{
+    int bx = _mesh.xOf(t) / _cfg.blockSize;
+    int by = _mesh.yOf(t) / _cfg.blockSize;
+    return by * ((_mesh.config().nx + _cfg.blockSize - 1) /
+                 _cfg.blockSize) +
+           bx;
+}
+
+Addr
+SEL3::translate(mem::AddressSpace &as, Addr vaddr, Cycles &penalty)
+{
+    if (_tlb.lookup(vaddr)) {
+        ++_stats.tlbHits;
+        penalty = 0;
+    } else {
+        ++_stats.tlbMisses;
+        _tlb.insert(vaddr);
+        penalty = _cfg.tlbLatency + _cfg.tlbWalkLatency;
+    }
+    return as.translate(vaddr);
+}
+
+SEL3::EntryList::iterator
+SEL3::findEntry(const GlobalStreamId &gsid)
+{
+    for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+        for (const auto &m : it->members) {
+            if (m.gsid == gsid)
+                return it;
+        }
+    }
+    return _entries.end();
+}
+
+void
+SEL3::recvConfig(const std::shared_ptr<StreamFloatMsg> &msg)
+{
+    if (msg->isMigration)
+        ++_stats.migrationsIn;
+    else
+        ++_stats.configsReceived;
+
+    // An end packet may have raced ahead of this (re)configuration.
+    auto pend = _pendingEnds.find(msg->gsid);
+    if (pend != _pendingEnds.end() && pend->second >= msg->gen) {
+        _pendingEnds.erase(pend);
+        return;
+    }
+
+    // Replace a stale same-stream entry (refloat with a newer gen).
+    auto old = findEntry(msg->gsid);
+    if (old != _entries.end()) {
+        auto &members = old->members;
+        members.erase(std::remove_if(members.begin(), members.end(),
+                                     [&](const Member &m) {
+                                         return m.gsid == msg->gsid &&
+                                                m.gen <= msg->gen;
+                                     }),
+                      members.end());
+        if (members.empty())
+            _entries.erase(old);
+    }
+
+    Entry e;
+    e.base = msg->base;
+    e.indirects = msg->indirects;
+    e.asid = msg->asid;
+    e.issuePos = msg->nextElem;
+    Member m;
+    m.gsid = msg->gsid;
+    m.gen = msg->gen;
+    m.creditLimit = msg->creditLimit;
+    m.joinedAt = msg->nextElem;
+
+    auto pcred = _pendingCredits.find(msg->gsid);
+    if (pcred != _pendingCredits.end()) {
+        if (pcred->second.first == msg->gen) {
+            m.creditLimit =
+                std::max(m.creditLimit, pcred->second.second);
+        }
+        _pendingCredits.erase(pcred);
+    }
+    e.members.push_back(m);
+
+    addStream(std::move(e));
+}
+
+void
+SEL3::addStream(Entry &&e)
+{
+    if (tryMerge(e)) {
+        kick();
+        return;
+    }
+    if (static_cast<int>(_entries.size()) >= _cfg.maxStreams) {
+        warn("%s: stream table full, dropping stream", name().c_str());
+        return;
+    }
+    _entries.push_back(std::move(e));
+    kick();
+}
+
+bool
+SEL3::tryMerge(const Entry &incoming)
+{
+    if (!_cfg.enableConfluence)
+        return false;
+    if (!incoming.indirects.empty() || incoming.base.hasIndirect)
+        return false;
+    const Member &im = incoming.members.front();
+
+    for (auto &e : _entries) {
+        if (!e.indirects.empty() || e.base.hasIndirect)
+            continue;
+        if (e.asid != incoming.asid)
+            continue;
+        if (!(e.base.affine == incoming.base.affine))
+            continue;
+        if (static_cast<int>(e.members.size()) >= _cfg.maxGroupSize)
+            continue;
+        if (blockOf(e.members.front().gsid.core) !=
+            blockOf(im.gsid.core)) {
+            continue;
+        }
+        uint64_t diff = e.issuePos > incoming.issuePos
+                            ? e.issuePos - incoming.issuePos
+                            : incoming.issuePos - e.issuePos;
+        if (diff > _cfg.mergeSlackElems)
+            continue;
+
+        Member joined = im;
+        joined.joinedAt = incoming.issuePos;
+        e.members.push_back(joined);
+        // Rewind the shared cursor so the laggard catches up; members
+        // already past these elements drop the duplicates at their
+        // SE_L2 (arrival frontier check).
+        e.issuePos = std::min(e.issuePos, incoming.issuePos);
+        e.stalledOnCredit = false;
+        ++_stats.confluenceMerges;
+        return true;
+    }
+    return false;
+}
+
+void
+SEL3::recvCredit(const std::shared_ptr<StreamCreditMsg> &msg)
+{
+    ++_stats.creditsReceived;
+    auto it = findEntry(msg->gsid);
+    if (it == _entries.end()) {
+        auto &slot = _pendingCredits[msg->gsid];
+        if (slot.first != msg->gen)
+            slot = {msg->gen, msg->creditLimit};
+        else
+            slot.second = std::max(slot.second, msg->creditLimit);
+        return;
+    }
+    for (auto &m : it->members) {
+        if (m.gsid == msg->gsid && m.gen == msg->gen)
+            m.creditLimit = std::max(m.creditLimit, msg->creditLimit);
+    }
+    it->stalledOnCredit = false;
+    kick();
+}
+
+void
+SEL3::recvEnd(const std::shared_ptr<StreamEndMsg> &msg)
+{
+    ++_stats.endsReceived;
+    auto it = findEntry(msg->gsid);
+    if (it == _entries.end()) {
+        uint32_t &g = _pendingEnds[msg->gsid];
+        g = std::max(g, msg->gen);
+        return;
+    }
+    auto &members = it->members;
+    members.erase(std::remove_if(members.begin(), members.end(),
+                                 [&](const Member &m) {
+                                     return m.gsid == msg->gsid &&
+                                            m.gen <= msg->gen;
+                                 }),
+                  members.end());
+    if (members.empty())
+        _entries.erase(it);
+}
+
+void
+SEL3::kick()
+{
+    if (_pumpScheduled || _entries.empty())
+        return;
+    _pumpScheduled = true;
+    scheduleIn(_cfg.issueInterval, [this]() { issueTick(); },
+               EventPriority::ClockTick);
+}
+
+void
+SEL3::issueTick()
+{
+    _pumpScheduled = false;
+    size_t attempts = _entries.size();
+    bool issued = false;
+    for (size_t i = 0; i < attempts && !_entries.empty(); ++i) {
+        // Round-robin by rotation: service the front, move it back.
+        if (issueOne(_entries.front())) {
+            issued = true;
+            if (!_entries.empty()) {
+                _entries.splice(_entries.end(), _entries,
+                                _entries.begin());
+            }
+            break;
+        }
+        if (!_entries.empty()) {
+            _entries.splice(_entries.end(), _entries, _entries.begin());
+        }
+    }
+    if (issued)
+        kick();
+}
+
+bool
+SEL3::issueOne(Entry &e)
+{
+    if (e.members.empty()) {
+        _entries.remove_if(
+            [&](const Entry &x) { return &x == &e; });
+        return true;
+    }
+
+    // Completed known-length streams terminate silently (§IV-A).
+    uint64_t horizon =
+        e.base.lengthKnown ? e.base.totalElems() : ~0ULL;
+    if (e.issuePos >= horizon) {
+        ++_stats.streamsCompleted;
+        _entries.remove_if(
+            [&](const Entry &x) { return &x == &e; });
+        return true;
+    }
+
+    // Migrate BEFORE the credit check: a stalled stream must wait at
+    // the bank of its next element, because that is where the SE_L2
+    // routes credit refreshes (§IV-A).
+    mem::AddressSpace &as = spaceOf(e);
+    Addr va = e.base.affine.elemAddr(e.issuePos);
+    Cycles penalty = 0;
+    Addr pa = translate(as, va, penalty);
+
+    TileId home = _nuca.bankOf(pa);
+    if (home != _tile) {
+        migrate(e, home);
+        return true;
+    }
+
+    // Flow control: the group can issue only below every member's
+    // credit horizon (laggards' credits gate the leader).
+    uint64_t limit = ~0ULL;
+    for (const auto &m : e.members)
+        limit = std::min(limit, m.creditLimit);
+    if (e.issuePos >= limit) {
+        if (!e.stalledOnCredit) {
+            e.stalledOnCredit = true;
+            ++_stats.creditStalls;
+        }
+        return false;
+    }
+
+    // Coalesce elements that fall on the same line.
+    Addr line = lineAlign(pa);
+    uint16_t count = 1;
+    uint64_t max_elems = std::min(limit, horizon) - e.issuePos;
+    while (count < max_elems && count < 64) {
+        Addr nva = e.base.affine.elemAddr(e.issuePos + count);
+        Addr npa = as.translateExisting(nva);
+        if (npa == invalidAddr || lineAlign(npa) != line)
+            break;
+        ++count;
+    }
+
+    mem::StreamReadReq req;
+    req.lineAddr = line;
+    req.dataBytes = lineBytes;
+    req.stream = e.members.front().gsid;
+    req.gen = e.members.front().gen;
+    req.elemIdx = e.issuePos;
+    req.elemCount = count;
+    for (const auto &m : e.members)
+        req.dests.push_back(m.gsid.core);
+    if (e.members.size() > 1) {
+        for (const auto &m : e.members)
+            req.merged.push_back(m.gsid);
+        req.reqClass = mem::ReqClass::FloatConfluence;
+        ++_stats.confluenceRequests;
+    } else {
+        req.reqClass = mem::ReqClass::FloatAffine;
+    }
+
+    if (!e.indirects.empty()) {
+        // Capture what indirect issue needs; the entry may migrate or
+        // retire before the bank produces the index data.
+        struct Ctx
+        {
+            isa::AffinePattern basePattern;
+            std::vector<FloatedIndirect> indirects;
+            int asid;
+            GlobalStreamId gsid;
+            uint32_t gen;
+        };
+        auto ctx = std::make_shared<Ctx>();
+        ctx->basePattern = e.base.affine;
+        ctx->indirects = e.indirects;
+        ctx->asid = e.asid;
+        ctx->gsid = e.members.front().gsid;
+        ctx->gen = e.members.front().gen;
+        uint64_t first = e.issuePos;
+        req.onLocalData = [this, ctx, first, count]() {
+            Entry tmp;
+            tmp.base.affine = ctx->basePattern;
+            tmp.indirects = ctx->indirects;
+            tmp.asid = ctx->asid;
+            Member m;
+            m.gsid = ctx->gsid;
+            m.gen = ctx->gen;
+            tmp.members.push_back(m);
+            issueIndirects(tmp, first, count);
+        };
+    }
+
+    ++_stats.lineRequestsIssued;
+    if (penalty == 0) {
+        _bank.streamRead(std::move(req));
+    } else {
+        scheduleIn(penalty, [this, req = std::move(req)]() mutable {
+            _bank.streamRead(std::move(req));
+        });
+    }
+    e.issuePos += count;
+    return true;
+}
+
+void
+SEL3::issueIndirects(const Entry &e, uint64_t first, uint16_t count)
+{
+    mem::AddressSpace &as = spaceOf(e);
+    const Member &owner = e.members.front();
+
+    for (uint16_t i = 0; i < count; ++i) {
+        uint64_t base_elem = first + i;
+        Addr idx_addr = e.base.affine.elemAddr(base_elem);
+
+        for (const auto &ind : e.indirects) {
+            uint32_t w_len = std::max<uint32_t>(1, ind.cfg.indirect.wLen);
+            uint64_t child_elem = base_elem * w_len;
+            if (child_elem + w_len <= ind.start)
+                continue; // the core already fetched these
+            int64_t idx_value =
+                as.readInt(idx_addr, ind.cfg.indirect.idxSize);
+            Addr target_va = ind.cfg.indirect.targetAddr(idx_value, 0);
+            Cycles penalty = 0;
+            Addr target_pa = translate(as, target_va, penalty);
+            uint16_t bytes = static_cast<uint16_t>(std::min<uint32_t>(
+                ind.cfg.indirect.elemSize * w_len, lineBytes));
+            TileId target_bank = _nuca.bankOf(target_pa);
+            ++_stats.indirectRequestsIssued;
+
+            if (target_bank == _tile) {
+                mem::StreamReadReq req;
+                req.lineAddr = lineAlign(target_pa);
+                req.dataBytes = bytes;
+                req.stream = {owner.gsid.core, ind.cfg.sid};
+                req.gen = owner.gen;
+                req.elemIdx = child_elem;
+                req.elemCount = static_cast<uint16_t>(w_len);
+                req.dests = {owner.gsid.core};
+                req.reqClass = mem::ReqClass::FloatIndirect;
+                if (penalty == 0) {
+                    _bank.streamRead(std::move(req));
+                } else {
+                    scheduleIn(penalty,
+                               [this, req = std::move(req)]() mutable {
+                                   _bank.streamRead(std::move(req));
+                               });
+                }
+            } else {
+                // Remote target bank: a small uncached read request
+                // travels bank-to-bank; the data goes straight to the
+                // requesting core (subline transfer, §IV-B).
+                auto msg = mem::makeMemMsg(mem::MemMsgType::GetU,
+                                           lineAlign(target_pa), _tile,
+                                           target_bank, owner.gsid.core);
+                msg->stream = {owner.gsid.core, ind.cfg.sid};
+                msg->streamGen = owner.gen;
+                msg->elemIdx = child_elem;
+                msg->elemCount = static_cast<uint16_t>(w_len);
+                msg->dataBytes = bytes;
+                msg->reqClass = mem::ReqClass::FloatIndirect;
+                _mesh.send(msg);
+            }
+        }
+    }
+}
+
+void
+SEL3::debugDump(std::FILE *f) const
+{
+    for (const auto &e : _entries) {
+        std::fprintf(f, "  %s issuePos=%llu stalled=%d members=[",
+                     name().c_str(), (unsigned long long)e.issuePos,
+                     e.stalledOnCredit);
+        for (const auto &m : e.members) {
+            std::fprintf(f, "(c%d s%d g%u credit=%llu)", m.gsid.core,
+                         m.gsid.sid, m.gen,
+                         (unsigned long long)m.creditLimit);
+        }
+        std::fprintf(f, "] pump=%d\n", _pumpScheduled);
+    }
+    for (const auto &[gsid, pc] : _pendingCredits) {
+        std::fprintf(f, "  %s pendingCredit c%d s%d gen=%u lim=%llu\n",
+                     name().c_str(), gsid.core, gsid.sid, pc.first,
+                     (unsigned long long)pc.second);
+    }
+}
+
+void
+SEL3::migrate(Entry &e, TileId next_bank)
+{
+    for (const auto &m : e.members) {
+        auto msg = StreamFloatMsg::make(_tile, next_bank);
+        msg->isMigration = true;
+        msg->gsid = m.gsid;
+        msg->gen = m.gen;
+        msg->asid = e.asid;
+        msg->base = e.base;
+        for (auto ind : e.indirects) {
+            uint32_t w_len = std::max<uint32_t>(1, ind.cfg.indirect.wLen);
+            ind.start = std::max(ind.start, e.issuePos * w_len);
+            msg->indirects.push_back(ind);
+        }
+        msg->nextElem = e.issuePos;
+        msg->creditLimit = m.creditLimit;
+        msg->finalizeSize();
+        _mesh.send(msg);
+        ++_stats.migrationsOut;
+    }
+    _entries.remove_if([&](const Entry &x) { return &x == &e; });
+}
+
+} // namespace flt
+} // namespace sf

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * SE_L3: the L3-bank stream engine (Fig. 10).
+ *
+ * Holds floated stream contexts, issues line-coalesced uncached read
+ * requests to the colocated L3 bank on behalf of remote cores (round-
+ * robin across ready streams, one per cycle), migrates streams to the
+ * next bank at interleaving boundaries, enforces credit-based flow
+ * control, chases indirection (reading index values and dispatching
+ * subline requests to target banks), and merges same-pattern streams
+ * from a 2x2 tile block into multicast confluence groups (§IV-C).
+ */
+
+#ifndef SF_FLT_SE_L3_HH
+#define SF_FLT_SE_L3_HH
+
+#include <cstdio>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "flt/stream_msg.hh"
+#include "mem/l3_bank.hh"
+#include "mem/nuca.hh"
+#include "mem/phys_mem.hh"
+#include "mem/tlb.hh"
+#include "noc/mesh.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace sf {
+namespace flt {
+
+struct SEL3Config
+{
+    /** Streams this bank can hold (12 per core x 64 cores, Table III). */
+    int maxStreams = 768;
+    /** SE_L3 TLB (Table III: 1k entries, 16-way, 8-cycle). */
+    uint32_t tlbEntries = 1024;
+    uint32_t tlbWays = 16;
+    Cycles tlbLatency = 8;
+    Cycles tlbWalkLatency = 80;
+    /** Issue at most one line request per cycle per bank. */
+    Cycles issueInterval = 1;
+    /** Enable stream confluence (§IV-C). */
+    bool enableConfluence = true;
+    /** Confluence block edge (2 => 2x2 tile blocks). */
+    int blockSize = 2;
+    /** Max progress difference (elements) for a merge. */
+    uint64_t mergeSlackElems = 256;
+    /** Max streams per confluence group. */
+    int maxGroupSize = 4;
+};
+
+struct SEL3Stats
+{
+    stats::Scalar configsReceived, migrationsIn, migrationsOut;
+    stats::Scalar endsReceived, creditsReceived;
+    stats::Scalar lineRequestsIssued, indirectRequestsIssued;
+    stats::Scalar confluenceMerges, confluenceRequests;
+    stats::Scalar streamsCompleted;
+    stats::Scalar tlbHits, tlbMisses;
+    stats::Scalar creditStalls;
+
+    /** Register every counter with @p g for report dumping. */
+    void
+    regStats(stats::StatGroup &g) const
+    {
+        g.regScalar("configsReceived", &configsReceived);
+        g.regScalar("migrationsIn", &migrationsIn);
+        g.regScalar("migrationsOut", &migrationsOut);
+        g.regScalar("endsReceived", &endsReceived);
+        g.regScalar("creditsReceived", &creditsReceived);
+        g.regScalar("lineRequestsIssued", &lineRequestsIssued);
+        g.regScalar("indirectRequestsIssued", &indirectRequestsIssued);
+        g.regScalar("confluenceMerges", &confluenceMerges);
+        g.regScalar("confluenceRequests", &confluenceRequests);
+        g.regScalar("streamsCompleted", &streamsCompleted);
+        g.regScalar("tlbHits", &tlbHits);
+        g.regScalar("tlbMisses", &tlbMisses);
+        g.regScalar("creditStalls", &creditStalls);
+    }
+};
+
+/** The per-bank L3 stream engine. */
+class SEL3 : public SimObject
+{
+  public:
+    /** Resolves an address-space id to the process address space. */
+    using AsResolver = std::function<mem::AddressSpace *(int)>;
+
+    SEL3(const std::string &name, EventQueue &eq, TileId tile,
+         const SEL3Config &cfg, noc::Mesh &mesh,
+         const mem::NucaMap &nuca, mem::L3Bank &bank,
+         AsResolver resolve_as);
+
+    /** Stream-management messages from the mesh. */
+    void recvConfig(const std::shared_ptr<StreamFloatMsg> &msg);
+    void recvCredit(const std::shared_ptr<StreamCreditMsg> &msg);
+    void recvEnd(const std::shared_ptr<StreamEndMsg> &msg);
+
+    SEL3Stats &stats() { return _stats; }
+    size_t numStreams() const { return _entries.size(); }
+
+    /** Dump resident stream contexts (debugging aid). */
+    void debugDump(std::FILE *f) const;
+
+  private:
+    /** One confluence-group member (the leader is members[0]). */
+    struct Member
+    {
+        GlobalStreamId gsid;
+        uint32_t gen = 0;
+        /** Absolute credit horizon for this member. */
+        uint64_t creditLimit = 0;
+        /** Elements below this were already delivered pre-merge. */
+        uint64_t joinedAt = 0;
+    };
+
+    /** A floated stream context resident at this bank. */
+    struct Entry
+    {
+        isa::StreamConfig base;
+        std::vector<FloatedIndirect> indirects;
+        int asid = 0;
+        /** Next base element to issue. */
+        uint64_t issuePos = 0;
+        /** Members: [0] is the owning stream; >1 means confluence. */
+        std::vector<Member> members;
+        /** Round-robin bookkeeping. */
+        bool stalledOnCredit = false;
+    };
+
+    using EntryList = std::list<Entry>;
+
+    EntryList::iterator findEntry(const GlobalStreamId &gsid);
+
+    /** Add a stream (config or migration); tries confluence merge. */
+    void addStream(Entry &&e);
+    bool tryMerge(const Entry &incoming);
+
+    /** Schedule the issue pump if idle. */
+    void kick();
+    void issueTick();
+    /** Try to issue one line request for @p e; true on progress. */
+    bool issueOne(Entry &e);
+
+    /** Hand the stream group over to @p next_bank (§IV-A migrate). */
+    void migrate(Entry &e, TileId next_bank);
+
+    /** Dispatch indirect requests for base elements [first, first+n). */
+    void issueIndirects(const Entry &e, uint64_t first, uint16_t count);
+
+    /** Translate with SE_L3 TLB accounting; returns extra latency. */
+    Addr translate(mem::AddressSpace &as, Addr vaddr, Cycles &penalty);
+
+    mem::AddressSpace &spaceOf(const Entry &e);
+
+    /** 2x2 block id of a tile (confluence locality constraint). */
+    int blockOf(TileId t) const;
+
+    SEL3Config _cfg;
+    TileId _tile;
+    noc::Mesh &_mesh;
+    const mem::NucaMap &_nuca;
+    mem::L3Bank &_bank;
+    AsResolver _resolveAs;
+    mem::Tlb _tlb;
+
+    /** Round-robin via rotation: the front entry is serviced next. */
+    EntryList _entries;
+    bool _pumpScheduled = false;
+
+    /** Credits/ends that arrived before their stream (migration race). */
+    std::unordered_map<GlobalStreamId, std::pair<uint32_t, uint64_t>>
+        _pendingCredits;
+    std::unordered_map<GlobalStreamId, uint32_t> _pendingEnds;
+
+    SEL3Stats _stats;
+};
+
+} // namespace flt
+} // namespace sf
+
+#endif // SF_FLT_SE_L3_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The stream-annotated instruction representation executed by cores.
+ *
+ * This is the repository's stand-in for the paper's stream-specialized
+ * X86: workload kernels (playing the role of the LLVM pass) emit a
+ * dynamic sequence of Ops with explicit dataflow (relative
+ * back-references), memory addresses, and decoupled-stream instructions
+ * (stream_cfg / stream_step / stream_end / stream_load / stream_store).
+ */
+
+#ifndef SF_ISA_OP_HH
+#define SF_ISA_OP_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace sf {
+namespace isa {
+
+/** Dynamic instruction kinds. */
+enum class OpKind : uint8_t
+{
+    IntAlu,      //!< 1-cycle integer / SIMD-int ALU
+    IntMult,     //!< 3-cycle integer multiply
+    IntDiv,      //!< 12-cycle integer divide
+    FpAlu,       //!< 2-cycle FP / SIMD-FP ALU
+    FpDiv,       //!< 12-cycle FP divide
+    Load,        //!< scalar or vector demand load
+    Store,       //!< scalar or vector demand store
+    StreamCfg,   //!< configure a group of streams (before a loop)
+    StreamStep,  //!< advance a stream by `elems` iterations
+    StreamEnd,   //!< deconstruct a stream
+    StreamLoad,  //!< consume current element(s) of a load stream
+    StreamStore, //!< provide data for current element of a store stream
+    Barrier,     //!< OpenMP-style global barrier
+    Nop,
+};
+
+/** Functional-unit classes (Table III). */
+enum class FuClass : uint8_t
+{
+    IntAlu,
+    IntMultDiv,
+    FpAlu,
+    FpDiv,
+    Mem,
+    None,
+};
+
+/** Map an op kind to the FU class that executes it. */
+constexpr FuClass
+fuClassOf(OpKind k)
+{
+    switch (k) {
+      case OpKind::IntAlu: return FuClass::IntAlu;
+      case OpKind::IntMult:
+      case OpKind::IntDiv: return FuClass::IntMultDiv;
+      case OpKind::FpAlu: return FuClass::FpAlu;
+      case OpKind::FpDiv: return FuClass::FpDiv;
+      case OpKind::Load:
+      case OpKind::Store:
+      case OpKind::StreamLoad:
+      case OpKind::StreamStore: return FuClass::Mem;
+      default: return FuClass::None;
+    }
+}
+
+/** Fixed execution latency of compute ops, in cycles (Table III). */
+constexpr Cycles
+opLatency(OpKind k)
+{
+    switch (k) {
+      case OpKind::IntAlu: return 1;
+      case OpKind::IntMult: return 3;
+      case OpKind::IntDiv: return 12;
+      case OpKind::FpAlu: return 2;
+      case OpKind::FpDiv: return 12;
+      default: return 1;
+    }
+}
+
+constexpr bool
+isMemOp(OpKind k)
+{
+    return k == OpKind::Load || k == OpKind::Store ||
+           k == OpKind::StreamLoad || k == OpKind::StreamStore;
+}
+
+constexpr bool
+isStreamOp(OpKind k)
+{
+    return k == OpKind::StreamCfg || k == OpKind::StreamStep ||
+           k == OpKind::StreamEnd || k == OpKind::StreamLoad ||
+           k == OpKind::StreamStore;
+}
+
+/** Maximum register sources per op. */
+constexpr int maxSrcs = 3;
+
+/**
+ * One dynamic instruction.
+ *
+ * Dataflow is encoded as up to three relative back-references: a src of
+ * k means "the op k positions earlier in program order". 0 means the
+ * slot is unused. This keeps ops POD and lets the OOO core track
+ * readiness with a bounded completion window.
+ */
+struct Op
+{
+    OpKind kind = OpKind::Nop;
+    uint8_t numSrcs = 0;
+    uint16_t srcs[maxSrcs] = {0, 0, 0};
+
+    /** Effective virtual address for Load/Store. */
+    Addr addr = 0;
+    /** Access size in bytes (scalar 4/8; AVX-512 vectors up to 64). */
+    uint16_t size = 0;
+    /** Stream id for stream ops. */
+    StreamId sid = invalidStream;
+    /** Elements consumed/advanced by StreamLoad/StreamStep (SIMD). */
+    uint16_t elems = 1;
+    /** Static program location; keys prefetcher training tables. */
+    uint32_t pc = 0;
+    /** For StreamCfg: index into the op source's stream-config table. */
+    int32_t cfgIdx = -1;
+    /**
+     * This access belongs to a compiler-recognizable stream pattern.
+     * Set by workload generators even in non-stream (baseline) builds,
+     * so Fig. 2a can report the stream-covered fraction of unreused
+     * cache fills.
+     */
+    bool streamEligible = false;
+
+    /** Append a dependence on the op @p dist positions back. */
+    void
+    addSrc(uint16_t dist)
+    {
+        if (numSrcs < maxSrcs && dist > 0)
+            srcs[numSrcs++] = dist;
+    }
+};
+
+} // namespace isa
+} // namespace sf
+
+#endif // SF_ISA_OP_HH

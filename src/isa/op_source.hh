@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The interface between workload kernels and cores.
+ *
+ * Each hardware thread executes the op sequence produced by one
+ * OpSource. Sources generate ops lazily in chunks so multi-million-op
+ * kernels never materialize a full trace. A chunk never crosses a
+ * Barrier op (the barrier, if any, is the last op of its chunk), which
+ * keeps the generation-time functional state consistent with
+ * synchronization (streams live in synchronization-free regions, §V-A).
+ */
+
+#ifndef SF_ISA_OP_SOURCE_HH
+#define SF_ISA_OP_SOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/op.hh"
+#include "isa/stream_pattern.hh"
+
+namespace sf {
+namespace isa {
+
+/** Lazily generated per-thread dynamic op sequence. */
+class OpSource
+{
+  public:
+    virtual ~OpSource() = default;
+
+    /**
+     * Append the next chunk of ops to @p out.
+     * @return number of ops appended; 0 means the thread is done.
+     */
+    virtual size_t refill(std::vector<Op> &out) = 0;
+
+    /** Configuration referenced by a StreamCfg op's cfgIdx. */
+    virtual const std::vector<StreamConfig> &
+    streamConfigGroup(int32_t cfg_idx) const = 0;
+};
+
+/**
+ * Helper base class for op sources: buffers emitted ops, tracks
+ * positions for dependence back-references, and owns the stream-config
+ * table. Kernel generators call emit*() from their refill().
+ */
+class OpEmitter : public OpSource
+{
+  public:
+    const std::vector<StreamConfig> &
+    streamConfigGroup(int32_t cfg_idx) const override
+    {
+        return _cfgGroups.at(static_cast<size_t>(cfg_idx));
+    }
+
+  protected:
+    /** Position (in the whole dynamic sequence) of the next op. */
+    uint64_t pos() const { return _pos; }
+
+    /** Emit an op, returning its position for later back-references. */
+    uint64_t
+    emit(std::vector<Op> &out, Op op)
+    {
+        out.push_back(op);
+        return _pos++;
+    }
+
+    /** Compute op depending on earlier positions (0 = no dep). */
+    uint64_t
+    emitCompute(std::vector<Op> &out, OpKind kind, uint64_t dep_a = 0,
+                uint64_t dep_b = 0, uint64_t dep_c = 0, uint32_t pc = 0)
+    {
+        Op op;
+        op.kind = kind;
+        op.pc = pc;
+        addDep(op, dep_a);
+        addDep(op, dep_b);
+        addDep(op, dep_c);
+        return emit(out, op);
+    }
+
+    uint64_t
+    emitLoad(std::vector<Op> &out, Addr addr, uint16_t size, uint32_t pc,
+             uint64_t addr_dep = 0)
+    {
+        Op op;
+        op.kind = OpKind::Load;
+        op.addr = addr;
+        op.size = size;
+        op.pc = pc;
+        addDep(op, addr_dep);
+        return emit(out, op);
+    }
+
+    uint64_t
+    emitStore(std::vector<Op> &out, Addr addr, uint16_t size, uint32_t pc,
+              uint64_t data_dep = 0)
+    {
+        Op op;
+        op.kind = OpKind::Store;
+        op.addr = addr;
+        op.size = size;
+        op.pc = pc;
+        addDep(op, data_dep);
+        return emit(out, op);
+    }
+
+    /** Emit stream_cfg for a group of streams configured together. */
+    uint64_t
+    emitStreamCfg(std::vector<Op> &out, std::vector<StreamConfig> group)
+    {
+        Op op;
+        op.kind = OpKind::StreamCfg;
+        op.cfgIdx = static_cast<int32_t>(_cfgGroups.size());
+        _cfgGroups.push_back(std::move(group));
+        return emit(out, op);
+    }
+
+    uint64_t
+    emitStreamLoad(std::vector<Op> &out, StreamId sid, uint16_t elems = 1,
+                   uint16_t size = 0)
+    {
+        Op op;
+        op.kind = OpKind::StreamLoad;
+        op.sid = sid;
+        op.elems = elems;
+        op.size = size;
+        return emit(out, op);
+    }
+
+    uint64_t
+    emitStreamStore(std::vector<Op> &out, StreamId sid,
+                    uint64_t data_dep = 0, uint16_t elems = 1)
+    {
+        Op op;
+        op.kind = OpKind::StreamStore;
+        op.sid = sid;
+        op.elems = elems;
+        addDep(op, data_dep);
+        return emit(out, op);
+    }
+
+    uint64_t
+    emitStreamStep(std::vector<Op> &out, StreamId sid, uint16_t elems = 1)
+    {
+        Op op;
+        op.kind = OpKind::StreamStep;
+        op.sid = sid;
+        op.elems = elems;
+        return emit(out, op);
+    }
+
+    uint64_t
+    emitStreamEnd(std::vector<Op> &out, StreamId sid)
+    {
+        Op op;
+        op.kind = OpKind::StreamEnd;
+        op.sid = sid;
+        return emit(out, op);
+    }
+
+    uint64_t
+    emitBarrier(std::vector<Op> &out)
+    {
+        Op op;
+        op.kind = OpKind::Barrier;
+        return emit(out, op);
+    }
+
+  private:
+    void
+    addDep(Op &op, uint64_t producer_pos)
+    {
+        if (producer_pos == 0)
+            return;
+        // position of the op being built is _pos
+        uint64_t dist = _pos - producer_pos;
+        if (dist > 0 && dist <= 0xffff)
+            op.addSrc(static_cast<uint16_t>(dist));
+    }
+
+    uint64_t _pos = 1; // position 0 is reserved as "no dependence"
+    std::vector<std::vector<StreamConfig>> _cfgGroups;
+};
+
+} // namespace isa
+} // namespace sf
+
+#endif // SF_ISA_OP_SOURCE_HH

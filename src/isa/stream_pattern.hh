@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Stream pattern descriptors (Table I of the paper).
+ *
+ * An affine pattern covers up to three loop levels:
+ *   addr(i) = base + i0*strd0 + i1*strd1 + i2*strd2
+ * where the linear iteration i decomposes as i0 = i % len0,
+ * i1 = (i / len0) % len1, i2 = i / (len0*len1).
+ *
+ * An indirect pattern chains on a base (index) stream:
+ *   addr(i, w) = base + value(A[i]) * scale + offset + w*elemSize
+ * covering the paper's B[A[i][j][k] + w] form (Eq. 1).
+ */
+
+#ifndef SF_ISA_STREAM_PATTERN_HH
+#define SF_ISA_STREAM_PATTERN_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sf {
+namespace isa {
+
+/** Up to 3-level affine access pattern. */
+struct AffinePattern
+{
+    Addr base = 0;
+    /** Bytes accessed per element. */
+    uint32_t elemSize = 4;
+    /** Number of live loop levels, 1..3. */
+    int nDims = 1;
+    /** Byte strides, innermost first. */
+    int64_t stride[3] = {0, 0, 0};
+    /** Trip counts, innermost first (len[d]=1 for unused dims). */
+    uint64_t len[3] = {1, 1, 1};
+
+    /** Total number of elements across all levels. */
+    uint64_t
+    totalElems() const
+    {
+        uint64_t t = 1;
+        for (int d = 0; d < nDims; ++d)
+            t *= len[d];
+        return t;
+    }
+
+    /** Address of linear iteration @p iter. */
+    Addr
+    elemAddr(uint64_t iter) const
+    {
+        Addr a = base;
+        uint64_t rem = iter;
+        for (int d = 0; d < nDims; ++d) {
+            uint64_t idx = (d == nDims - 1) ? rem : rem % len[d];
+            rem = (d == nDims - 1) ? 0 : rem / len[d];
+            a += static_cast<Addr>(
+                static_cast<int64_t>(idx) * stride[d]);
+        }
+        return a;
+    }
+
+    /**
+     * Estimated memory footprint in bytes: the span of distinct lines a
+     * full traversal touches, assuming non-overlapping levels.
+     */
+    uint64_t
+    footprintBytes() const
+    {
+        uint64_t span = elemSize;
+        for (int d = 0; d < nDims; ++d) {
+            uint64_t sp = static_cast<uint64_t>(
+                stride[d] < 0 ? -stride[d] : stride[d]);
+            if (sp == 0 || len[d] == 0)
+                continue;
+            span += sp * (len[d] - 1);
+        }
+        return span;
+    }
+
+    bool
+    operator==(const AffinePattern &o) const = default;
+};
+
+/** Indirect pattern chained on an index stream (60-bit config). */
+struct IndirectPattern
+{
+    /** Base of the target array B. */
+    Addr base = 0;
+    /** Bytes accessed per indirect element. */
+    uint32_t elemSize = 4;
+    /** Bytes of each index value in the base stream (4 or 8). */
+    uint32_t idxSize = 4;
+    /** addr = base + idx*scale + offset (+ w*elemSize for w-loop). */
+    int64_t scale = 4;
+    int64_t offset = 0;
+    /** Consecutive items per indirect location (the w loop of Eq. 1). */
+    uint32_t wLen = 1;
+
+    Addr
+    targetAddr(int64_t idx_value, uint32_t w = 0) const
+    {
+        return static_cast<Addr>(
+            static_cast<int64_t>(base) + idx_value * scale + offset +
+            static_cast<int64_t>(w) * elemSize);
+    }
+
+    bool
+    operator==(const IndirectPattern &o) const = default;
+};
+
+/**
+ * Full configuration of one stream, as carried by a stream_cfg
+ * instruction and (when floated) by the stream configuration packet.
+ */
+struct StreamConfig
+{
+    StreamId sid = invalidStream;
+    bool isStore = false;
+
+    /** Affine pattern; for indirect streams this mirrors the base. */
+    AffinePattern affine;
+
+    /** Indirection, dependent on the stream @p baseSid. */
+    bool hasIndirect = false;
+    IndirectPattern indirect;
+    StreamId baseSid = invalidStream;
+
+    /**
+     * Whether the total trip count is statically known. Unknown-length
+     * streams (data-dependent loop bounds) terminate via stream_end.
+     */
+    bool lengthKnown = true;
+
+    /** Address space id (process); confluence requires equality. */
+    int asid = 0;
+
+    /** Total elements when lengthKnown (including the w loop). */
+    uint64_t
+    totalElems() const
+    {
+        uint64_t n = affine.totalElems();
+        if (hasIndirect)
+            n *= indirect.wLen;
+        return n;
+    }
+
+    /** Estimated footprint used by the floating policy (§IV-D). */
+    uint64_t
+    footprintBytes() const
+    {
+        if (!lengthKnown)
+            return 0;
+        if (hasIndirect)
+            return totalElems() * indirect.elemSize;
+        return affine.footprintBytes();
+    }
+
+    /**
+     * Size in bits of the corresponding configuration packet fields
+     * (Table I): used by tests to check the "less than one cache line"
+     * claim and by the NoC to size config messages.
+     */
+    uint32_t
+    configBits() const
+    {
+        // cid(6) + sid(4) + base(48) + strd(3x48=144) + ptaddr(48) +
+        // iter(48) + elem size(8) + len(3x48=144) = 450 bits
+        uint32_t bits = 6 + 4 + 48 + 3 * 48 + 48 + 48 + 8 + 3 * 48;
+        if (hasIndirect) {
+            // sid(4) + base(48) + elem size(8) = 60 bits
+            bits += 4 + 48 + 8;
+        }
+        return bits;
+    }
+};
+
+} // namespace isa
+} // namespace sf
+
+#endif // SF_ISA_STREAM_PATTERN_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Memory controller / DRAM channel model.
+ *
+ * Table III: DDR3-1600, 12.8 GB/s per controller. We model each
+ * controller as a fixed access latency plus a line-granularity
+ * bandwidth horizon: at 2 GHz a 64 B line takes 10 cycles of channel
+ * time at 12.8 GB/s, so queued requests serialize at that rate.
+ */
+
+#ifndef SF_MEM_DRAM_HH
+#define SF_MEM_DRAM_HH
+
+#include <functional>
+
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace sf {
+namespace mem {
+
+struct DramConfig
+{
+    /** Closed-page access latency in cycles (~50ns end-to-end for
+     *  DDR3-1600 at 2 GHz, including controller queueing). */
+    Cycles accessLatency = 100;
+    /** Channel occupancy per 64B line in cycles (12.8 GB/s @ 2 GHz). */
+    Cycles cyclesPerLine = 10;
+};
+
+/** One memory channel attached to a corner tile. */
+class DramChannel : public SimObject
+{
+  public:
+    DramChannel(const std::string &name, EventQueue &eq,
+                const DramConfig &cfg)
+        : SimObject(name, eq), _cfg(cfg)
+    {}
+
+    /**
+     * Issue a read/write of one line; @p on_done fires when the data
+     * is available at the controller.
+     */
+    void
+    access(bool is_write, std::function<void()> on_done)
+    {
+        Tick start = std::max(curTick(), _nextFree);
+        _nextFree = start + _cfg.cyclesPerLine;
+        _busyCycles += _cfg.cyclesPerLine;
+        Tick done = start + _cfg.accessLatency;
+        if (is_write) {
+            ++writes;
+            // Writes complete at the controller; no response needed
+            // beyond bookkeeping, but honor the callback if given.
+            if (on_done)
+                eventQueue().schedule(done, std::move(on_done));
+        } else {
+            ++reads;
+            eventQueue().schedule(done, std::move(on_done));
+        }
+    }
+
+    stats::Scalar reads;
+    stats::Scalar writes;
+    uint64_t busyCycles() const { return _busyCycles; }
+
+  private:
+    DramConfig _cfg;
+    Tick _nextFree = 0;
+    uint64_t _busyCycles = 0;
+};
+
+} // namespace mem
+} // namespace sf
+
+#endif // SF_MEM_DRAM_HH

@@ -1,0 +1,615 @@
+#include "mem/l3_bank.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace sf {
+namespace mem {
+
+L3Bank::L3Bank(const std::string &name, EventQueue &eq, TileId tile,
+               const L3BankConfig &cfg, noc::Mesh &mesh,
+               const NucaMap &nuca)
+    : SimObject(name, eq), _cfg(cfg), _tile(tile), _mesh(mesh),
+      _nuca(nuca), _array(cfg.sizeBytes, cfg.ways, cfg.policy)
+{
+    // Bank-local set indexing: compact this bank's NUCA slice so its
+    // sets cover the whole address space (otherwise only 1/numTiles of
+    // the sets would ever be used).
+    uint64_t interleave = _nuca.interleaveBytes();
+    uint64_t tiles = static_cast<uint64_t>(_nuca.numTiles());
+    _array.setIndexFunction([interleave, tiles](Addr pa) {
+        uint64_t chunk = pa / interleave / tiles;
+        uint64_t line_in_chunk = (pa % interleave) / lineBytes;
+        return chunk * (interleave / lineBytes) + line_in_chunk;
+    });
+}
+
+void
+L3Bank::recvMsg(const MemMsgPtr &msg)
+{
+    switch (msg->type) {
+      case MemMsgType::InvAck:
+        handleInvAck(msg);
+        return;
+      case MemMsgType::FwdAck:
+        handleFwdAck(msg);
+        return;
+      case MemMsgType::FwdMiss:
+        handleFwdMiss(msg);
+        return;
+      case MemMsgType::MemData:
+        handleMemData(msg);
+        return;
+      default:
+        break;
+    }
+
+    // Bulk prefetch: one request message carries several consecutive
+    // line requests (§VI); expand locally at zero NoC cost.
+    if (msg->bulkLines > 1) {
+        for (uint16_t i = 0; i < msg->bulkLines; ++i) {
+            auto sub = std::make_shared<MemMsg>(*msg);
+            sub->lineAddr = msg->lineAddr + uint64_t(i) * lineBytes;
+            sub->bulkLines = 1;
+            scheduleIn(_cfg.latency, [this, sub]() { process(sub); });
+        }
+        return;
+    }
+
+    scheduleIn(_cfg.latency, [this, msg]() { process(msg); });
+}
+
+void
+L3Bank::process(const MemMsgPtr &msg)
+{
+    // Writebacks are never blocked: a racing Fwd may be waiting on the
+    // PutM data to arrive.
+    if (msg->type == MemMsgType::PutS || msg->type == MemMsgType::PutM) {
+        handlePut(msg);
+        return;
+    }
+
+    if (lineBlocked(msg->lineAddr)) {
+        _txns[msg->lineAddr].queued.push_back(msg);
+        return;
+    }
+
+    switch (msg->type) {
+      case MemMsgType::GetS:
+        handleGetS(msg);
+        break;
+      case MemMsgType::GetM:
+        handleGetM(msg);
+        break;
+      case MemMsgType::GetU:
+        handleGetU(msg);
+        break;
+      default:
+        panic("L3 %s got unexpected %s", name().c_str(),
+              memMsgName(msg->type));
+    }
+}
+
+void
+L3Bank::streamRead(StreamReadReq req)
+{
+    sf_assert(_nuca.bankOf(req.lineAddr) == _tile,
+              "stream read for a line homed elsewhere");
+    scheduleIn(_cfg.latency,
+               [this, req = std::move(req)]() mutable {
+                   processStream(std::move(req));
+               });
+}
+
+void
+L3Bank::processStream(StreamReadReq req)
+{
+    if (lineBlocked(req.lineAddr)) {
+        _txns[req.lineAddr].queued.push_back(std::move(req));
+        return;
+    }
+
+    ++_stats.requestsByClass[static_cast<size_t>(req.reqClass)];
+
+    CacheLine *line = _array.access(req.lineAddr);
+    if (line && line->owner == invalidTile) {
+        ++_stats.hits;
+        serveUncached(nullptr, nullptr, &req);
+        return;
+    }
+
+    if (line) {
+        // Owned by a private cache: forward an uncached read.
+        ++_stats.hits;
+        ++_stats.fwdRequests;
+        Txn txn;
+        txn.state = Txn::State::WaitFwdAck;
+        txn.isStream = true;
+        txn.sreq = std::move(req);
+        auto fwd = makeMemMsg(MemMsgType::FwdGetU, txn.sreq.lineAddr,
+                              _tile, line->owner, txn.sreq.dests.front());
+        fwd->stream = txn.sreq.stream;
+        fwd->streamGen = txn.sreq.gen;
+        fwd->elemIdx = txn.sreq.elemIdx;
+        fwd->elemCount = txn.sreq.elemCount;
+        fwd->dataBytes = txn.sreq.dataBytes;
+        fwd->mergedStreams = txn.sreq.merged;
+        _mesh.send(fwd);
+        _txns.emplace(txn.sreq.lineAddr, std::move(txn));
+        return;
+    }
+
+    ++_stats.misses;
+    Txn txn;
+    txn.state = Txn::State::WaitMem;
+    txn.isStream = true;
+    Addr line_addr = req.lineAddr;
+    txn.sreq = std::move(req);
+    _txns.emplace(line_addr, std::move(txn));
+    startMemFetch(line_addr);
+}
+
+void
+L3Bank::serveUncached(const Txn *txn, const MemMsgPtr &msg,
+                      const StreamReadReq *sreq)
+{
+    if (sreq) {
+        auto data = std::make_shared<MemMsg>();
+        data->type = MemMsgType::DataU;
+        data->lineAddr = sreq->lineAddr;
+        data->src = _tile;
+        data->dests = sreq->dests;
+        data->requester =
+            sreq->dests.empty() ? invalidTile : sreq->dests.front();
+        data->payloadBytes = sreq->dataBytes;
+        data->dataBytes = sreq->dataBytes;
+        data->cls = noc::FlitClass::Data;
+        data->vnet = noc::VNet::Response;
+        data->stream = sreq->stream;
+        data->streamGen = sreq->gen;
+        data->elemIdx = sreq->elemIdx;
+        data->elemCount = sreq->elemCount;
+        data->mergedStreams = sreq->merged;
+        _mesh.send(data);
+        if (sreq->onLocalData)
+            sreq->onLocalData();
+        return;
+    }
+
+    // Core-originated GetU (rare: SE_core requests racing a float).
+    auto data = makeMemMsg(MemMsgType::DataU, msg->lineAddr, _tile,
+                           msg->requester, msg->requester,
+                           msg->dataBytes);
+    data->stream = msg->stream;
+    data->streamGen = msg->streamGen;
+    data->elemIdx = msg->elemIdx;
+    data->elemCount = msg->elemCount;
+    _mesh.send(data);
+    (void)txn;
+}
+
+void
+L3Bank::serveShared(const MemMsgPtr &msg, CacheLine &line)
+{
+    if (line.sharers == 0 && line.owner == invalidTile) {
+        // Grant Exclusive; the directory remembers the E owner.
+        line.owner = msg->requester;
+        auto data = makeMemMsg(MemMsgType::DataE, msg->lineAddr, _tile,
+                               msg->requester, msg->requester);
+        _mesh.send(data);
+    } else {
+        line.sharers |= (1ULL << msg->requester);
+        auto data = makeMemMsg(MemMsgType::DataS, msg->lineAddr, _tile,
+                               msg->requester, msg->requester);
+        _mesh.send(data);
+    }
+}
+
+void
+L3Bank::handleGetS(const MemMsgPtr &msg)
+{
+    ++_stats.requestsByClass[static_cast<size_t>(msg->reqClass)];
+    CacheLine *line = _array.access(msg->lineAddr);
+
+    if (line && line->owner != invalidTile &&
+        line->owner != msg->requester) {
+        ++_stats.hits;
+        ++_stats.fwdRequests;
+        Txn txn;
+        txn.state = Txn::State::WaitFwdAck;
+        txn.req = msg;
+        auto fwd = makeMemMsg(MemMsgType::FwdGetS, msg->lineAddr, _tile,
+                              line->owner, msg->requester);
+        _mesh.send(fwd);
+        _txns.emplace(msg->lineAddr, std::move(txn));
+        return;
+    }
+
+    if (line) {
+        ++_stats.hits;
+        if (line->owner == msg->requester) {
+            // Degenerate: requester believes it missed (racing evict);
+            // clear ownership and re-grant.
+            line->owner = invalidTile;
+        }
+        serveShared(msg, *line);
+        return;
+    }
+
+    ++_stats.misses;
+    Txn txn;
+    txn.state = Txn::State::WaitMem;
+    txn.req = msg;
+    _txns.emplace(msg->lineAddr, std::move(txn));
+    startMemFetch(msg->lineAddr);
+}
+
+void
+L3Bank::handleGetM(const MemMsgPtr &msg)
+{
+    ++_stats.requestsByClass[static_cast<size_t>(msg->reqClass)];
+    CacheLine *line = _array.access(msg->lineAddr);
+
+    if (line && line->owner != invalidTile &&
+        line->owner != msg->requester) {
+        ++_stats.hits;
+        ++_stats.fwdRequests;
+        Txn txn;
+        txn.state = Txn::State::WaitFwdAck;
+        txn.req = msg;
+        auto fwd = makeMemMsg(MemMsgType::FwdGetM, msg->lineAddr, _tile,
+                              line->owner, msg->requester);
+        _mesh.send(fwd);
+        _txns.emplace(msg->lineAddr, std::move(txn));
+        return;
+    }
+
+    if (line) {
+        ++_stats.hits;
+        uint64_t others =
+            line->sharers & ~(1ULL << msg->requester);
+        if (others) {
+            Txn txn;
+            txn.state = Txn::State::WaitInvAcks;
+            txn.req = msg;
+            auto inv = std::make_shared<MemMsg>();
+            inv->type = MemMsgType::Inv;
+            inv->lineAddr = msg->lineAddr;
+            inv->src = _tile;
+            inv->requester = msg->requester;
+            inv->cls = noc::FlitClass::Control;
+            inv->vnet = noc::VNet::Control;
+            int count = 0;
+            for (TileId t = 0; t < _mesh.numTiles(); ++t) {
+                if (others & (1ULL << t)) {
+                    inv->dests.push_back(t);
+                    ++count;
+                }
+            }
+            txn.pendingAcks = count;
+            _mesh.send(inv);
+            _txns.emplace(msg->lineAddr, std::move(txn));
+            return;
+        }
+        line->sharers = 0;
+        line->owner = msg->requester;
+        auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr, _tile,
+                               msg->requester, msg->requester);
+        _mesh.send(data);
+        return;
+    }
+
+    ++_stats.misses;
+    Txn txn;
+    txn.state = Txn::State::WaitMem;
+    txn.req = msg;
+    _txns.emplace(msg->lineAddr, std::move(txn));
+    startMemFetch(msg->lineAddr);
+}
+
+void
+L3Bank::handleGetU(const MemMsgPtr &msg)
+{
+    ++_stats.requestsByClass[static_cast<size_t>(msg->reqClass)];
+    CacheLine *line = _array.access(msg->lineAddr);
+
+    if (line && line->owner == invalidTile) {
+        ++_stats.hits;
+        serveUncached(nullptr, msg, nullptr);
+        return;
+    }
+
+    if (line) {
+        ++_stats.hits;
+        ++_stats.fwdRequests;
+        Txn txn;
+        txn.state = Txn::State::WaitFwdAck;
+        txn.req = msg;
+        auto fwd = makeMemMsg(MemMsgType::FwdGetU, msg->lineAddr, _tile,
+                              line->owner, msg->requester);
+        fwd->stream = msg->stream;
+        fwd->streamGen = msg->streamGen;
+        fwd->elemIdx = msg->elemIdx;
+        fwd->elemCount = msg->elemCount;
+        fwd->dataBytes = msg->dataBytes;
+        _mesh.send(fwd);
+        _txns.emplace(msg->lineAddr, std::move(txn));
+        return;
+    }
+
+    ++_stats.misses;
+    Txn txn;
+    txn.state = Txn::State::WaitMem;
+    txn.req = msg;
+    _txns.emplace(msg->lineAddr, std::move(txn));
+    startMemFetch(msg->lineAddr);
+}
+
+void
+L3Bank::handlePut(const MemMsgPtr &msg)
+{
+    CacheLine *line = _array.probe(msg->lineAddr);
+    if (line) {
+        if (msg->type == MemMsgType::PutM) {
+            line->dirty = true;
+            if (line->owner == msg->src)
+                line->owner = invalidTile;
+        } else {
+            line->sharers &= ~(1ULL << msg->src);
+            if (line->owner == msg->src)
+                line->owner = invalidTile; // clean E eviction
+        }
+    }
+    auto ack = makeMemMsg(MemMsgType::PutAck, msg->lineAddr, _tile,
+                          msg->src, msg->src);
+    _mesh.send(ack);
+}
+
+void
+L3Bank::recallOwnedLine(Addr fill_addr)
+{
+    CacheLine *victim = nullptr;
+    _array.forEachInSet(fill_addr, [&](CacheLine &l) {
+        if (!victim && l.valid() && l.owner != invalidTile &&
+            !lineBlocked(l.tag)) {
+            victim = &l;
+        }
+    });
+    if (!victim)
+        return; // recalls already in flight for every candidate
+    ++_stats.recalls;
+    Txn txn;
+    txn.state = Txn::State::WaitInvAcks;
+    txn.isRecall = true;
+    txn.pendingAcks = 1;
+    auto inv = makeMemMsg(MemMsgType::Inv, victim->tag, _tile,
+                          victim->owner, _tile);
+    _mesh.send(inv);
+    _txns.emplace(victim->tag, std::move(txn));
+}
+
+void
+L3Bank::handleInvAck(const MemMsgPtr &msg)
+{
+    auto it = _txns.find(msg->lineAddr);
+    if (it == _txns.end())
+        return; // ack for an already-satisfied upgrade (racing PutS)
+    Txn &txn = it->second;
+    if (txn.state != Txn::State::WaitInvAcks)
+        return;
+    if (--txn.pendingAcks > 0)
+        return;
+
+    if (txn.isRecall) {
+        CacheLine *line = _array.probe(msg->lineAddr);
+        if (line) {
+            line->owner = invalidTile;
+            line->sharers = 0;
+            if (msg->payloadBytes > 0)
+                line->dirty = true; // the owner's copy was modified
+        }
+        finalize(msg->lineAddr);
+        return;
+    }
+
+    CacheLine *line = _array.probe(msg->lineAddr);
+    sf_assert(line, "line vanished during invalidation");
+    line->sharers = 0;
+    line->owner = txn.req->requester;
+    auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr, _tile,
+                           txn.req->requester, txn.req->requester);
+    _mesh.send(data);
+    finalize(msg->lineAddr);
+}
+
+void
+L3Bank::handleFwdAck(const MemMsgPtr &msg)
+{
+    auto it = _txns.find(msg->lineAddr);
+    if (it == _txns.end() || it->second.state != Txn::State::WaitFwdAck)
+        return;
+    Txn &txn = it->second;
+    CacheLine *line = _array.probe(msg->lineAddr);
+    sf_assert(line, "owned line vanished during forward");
+
+    if (txn.isStream || (txn.req && txn.req->type == MemMsgType::GetU)) {
+        // Uncached forward: owner state unchanged (Fig. 12c).
+        if (txn.isStream && txn.sreq.onLocalData)
+            txn.sreq.onLocalData();
+    } else if (txn.req->type == MemMsgType::GetS) {
+        TileId old_owner = line->owner;
+        line->owner = invalidTile;
+        line->sharers |= (1ULL << old_owner);
+        line->sharers |= (1ULL << txn.req->requester);
+        if (msg->payloadBytes > 0)
+            line->dirty = true; // owner pushed fresh data to us
+    } else if (txn.req->type == MemMsgType::GetM) {
+        line->owner = txn.req->requester;
+        line->sharers = 0;
+    }
+    finalize(msg->lineAddr);
+}
+
+void
+L3Bank::handleFwdMiss(const MemMsgPtr &msg)
+{
+    auto it = _txns.find(msg->lineAddr);
+    if (it == _txns.end() || it->second.state != Txn::State::WaitFwdAck)
+        return;
+    Txn &txn = it->second;
+    // The former owner's PutM was processed before this miss notice
+    // (in-order delivery on the mesh), so the L3 copy is current.
+    CacheLine *line = _array.probe(msg->lineAddr);
+    sf_assert(line, "FwdMiss with no resident line");
+    line->owner = invalidTile;
+
+    if (txn.isStream) {
+        serveUncached(nullptr, nullptr, &txn.sreq);
+    } else if (txn.req->type == MemMsgType::GetU) {
+        serveUncached(nullptr, txn.req, nullptr);
+    } else if (txn.req->type == MemMsgType::GetS) {
+        serveShared(txn.req, *line);
+    } else {
+        line->sharers = 0;
+        line->owner = txn.req->requester;
+        auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr, _tile,
+                               txn.req->requester, txn.req->requester);
+        _mesh.send(data);
+    }
+    finalize(msg->lineAddr);
+}
+
+void
+L3Bank::startMemFetch(Addr line_addr)
+{
+    ++_stats.memReads;
+    TileId ctrl = _nuca.memCtrlOf(line_addr);
+    auto rd = makeMemMsg(MemMsgType::MemRead, line_addr, _tile, ctrl,
+                         _tile);
+    _mesh.send(rd);
+}
+
+CacheLine *
+L3Bank::allocate(Addr line_addr)
+{
+    Eviction ev;
+    CacheLine *line = _array.fillIf(
+        line_addr, ev, [this](const CacheLine &l) {
+            // Owned lines need a recall; lines with an in-flight
+            // transaction (invalidation, forward) must stay put.
+            return l.owner == invalidTile && !lineBlocked(l.tag);
+        });
+    if (!line)
+        return nullptr;
+
+    if (ev.valid) {
+        const CacheLine &victim = ev.line;
+        if (victim.sharers) {
+            // Back-invalidate sharers (fire-and-forget; DataM always
+            // carries full data so racing upgrades stay correct).
+            ++_stats.backInvalidations;
+            auto inv = std::make_shared<MemMsg>();
+            inv->type = MemMsgType::Inv;
+            inv->lineAddr = victim.tag;
+            inv->src = _tile;
+            inv->requester = _tile;
+            inv->cls = noc::FlitClass::Control;
+            inv->vnet = noc::VNet::Control;
+            for (TileId t = 0; t < _mesh.numTiles(); ++t) {
+                if (victim.sharers & (1ULL << t))
+                    inv->dests.push_back(t);
+            }
+            _mesh.send(inv);
+        }
+        if (victim.dirty) {
+            ++_stats.memWrites;
+            TileId ctrl = _nuca.memCtrlOf(victim.tag);
+            auto wr = makeMemMsg(MemMsgType::MemWrite, victim.tag, _tile,
+                                 ctrl, _tile);
+            _mesh.send(wr);
+        }
+    }
+    line->state = LineState::Shared; // "valid" for the L3 array
+    line->dirty = false;
+    return line;
+}
+
+void
+L3Bank::handleMemData(const MemMsgPtr &msg)
+{
+    auto it = _txns.find(msg->lineAddr);
+    if (it == _txns.end() || it->second.state != Txn::State::WaitMem)
+        return;
+    Txn &txn = it->second;
+
+    CacheLine *line = _array.probe(msg->lineAddr);
+    if (!line)
+        line = allocate(msg->lineAddr);
+    if (!line) {
+        // Every way in the set is owned: recall one owner so the fill
+        // can proceed (directories must support recalls to stay
+        // inclusive), then retry.
+        ++_stats.fillRetries;
+        recallOwnedLine(msg->lineAddr);
+        auto retry = msg;
+        scheduleIn(64, [this, retry]() { handleMemData(retry); });
+        return;
+    }
+
+    if (txn.isStream) {
+        serveUncached(nullptr, nullptr, &txn.sreq);
+    } else {
+        switch (txn.req->type) {
+          case MemMsgType::GetS:
+            serveShared(txn.req, *line);
+            break;
+          case MemMsgType::GetM:
+            line->sharers = 0;
+            line->owner = txn.req->requester;
+            sendToTile(makeMemMsg(MemMsgType::DataM, msg->lineAddr,
+                                  _tile, txn.req->requester,
+                                  txn.req->requester));
+            break;
+          case MemMsgType::GetU:
+            serveUncached(nullptr, txn.req, nullptr);
+            break;
+          default:
+            panic("bad txn request type");
+        }
+    }
+    finalize(msg->lineAddr);
+}
+
+void
+L3Bank::debugDump(std::FILE *f) const
+{
+    for (const auto &[addr, txn] : _txns) {
+        std::fprintf(f,
+                     "  %s txn line=%llx state=%d isStream=%d "
+                     "pendingAcks=%d queued=%zu req=%s\n",
+                     name().c_str(), (unsigned long long)addr,
+                     (int)txn.state, txn.isStream, txn.pendingAcks,
+                     txn.queued.size(),
+                     txn.req ? memMsgName(txn.req->type) : "-");
+    }
+}
+
+void
+L3Bank::finalize(Addr line_addr)
+{
+    auto it = _txns.find(line_addr);
+    sf_assert(it != _txns.end(), "finalize without txn");
+    auto queued = std::move(it->second.queued);
+    _txns.erase(it);
+    for (auto &item : queued) {
+        if (std::holds_alternative<MemMsgPtr>(item))
+            process(std::get<MemMsgPtr>(item));
+        else
+            processStream(std::move(std::get<StreamReadReq>(item)));
+    }
+}
+
+} // namespace mem
+} // namespace sf

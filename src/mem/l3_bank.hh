@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Shared L3 cache bank with an integrated (blocking) MESI directory
+ * and the GetU uncached-read extension of Fig. 12.
+ *
+ * One bank lives on every tile; static NUCA interleaving (NucaMap)
+ * decides the home bank of each line. The bank also exposes a local
+ * issue path for the colocated SE_L3: floated streams generate
+ * requests *at this tile* on behalf of remote cores, which is exactly
+ * the request-message elimination stream floating is about.
+ */
+
+#ifndef SF_MEM_L3_BANK_HH
+#define SF_MEM_L3_BANK_HH
+
+#include <array>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "mem/mem_msg.hh"
+#include "mem/nuca.hh"
+#include "noc/mesh.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace sf {
+namespace mem {
+
+struct L3BankConfig
+{
+    uint64_t sizeBytes = 1024 * 1024;
+    uint32_t ways = 16;
+    Cycles latency = 20;
+    ReplPolicy policy = ReplPolicy::BRRIP;
+};
+
+struct L3BankStats
+{
+    stats::Scalar hits, misses;
+    stats::Scalar memReads, memWrites;
+    /** Requests by origin (Fig. 14). */
+    std::array<stats::Scalar,
+               static_cast<size_t>(ReqClass::NumClasses)> requestsByClass;
+    stats::Scalar backInvalidations;
+    stats::Scalar fwdRequests;
+    stats::Scalar fillRetries;
+    stats::Scalar recalls;
+
+    /** Register every counter with @p g for report dumping. */
+    void
+    regStats(stats::StatGroup &g) const
+    {
+        g.regScalar("hits", &hits);
+        g.regScalar("misses", &misses);
+        g.regScalar("memReads", &memReads);
+        g.regScalar("memWrites", &memWrites);
+        g.regScalar("reqCoreNormal", &requestsByClass[0]);
+        g.regScalar("reqCoreStream", &requestsByClass[1]);
+        g.regScalar("reqFloatAffine", &requestsByClass[2]);
+        g.regScalar("reqFloatIndirect", &requestsByClass[3]);
+        g.regScalar("reqFloatConfluence", &requestsByClass[4]);
+        g.regScalar("backInvalidations", &backInvalidations);
+        g.regScalar("fwdRequests", &fwdRequests);
+        g.regScalar("recalls", &recalls);
+    }
+};
+
+/**
+ * A request issued locally by the colocated SE_L3 on behalf of a
+ * remote core (or a confluence group of cores).
+ */
+struct StreamReadReq
+{
+    Addr lineAddr = 0;
+    /** Bytes to return (subline transfer for indirect streams). */
+    uint16_t dataBytes = lineBytes;
+    GlobalStreamId stream;
+    uint32_t gen = 0;
+    uint64_t elemIdx = 0;
+    uint16_t elemCount = 1;
+    /** Requesting tiles (more than one under confluence). */
+    std::vector<TileId> dests;
+    /** All merged streams covered by this request. */
+    std::vector<GlobalStreamId> merged;
+    ReqClass reqClass = ReqClass::FloatAffine;
+    /**
+     * Fired when the data is available at this bank; used by the
+     * SE_L3 to pick up indirect index values.
+     */
+    std::function<void()> onLocalData;
+};
+
+/** The banked, directory-holding shared L3. */
+class L3Bank : public SimObject
+{
+  public:
+    L3Bank(const std::string &name, EventQueue &eq, TileId tile,
+           const L3BankConfig &cfg, noc::Mesh &mesh, const NucaMap &nuca);
+
+    /** Protocol messages from the mesh. */
+    void recvMsg(const MemMsgPtr &msg);
+
+    /** Local uncached read from the colocated SE_L3. */
+    void streamRead(StreamReadReq req);
+
+    L3BankStats &stats() { return _stats; }
+    const L3BankStats &stats() const { return _stats; }
+
+    double
+    hitRate() const
+    {
+        uint64_t t = _stats.hits + _stats.misses;
+        return t ? double(_stats.hits.value()) / t : 0.0;
+    }
+
+    TileId tile() const { return _tile; }
+
+    /** Dump blocked-line transactions (debugging aid). */
+    void debugDump(std::FILE *f) const;
+
+  private:
+    /** A pending transaction blocks its line. */
+    struct Txn
+    {
+        enum class State
+        {
+            WaitMem,
+            WaitInvAcks,
+            WaitFwdAck,
+        };
+        State state = State::WaitMem;
+        /** Original request (null for local stream reads). */
+        MemMsgPtr req;
+        /** Local stream read being serviced (valid if isStream). */
+        bool isStream = false;
+        /** Recall of an owned line to free a saturated set. */
+        bool isRecall = false;
+        StreamReadReq sreq;
+        int pendingAcks = 0;
+        /** Requests that arrived while the line was blocked. */
+        std::deque<std::variant<MemMsgPtr, StreamReadReq>> queued;
+    };
+
+    /** Entry point after the bank access latency. */
+    void process(const MemMsgPtr &msg);
+    void processStream(StreamReadReq req);
+
+    void handleGetS(const MemMsgPtr &msg);
+    void handleGetM(const MemMsgPtr &msg);
+    void handleGetU(const MemMsgPtr &msg);
+    void handlePut(const MemMsgPtr &msg);
+    void handleInvAck(const MemMsgPtr &msg);
+    void handleFwdAck(const MemMsgPtr &msg);
+    void handleFwdMiss(const MemMsgPtr &msg);
+    void handleMemData(const MemMsgPtr &msg);
+
+    /** Serve a GetU/stream read that hits a directory-clean line. */
+    void serveUncached(const Txn *txn, const MemMsgPtr &msg,
+                       const StreamReadReq *sreq);
+
+    /** Respond with DataS/DataE and update the directory. */
+    void serveShared(const MemMsgPtr &msg, CacheLine &line);
+
+    /** Fetch a missing line from memory, creating a transaction. */
+    void startMemFetch(Addr line_addr);
+
+    /** Invalidate one owned line in a saturated set (recall). */
+    void recallOwnedLine(Addr fill_addr);
+
+    /**
+     * Allocate an L3 way (never evicting owned lines); back-
+     * invalidates sharers and writes back dirty victims.
+     * @return nullptr if the fill must be retried later.
+     */
+    CacheLine *allocate(Addr line_addr);
+
+    /** Finish a transaction and process queued requests. */
+    void finalize(Addr line_addr);
+
+    bool lineBlocked(Addr a) const { return _txns.count(a) != 0; }
+
+    void sendToTile(const MemMsgPtr &msg) { _mesh.send(msg); }
+
+    L3BankConfig _cfg;
+    TileId _tile;
+    noc::Mesh &_mesh;
+    const NucaMap &_nuca;
+    CacheArray _array;
+    std::unordered_map<Addr, Txn> _txns;
+    L3BankStats _stats;
+};
+
+} // namespace mem
+} // namespace sf
+
+#endif // SF_MEM_L3_BANK_HH

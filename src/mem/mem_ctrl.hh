@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory controller: the NoC endpoint at a corner tile that services
+ * MemRead / MemWrite from L3 banks through a DRAM channel.
+ */
+
+#ifndef SF_MEM_MEM_CTRL_HH
+#define SF_MEM_MEM_CTRL_HH
+
+#include "mem/dram.hh"
+#include "mem/mem_msg.hh"
+#include "noc/mesh.hh"
+#include "sim/sim_object.hh"
+
+namespace sf {
+namespace mem {
+
+/** One controller + channel pair at a mesh corner. */
+class MemCtrl : public SimObject
+{
+  public:
+    MemCtrl(const std::string &name, EventQueue &eq, TileId tile,
+            const DramConfig &cfg, noc::Mesh &mesh)
+        : SimObject(name, eq), _tile(tile), _mesh(mesh),
+          _channel(name + ".dram", eq, cfg)
+    {}
+
+    void
+    recvMsg(const MemMsgPtr &msg)
+    {
+        if (msg->type == MemMsgType::MemWrite) {
+            _channel.access(true, nullptr);
+            return;
+        }
+        sf_assert(msg->type == MemMsgType::MemRead,
+                  "MemCtrl got %s", memMsgName(msg->type));
+        _channel.access(false, [this, msg]() {
+            auto data = makeMemMsg(MemMsgType::MemData, msg->lineAddr,
+                                   _tile, msg->src, msg->requester);
+            _mesh.send(data);
+        });
+    }
+
+    DramChannel &channel() { return _channel; }
+
+  private:
+    TileId _tile;
+    noc::Mesh &_mesh;
+    DramChannel _channel;
+};
+
+} // namespace mem
+} // namespace sf
+
+#endif // SF_MEM_MEM_CTRL_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Static-NUCA address interleaving across L3 banks and the memory
+ * controller map (Table III: 64 B default interleave; SF uses 1 kB;
+ * Fig. 17 sweeps 64 B..4 kB. Memory controllers sit at the 4 corners).
+ */
+
+#ifndef SF_MEM_NUCA_HH
+#define SF_MEM_NUCA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sf {
+namespace mem {
+
+/** Maps physical addresses to L3 bank tiles and memory controllers. */
+class NucaMap
+{
+  public:
+    NucaMap(int nx, int ny, uint32_t interleave_bytes)
+        : _numTiles(nx * ny), _interleave(interleave_bytes)
+    {
+        sf_assert(interleave_bytes >= lineBytes &&
+                      (interleave_bytes & (interleave_bytes - 1)) == 0,
+                  "interleave must be a power-of-two >= line size");
+        // Memory controllers at the four mesh corners.
+        _memCtrls = {0, nx - 1, (ny - 1) * nx, ny * nx - 1};
+        if (_numTiles == 1)
+            _memCtrls = {0};
+    }
+
+    /** L3 bank (tile id) holding @p paddr. */
+    TileId
+    bankOf(Addr paddr) const
+    {
+        return static_cast<TileId>((paddr / _interleave) %
+                                   static_cast<uint64_t>(_numTiles));
+    }
+
+    /**
+     * First address after @p paddr that maps to a different bank
+     * (stream migration boundary).
+     */
+    Addr
+    bankBoundary(Addr paddr) const
+    {
+        return (paddr / _interleave + 1) * _interleave;
+    }
+
+    /** Memory controller tile servicing @p paddr (page interleaved). */
+    TileId
+    memCtrlOf(Addr paddr) const
+    {
+        size_t idx = static_cast<size_t>((paddr >> 12) % _memCtrls.size());
+        return _memCtrls[idx];
+    }
+
+    const std::vector<TileId> &memCtrls() const { return _memCtrls; }
+    uint32_t interleaveBytes() const { return _interleave; }
+    int numTiles() const { return _numTiles; }
+
+  private:
+    int _numTiles;
+    uint32_t _interleave;
+    std::vector<TileId> _memCtrls;
+};
+
+} // namespace mem
+} // namespace sf
+
+#endif // SF_MEM_NUCA_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Set-associative TLB model with a two-level lookup helper.
+ *
+ * Table III: L1 D-TLB 64-entry / 8-way; L2 TLB 2k-entry (1k for the
+ * SE_L3 TLB) / 16-way with 8-cycle latency. Misses cost a fixed page
+ * walk penalty (the walker itself is not modelled at cache granularity).
+ */
+
+#ifndef SF_MEM_TLB_HH
+#define SF_MEM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/phys_mem.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace sf {
+namespace mem {
+
+/** One set-associative TLB level with true-LRU replacement. */
+class Tlb
+{
+  public:
+    Tlb(uint32_t entries, uint32_t ways)
+        : _ways(ways), _sets(entries / ways),
+          _tags(entries, invalidAddr), _lru(entries, 0)
+    {
+        sf_assert(_sets * ways == entries, "TLB entries not divisible");
+    }
+
+    /** Probe and update LRU on hit. */
+    bool
+    lookup(Addr vaddr)
+    {
+        Addr vpn = vaddr / pageBytes;
+        size_t set = static_cast<size_t>(vpn % _sets);
+        for (uint32_t w = 0; w < _ways; ++w) {
+            size_t idx = set * _ways + w;
+            if (_tags[idx] == vpn) {
+                _lru[idx] = ++_clock;
+                ++hits;
+                return true;
+            }
+        }
+        ++misses;
+        return false;
+    }
+
+    /** Install a translation, evicting LRU. */
+    void
+    insert(Addr vaddr)
+    {
+        Addr vpn = vaddr / pageBytes;
+        size_t set = static_cast<size_t>(vpn % _sets);
+        size_t victim = set * _ways;
+        uint64_t oldest = ~0ULL;
+        for (uint32_t w = 0; w < _ways; ++w) {
+            size_t idx = set * _ways + w;
+            if (_tags[idx] == vpn)
+                return; // already present
+            if (_lru[idx] < oldest) {
+                oldest = _lru[idx];
+                victim = idx;
+            }
+        }
+        _tags[victim] = vpn;
+        _lru[victim] = ++_clock;
+    }
+
+    void
+    flush()
+    {
+        std::fill(_tags.begin(), _tags.end(), invalidAddr);
+    }
+
+    stats::Scalar hits;
+    stats::Scalar misses;
+
+  private:
+    uint32_t _ways;
+    uint32_t _sets;
+    std::vector<Addr> _tags;
+    std::vector<uint64_t> _lru;
+    uint64_t _clock = 0;
+};
+
+/**
+ * Two-level TLB hierarchy front-end: returns the translation latency in
+ * cycles and performs the functional translation via an AddressSpace.
+ */
+class TlbHierarchy
+{
+  public:
+    TlbHierarchy(uint32_t l1_entries, uint32_t l1_ways,
+                 uint32_t l2_entries, uint32_t l2_ways,
+                 Cycles l2_latency, Cycles walk_latency)
+        : _l1(l1_entries, l1_ways), _l2(l2_entries, l2_ways),
+          _l2Latency(l2_latency), _walkLatency(walk_latency)
+    {}
+
+    /**
+     * Translate @p vaddr through @p as, updating TLB state.
+     * @param[out] latency extra cycles charged for the translation.
+     * @return physical address.
+     */
+    Addr
+    translate(AddressSpace &as, Addr vaddr, Cycles &latency)
+    {
+        if (_l1.lookup(vaddr)) {
+            latency = 0;
+        } else if (_l2.lookup(vaddr)) {
+            latency = _l2Latency;
+            _l1.insert(vaddr);
+        } else {
+            latency = _l2Latency + _walkLatency;
+            _l2.insert(vaddr);
+            _l1.insert(vaddr);
+        }
+        return as.translate(vaddr);
+    }
+
+    Tlb &l1() { return _l1; }
+    Tlb &l2() { return _l2; }
+
+  private:
+    Tlb _l1;
+    Tlb _l2;
+    Cycles _l2Latency;
+    Cycles _walkLatency;
+};
+
+} // namespace mem
+} // namespace sf
+
+#endif // SF_MEM_TLB_HH

@@ -1,0 +1,158 @@
+#include "noc/mesh.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace sf {
+namespace noc {
+
+Mesh::Mesh(EventQueue &eq, const MeshConfig &config)
+    : SimObject("mesh", eq), _cfg(config),
+      _sinks(static_cast<size_t>(config.nx * config.ny)),
+      _links(static_cast<size_t>(config.nx * config.ny) * 4),
+      _startTick(eq.curTick())
+{
+    sf_assert(config.nx > 0 && config.ny > 0, "empty mesh");
+    sf_assert(config.linkBits >= 8, "link too narrow");
+}
+
+void
+Mesh::bindSink(TileId tile, Sink sink)
+{
+    sf_assert(tile >= 0 && tile < numTiles(), "bad tile id %d", tile);
+    _sinks[static_cast<size_t>(tile)] = std::move(sink);
+}
+
+int
+Mesh::hopDistance(TileId a, TileId b) const
+{
+    return std::abs(xOf(a) - xOf(b)) + std::abs(yOf(a) - yOf(b));
+}
+
+double
+Mesh::linkUtilization() const
+{
+    Tick elapsed = curTick() - _startTick;
+    if (elapsed == 0)
+        return 0.0;
+    // Only count interior links that exist (edge routers have fewer).
+    uint64_t busy = 0;
+    uint64_t live_links = 0;
+    for (TileId t = 0; t < numTiles(); ++t) {
+        for (int d = 0; d < 4; ++d) {
+            if (neighbor(t, d) == invalidTile)
+                continue;
+            ++live_links;
+            busy += _links[static_cast<size_t>(t) * 4 +
+                           static_cast<size_t>(d)].busyCycles;
+        }
+    }
+    if (live_links == 0)
+        return 0.0;
+    return static_cast<double>(busy) /
+           (static_cast<double>(live_links) * elapsed);
+}
+
+void
+Mesh::send(const MsgPtr &msg)
+{
+    sf_assert(!msg->dests.empty(), "message with no destination");
+    uint32_t flits = flitsOf(msg->payloadBytes);
+    auto cls = static_cast<size_t>(msg->cls);
+    _traffic.flitsInjected[cls] += flits;
+    ++_traffic.packets[cls];
+    // Injection passes through the local router pipeline once.
+    hop(msg, msg->src, msg->dests, flits);
+}
+
+int
+Mesh::routeDir(TileId at, TileId dest) const
+{
+    int ax = xOf(at), ay = yOf(at);
+    int dx = xOf(dest), dy = yOf(dest);
+    if (dx > ax)
+        return East;
+    if (dx < ax)
+        return West;
+    if (dy > ay)
+        return South;
+    if (dy < ay)
+        return North;
+    return -1;
+}
+
+TileId
+Mesh::neighbor(TileId at, int dir) const
+{
+    int x = xOf(at), y = yOf(at);
+    switch (dir) {
+      case East: return x + 1 < _cfg.nx ? tileAt(x + 1, y) : invalidTile;
+      case West: return x > 0 ? tileAt(x - 1, y) : invalidTile;
+      case South: return y + 1 < _cfg.ny ? tileAt(x, y + 1) : invalidTile;
+      case North: return y > 0 ? tileAt(x, y - 1) : invalidTile;
+      default: return invalidTile;
+    }
+}
+
+Mesh::Link &
+Mesh::linkFrom(TileId at, int dir)
+{
+    return _links[static_cast<size_t>(at) * 4 + static_cast<size_t>(dir)];
+}
+
+void
+Mesh::hop(const MsgPtr &msg, TileId at, std::vector<TileId> dests,
+          uint32_t flits)
+{
+    // Split destinations by output direction (multicast tree branch).
+    std::map<int, std::vector<TileId>> by_dir;
+    bool local = false;
+    for (TileId d : dests) {
+        int dir = routeDir(at, d);
+        if (dir < 0)
+            local = true;
+        else
+            by_dir[dir].push_back(d);
+    }
+
+    if (local) {
+        // Eject through the local port after the router pipeline.
+        scheduleIn(_cfg.routerLatency,
+                   [this, msg, at]() {
+                       auto &sink = _sinks[static_cast<size_t>(at)];
+                       sf_assert(static_cast<bool>(sink),
+                                 "no sink bound on tile %d", at);
+                       sink(msg);
+                   },
+                   EventPriority::Delivery);
+    }
+
+    for (auto &[dir, sub_dests] : by_dir) {
+        TileId next = neighbor(at, dir);
+        sf_assert(next != invalidTile, "X-Y routing fell off the mesh");
+
+        Link &link = linkFrom(at, dir);
+        // Router pipeline, then wait for the link, then serialize.
+        Tick ready = curTick() + _cfg.routerLatency;
+        Tick start = std::max(ready, link.nextFree);
+        Tick depart = start + flits; // 1 flit per cycle serialization
+        link.nextFree = depart;
+        link.busyCycles += flits;
+        _traffic.linkBusyCycles += flits;
+        _traffic.flitHops[static_cast<size_t>(msg->cls)] += flits;
+
+        Tick arrive = depart + _cfg.linkLatency;
+        auto moved = std::move(sub_dests);
+        eventQueue().schedule(
+            arrive,
+            [this, msg, next, moved, flits]() {
+                hop(msg, next, moved, flits);
+            },
+            EventPriority::Delivery);
+    }
+}
+
+} // namespace noc
+} // namespace sf

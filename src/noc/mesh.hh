@@ -1,0 +1,145 @@
+/**
+ * @file
+ * 2D mesh on-chip network with X-Y dimension-ordered routing.
+ *
+ * Modeling approach: packet-granularity hop events. Each directed link
+ * has a serialization horizon (`nextFree`); a packet of F flits holds
+ * the link for F cycles, so back-to-back packets queue and contention /
+ * utilization emerge naturally. Router pipeline depth and link latency
+ * match Table III (5-stage router, 1-cycle link). Multicast packets are
+ * replicated only at tree branch points, so flit-hop accounting reflects
+ * the multicast savings stream confluence exploits.
+ *
+ * Relative to a flit-level Garnet this abstracts wormhole flow control
+ * (buffers are unbounded), which preserves bandwidth and latency
+ * behaviour at our utilization levels while keeping simulation fast;
+ * see DESIGN.md.
+ */
+
+#ifndef SF_NOC_MESH_HH
+#define SF_NOC_MESH_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "noc/message.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace sf {
+namespace noc {
+
+/** Configuration of the mesh (Table III defaults). */
+struct MeshConfig
+{
+    int nx = 8;
+    int ny = 8;
+    /** Link width in bits (128 / 256 / 512 evaluated in Fig. 16). */
+    uint32_t linkBits = 256;
+    /** Router pipeline depth in cycles. */
+    Cycles routerLatency = 5;
+    /** Link traversal latency in cycles. */
+    Cycles linkLatency = 1;
+    /** Packet header size in bytes. */
+    uint32_t headerBytes = 8;
+};
+
+/** Per-class traffic statistics. */
+struct TrafficStats
+{
+    /** Flits injected, by class. */
+    std::array<uint64_t, 3> flitsInjected = {0, 0, 0};
+    /** Sum over flits of hops traveled, by class (Fig. 15 metric). */
+    std::array<uint64_t, 3> flitHops = {0, 0, 0};
+    /** Packets injected, by class. */
+    std::array<uint64_t, 3> packets = {0, 0, 0};
+    /** Total cycles any link was busy (for utilization). */
+    uint64_t linkBusyCycles = 0;
+
+    uint64_t
+    totalFlitHops() const
+    {
+        return flitHops[0] + flitHops[1] + flitHops[2];
+    }
+};
+
+/**
+ * The mesh network. Tiles bind a sink callback; senders call send().
+ */
+class Mesh : public SimObject
+{
+  public:
+    using Sink = std::function<void(const MsgPtr &)>;
+
+    Mesh(EventQueue &eq, const MeshConfig &config);
+
+    /** Register the receiver for tile @p tile. */
+    void bindSink(TileId tile, Sink sink);
+
+    /** Inject a message; it is delivered to every tile in msg->dests. */
+    void send(const MsgPtr &msg);
+
+    int numTiles() const { return _cfg.nx * _cfg.ny; }
+    const MeshConfig &config() const { return _cfg; }
+
+    /** Number of flits a message of this payload occupies. */
+    uint32_t
+    flitsOf(uint32_t payload_bytes) const
+    {
+        uint32_t bits = (_cfg.headerBytes + payload_bytes) * 8;
+        uint32_t flit_bits = _cfg.linkBits;
+        return (bits + flit_bits - 1) / flit_bits;
+    }
+
+    /** Manhattan hop distance between two tiles. */
+    int hopDistance(TileId a, TileId b) const;
+
+    const TrafficStats &traffic() const { return _traffic; }
+
+    /**
+     * Average link utilization: busy link-cycles over total
+     * link-cycles elapsed since construction.
+     */
+    double linkUtilization() const;
+
+    int xOf(TileId t) const { return t % _cfg.nx; }
+    int yOf(TileId t) const { return t / _cfg.nx; }
+    TileId tileAt(int x, int y) const { return y * _cfg.nx + x; }
+
+  private:
+    /** Directed link id: from router r in direction d (0..3 = E,W,N,S). */
+    struct Link
+    {
+        Tick nextFree = 0;
+        uint64_t busyCycles = 0;
+    };
+
+    enum Dir : int { East = 0, West = 1, North = 2, South = 3 };
+
+    /** Deliver one (possibly multicast) packet one hop further. */
+    void hop(const MsgPtr &msg, TileId at, std::vector<TileId> dests,
+             uint32_t flits);
+
+    /** Next output direction toward @p dest under X-Y routing; -1 if
+     *  local. */
+    int routeDir(TileId at, TileId dest) const;
+
+    TileId neighbor(TileId at, int dir) const;
+
+    Link &linkFrom(TileId at, int dir);
+
+    MeshConfig _cfg;
+    std::vector<Sink> _sinks;
+    /** numTiles x 4 directed links. */
+    std::vector<Link> _links;
+    TrafficStats _traffic;
+    Tick _startTick;
+};
+
+} // namespace noc
+} // namespace sf
+
+#endif // SF_NOC_MESH_HH

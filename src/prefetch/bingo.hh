@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Bingo-style spatial data prefetcher [Bakhshalipour et al., HPCA'19]
+ * (Table III: 8 kB pattern history table, 2 kB regions).
+ *
+ * Bingo predicts the spatial footprint of a region from history,
+ * indexed by a long event (PC+Address) with fallback to a short event
+ * (PC+Offset). On the first (trigger) access to a region it replays
+ * the predicted footprint; when a region's generation ends, the
+ * observed footprint is stored in the PHT under both events.
+ */
+
+#ifndef SF_PREFETCH_BINGO_HH
+#define SF_PREFETCH_BINGO_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/priv_cache.hh"
+#include "sim/stats.hh"
+
+namespace sf {
+namespace prefetch {
+
+struct BingoConfig
+{
+    uint32_t regionBytes = 2048;
+    /** PHT capacity in entries (8 kB / ~8 B per entry). */
+    size_t phtEntries = 1024;
+    /** Max tracked active region generations. */
+    size_t activeRegions = 64;
+    int fillLevel = 1;
+};
+
+/** The spatial footprint of one region generation. */
+class BingoPrefetcher : public mem::PrefetchObserverIf
+{
+  public:
+    BingoPrefetcher(mem::PrivCache &cache, const BingoConfig &cfg)
+        : _cache(cache), _cfg(cfg),
+          _linesPerRegion(cfg.regionBytes / lineBytes)
+    {}
+
+    void
+    observe(const DemandInfo &info) override
+    {
+        Addr region = info.paddr & ~static_cast<Addr>(
+            _cfg.regionBytes - 1);
+        uint32_t offset = static_cast<uint32_t>(
+            (info.paddr - region) / lineBytes);
+
+        auto it = _active.find(region);
+        if (it != _active.end()) {
+            it->second.footprint |= (1ULL << offset);
+            return;
+        }
+
+        // Trigger access: start a generation and replay a prediction.
+        if (_active.size() >= _cfg.activeRegions)
+            retireOldest();
+        Gen gen;
+        gen.triggerPc = info.pc;
+        gen.triggerOffset = offset;
+        gen.footprint = (1ULL << offset);
+        _lru.push_back(region);
+        gen.lruIt = std::prev(_lru.end());
+        _active.emplace(region, gen);
+
+        uint64_t predicted = 0;
+        auto lit = _pht.find(longEvent(info.pc, region, offset));
+        if (lit != _pht.end()) {
+            predicted = lit->second;
+            ++longHits;
+        } else {
+            auto sit = _pht.find(shortEvent(info.pc, offset));
+            if (sit != _pht.end()) {
+                predicted = sit->second;
+                ++shortHits;
+            }
+        }
+
+        predicted &= ~(1ULL << offset); // demand covers the trigger
+        for (uint32_t b = 0; b < _linesPerRegion; ++b) {
+            if (!(predicted & (1ULL << b)))
+                continue;
+            ++issued;
+            mem::Access a;
+            a.kind = mem::AccessKind::Prefetch;
+            a.paddr = region + static_cast<Addr>(b) * lineBytes;
+            a.vaddr = a.paddr;
+            a.size = 4;
+            a.pc = info.pc;
+            a.prefetchLevel = _cfg.fillLevel;
+            _cache.access(std::move(a));
+        }
+    }
+
+    stats::Scalar issued, longHits, shortHits;
+
+  private:
+    struct Gen
+    {
+        uint32_t triggerPc = 0;
+        uint32_t triggerOffset = 0;
+        uint64_t footprint = 0;
+        std::list<Addr>::iterator lruIt;
+    };
+
+    uint64_t
+    longEvent(uint32_t pc, Addr region, uint32_t offset) const
+    {
+        // PC+Address: identifies the exact trigger block.
+        return (static_cast<uint64_t>(pc) << 32) ^
+               (region / _cfg.regionBytes * 64 + offset) ^
+               0x8000000000000000ULL;
+    }
+
+    uint64_t
+    shortEvent(uint32_t pc, uint32_t offset) const
+    {
+        return (static_cast<uint64_t>(pc) << 8) ^ offset;
+    }
+
+    void
+    retireOldest()
+    {
+        Addr region = _lru.front();
+        _lru.pop_front();
+        auto it = _active.find(region);
+        if (it == _active.end())
+            return;
+        const Gen &gen = it->second;
+        // Learn under both events; bound the PHT size crudely (random
+        // replacement via clear once over capacity).
+        if (_pht.size() > _cfg.phtEntries * 2)
+            _pht.clear();
+        _pht[longEvent(gen.triggerPc, region, gen.triggerOffset)] =
+            gen.footprint;
+        _pht[shortEvent(gen.triggerPc, gen.triggerOffset)] =
+            gen.footprint;
+        _active.erase(it);
+    }
+
+    mem::PrivCache &_cache;
+    BingoConfig _cfg;
+    uint32_t _linesPerRegion;
+    std::unordered_map<Addr, Gen> _active;
+    std::list<Addr> _lru;
+    std::unordered_map<uint64_t, uint64_t> _pht;
+};
+
+} // namespace prefetch
+} // namespace sf
+
+#endif // SF_PREFETCH_BINGO_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Deterministic global event queue.
+ *
+ * All timing in the simulator is expressed as callbacks scheduled at a
+ * future tick. Events scheduled at the same tick execute in ascending
+ * (priority, insertion-sequence) order, which makes every simulation
+ * fully deterministic and reproducible.
+ */
+
+#ifndef SF_SIM_EVENT_QUEUE_HH
+#define SF_SIM_EVENT_QUEUE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sf {
+
+/** Priorities for same-tick ordering. Lower runs first. */
+enum class EventPriority : int32_t
+{
+    /** Message delivery into component queues. */
+    Delivery = 0,
+    /** Default component work. */
+    Default = 10,
+    /** Per-cycle component ticks (CPU, SE, router pipelines). */
+    ClockTick = 20,
+    /** End-of-cycle bookkeeping / statistics. */
+    Stat = 30,
+};
+
+/**
+ * The global event queue. One instance drives an entire simulated system.
+ */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+    using EventId = uint64_t;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated tick (cycle). */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p fn to run at absolute tick @p when.
+     * @return an id usable with deschedule().
+     */
+    EventId
+    schedule(Tick when, Handler fn,
+             EventPriority prio = EventPriority::Default)
+    {
+        sf_assert(when >= _curTick,
+                  "scheduling in the past: %llu < %llu",
+                  (unsigned long long)when, (unsigned long long)_curTick);
+        EventId id = _nextSeq++;
+        _heap.push(Entry{when, static_cast<int32_t>(prio), id,
+                         std::move(fn)});
+        ++_numPending;
+        return id;
+    }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventId
+    scheduleIn(Cycles delay, Handler fn,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(_curTick + delay, std::move(fn), prio);
+    }
+
+    /**
+     * Cancel a previously scheduled event. Lazy: the entry stays in the
+     * heap but is skipped when popped.
+     */
+    void
+    deschedule(EventId id)
+    {
+        _cancelled.insert(id);
+        sf_assert(_numPending > 0, "descheduling with no pending events");
+        --_numPending;
+    }
+
+    /** True when no live events remain. */
+    bool empty() const { return _numPending == 0; }
+
+    /** Number of live (non-cancelled) pending events. */
+    uint64_t numPending() const { return _numPending; }
+
+    /**
+     * Execute events until the queue is empty or @p limit is reached.
+     * @return the tick after the last executed event.
+     */
+    Tick
+    run(Tick limit = maxTick)
+    {
+        while (!_heap.empty()) {
+            const Entry &top = _heap.top();
+            if (isCancelled(top.id)) {
+                popCancelled(top.id);
+                _heap.pop();
+                continue;
+            }
+            if (top.when > limit) {
+                break;
+            }
+            sf_assert(top.when >= _curTick, "event queue went backwards");
+            _curTick = top.when;
+            Handler fn = std::move(_heap.top().fn);
+            _heap.pop();
+            --_numPending;
+            ++_numExecuted;
+            fn();
+        }
+        return _curTick;
+    }
+
+    /** Execute exactly one event; @return false if the queue is empty. */
+    bool
+    step()
+    {
+        while (!_heap.empty()) {
+            const Entry &top = _heap.top();
+            if (isCancelled(top.id)) {
+                popCancelled(top.id);
+                _heap.pop();
+                continue;
+            }
+            _curTick = top.when;
+            Handler fn = std::move(_heap.top().fn);
+            _heap.pop();
+            --_numPending;
+            ++_numExecuted;
+            fn();
+            return true;
+        }
+        return false;
+    }
+
+    /** Total events executed so far (for reporting / debugging). */
+    uint64_t numExecuted() const { return _numExecuted; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int32_t prio;
+        EventId id;
+        mutable Handler fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return id > o.id;
+        }
+    };
+
+    bool
+    isCancelled(EventId id) const
+    {
+        return _cancelled.find(id) != _cancelled.end();
+    }
+
+    void popCancelled(EventId id) { _cancelled.erase(id); }
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        _heap;
+    /** Ids of descheduled events, skipped when they reach the top. */
+    std::unordered_set<EventId> _cancelled;
+    Tick _curTick = 0;
+    EventId _nextSeq = 0;
+    uint64_t _numPending = 0;
+    uint64_t _numExecuted = 0;
+};
+
+} // namespace sf
+
+#endif // SF_SIM_EVENT_QUEUE_HH

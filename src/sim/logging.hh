@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's base/logging.hh.
+ *
+ * panic()  - the simulator itself is broken; aborts.
+ * fatal()  - the user configuration is invalid; exits cleanly.
+ * warn()   - something works well enough but deserves attention.
+ * inform() - status message.
+ */
+
+#ifndef SF_SIM_LOGGING_HH
+#define SF_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace sf {
+
+/** Thrown by fatal() so tests can assert on bad-config handling. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Thrown by panic() so tests can assert on invariant violations. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+namespace detail {
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort via exception.
+ * Use for conditions that must never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    std::string msg = detail::formatMessage(fmt, args...);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and terminate via exception.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    std::string msg = detail::formatMessage(fmt, args...);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    std::string msg = detail::formatMessage(fmt, args...);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    std::string msg = detail::formatMessage(fmt, args...);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+/** panic() when a condition does not hold. */
+#define sf_assert(cond, fmt, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::sf::panic("assertion '" #cond "' failed: " fmt,              \
+                        ##__VA_ARGS__);                                    \
+        }                                                                  \
+    } while (0)
+
+} // namespace sf
+
+#endif // SF_SIM_LOGGING_HH

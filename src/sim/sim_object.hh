@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Base class for named, clocked simulation components.
+ */
+
+#ifndef SF_SIM_SIM_OBJECT_HH
+#define SF_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace sf {
+
+/**
+ * A named component bound to the global event queue. All timed
+ * components in the simulator (caches, routers, cores, stream engines)
+ * derive from SimObject and express their behaviour as scheduled
+ * callbacks.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : _name(std::move(name)), _eq(eq)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    Tick curTick() const { return _eq.curTick(); }
+    EventQueue &eventQueue() { return _eq; }
+
+  protected:
+    /** Schedule a member callback @p delay cycles from now. */
+    EventQueue::EventId
+    scheduleIn(Cycles delay, EventQueue::Handler fn,
+               EventPriority prio = EventPriority::Default)
+    {
+        return _eq.scheduleIn(delay, std::move(fn), prio);
+    }
+
+  private:
+    std::string _name;
+    EventQueue &_eq;
+};
+
+} // namespace sf
+
+#endif // SF_SIM_SIM_OBJECT_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components own Scalar / Formula-style statistics registered with a
+ * StatGroup; a SimResults-style consumer can walk the registry or read
+ * individual counters directly. This is a deliberately small subset of
+ * gem5's stats package: scalars, averages, and histograms.
+ */
+
+#ifndef SF_SIM_STATS_HH
+#define SF_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sf {
+namespace stats {
+
+/** A monotonically increasing 64-bit counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(uint64_t v) { _value += v; return *this; }
+    void reset() { _value = 0; }
+
+    uint64_t value() const { return _value; }
+    operator uint64_t() const { return _value; }
+
+  private:
+    uint64_t _value = 0;
+};
+
+/** Running average of submitted samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    void reset() { _sum = 0; _count = 0; }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+
+  private:
+    double _sum = 0;
+    uint64_t _count = 0;
+};
+
+/** Fixed-bucket histogram over [0, max) plus an overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram(uint64_t bucket_width = 1, size_t num_buckets = 16)
+        : _width(bucket_width ? bucket_width : 1),
+          _buckets(num_buckets + 1, 0)
+    {}
+
+    void
+    sample(uint64_t v)
+    {
+        size_t idx = v / _width;
+        if (idx >= _buckets.size() - 1)
+            idx = _buckets.size() - 1;
+        ++_buckets[idx];
+        ++_count;
+        _sum += v;
+    }
+
+    uint64_t count() const { return _count; }
+    double mean() const { return _count ? double(_sum) / _count : 0.0; }
+    const std::vector<uint64_t> &buckets() const { return _buckets; }
+    uint64_t bucketWidth() const { return _width; }
+
+  private:
+    uint64_t _width;
+    std::vector<uint64_t> _buckets;
+    uint64_t _count = 0;
+    uint64_t _sum = 0;
+};
+
+/**
+ * A named collection of statistics. Components register their counters
+ * so a report can be emitted without each experiment hand-walking
+ * component internals.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    void
+    regScalar(const std::string &stat_name, const Scalar *stat)
+    {
+        _scalars.emplace(stat_name, stat);
+    }
+
+    void
+    regAverage(const std::string &stat_name, const Average *stat)
+    {
+        _averages.emplace(stat_name, stat);
+    }
+
+    const std::string &name() const { return _name; }
+
+    /** Look up a scalar by name; nullptr when missing. */
+    const Scalar *
+    findScalar(const std::string &stat_name) const
+    {
+        auto it = _scalars.find(stat_name);
+        return it == _scalars.end() ? nullptr : it->second;
+    }
+
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[n, s] : _scalars)
+            os << _name << "." << n << " " << s->value() << "\n";
+        for (const auto &[n, a] : _averages)
+            os << _name << "." << n << " " << a->mean()
+               << " (n=" << a->count() << ")\n";
+    }
+
+  private:
+    std::string _name;
+    std::map<std::string, const Scalar *> _scalars;
+    std::map<std::string, const Average *> _averages;
+};
+
+} // namespace stats
+} // namespace sf
+
+#endif // SF_SIM_STATS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Stream history table (Table II of the paper).
+ *
+ * SE_core records each stream's runtime behaviour - requests issued,
+ * private-cache misses, reuses of stream-filled lines, and aliasing
+ * stores - to decide when to float a stream whose length is unknown
+ * (§IV-D). The table is indexed by static stream id, so history
+ * persists across reconfigurations of the same loop.
+ */
+
+#ifndef SF_STREAM_HISTORY_HH
+#define SF_STREAM_HISTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace sf {
+namespace stream {
+
+/** One row of the stream history table. */
+struct StreamHistory
+{
+    uint64_t requests = 0; //!< stream fetch requests sent
+    uint64_t misses = 0;   //!< private cache misses among them
+    uint64_t reuses = 0;   //!< reuses of lines this stream brought in
+    bool aliased = false;  //!< a store aliased this stream
+};
+
+/** The per-core table. */
+class StreamHistoryTable
+{
+  public:
+    StreamHistory &row(StreamId sid) { return _rows[sid]; }
+
+    const StreamHistory *
+    find(StreamId sid) const
+    {
+        auto it = _rows.find(sid);
+        return it == _rows.end() ? nullptr : &it->second;
+    }
+
+    void clear() { _rows.clear(); }
+
+  private:
+    std::unordered_map<StreamId, StreamHistory> _rows;
+};
+
+} // namespace stream
+} // namespace sf
+
+#endif // SF_STREAM_HISTORY_HH

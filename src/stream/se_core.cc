@@ -1,0 +1,684 @@
+#include "stream/se_core.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sf {
+namespace stream {
+
+SECore::SECore(const std::string &name, EventQueue &eq, TileId tile,
+               const SECoreConfig &cfg, mem::PrivCache &cache,
+               mem::TlbHierarchy &tlb, mem::AddressSpace &as)
+    : SimObject(name, eq), _cfg(cfg), _tile(tile), _cache(cache),
+      _tlb(tlb), _as(as)
+{
+}
+
+SECore::StreamState &
+SECore::state(StreamId sid)
+{
+    auto it = _streams.find(sid);
+    sf_assert(it != _streams.end() && it->second.active,
+              "access to inactive stream %d", sid);
+    return it->second;
+}
+
+const SECore::StreamState *
+SECore::find(StreamId sid) const
+{
+    auto it = _streams.find(sid);
+    if (it == _streams.end() || !it->second.active)
+        return nullptr;
+    return &it->second;
+}
+
+bool
+SECore::isFloating(StreamId sid) const
+{
+    const StreamState *s = find(sid);
+    return s && s->floating;
+}
+
+void
+SECore::recomputeQuotas()
+{
+    // The shared FIFO capacity is divided among active load streams.
+    int load_streams = 0;
+    for (auto &[sid, s] : _streams) {
+        if (s.active && !s.cfg.isStore)
+            ++load_streams;
+    }
+    if (load_streams == 0)
+        return;
+    for (auto &[sid, s] : _streams) {
+        if (!s.active || s.cfg.isStore)
+            continue;
+        uint32_t elem = std::max<uint32_t>(
+            1, s.cfg.hasIndirect ? s.cfg.indirect.elemSize
+                                 : s.cfg.affine.elemSize);
+        // Floor of two vector registers' worth so SIMD consumption can
+        // double-buffer even on the small IO4 FIFO.
+        s.quotaElems = std::max<uint64_t>(
+            32, _cfg.fifoBytes /
+                    static_cast<uint64_t>(load_streams) / elem);
+    }
+}
+
+void
+SECore::noteConfigDispatched(const std::vector<isa::StreamConfig> &group)
+{
+    for (const auto &cfg : group)
+        ++_pendingCfgs[cfg.sid];
+}
+
+void
+SECore::configure(const std::vector<isa::StreamConfig> &group)
+{
+    ++_stats.configures;
+    for (const auto &cfg : group) {
+        auto it = _pendingCfgs.find(cfg.sid);
+        if (it != _pendingCfgs.end() && --it->second <= 0)
+            _pendingCfgs.erase(it);
+    }
+    sf_assert(static_cast<int>(_streams.size() + group.size()) <=
+                  _cfg.maxStreams * 2,
+              "too many live streams");
+
+    for (const auto &cfg : group) {
+        StreamState &s = _streams[cfg.sid];
+        uint32_t epoch = s.epoch + 1;
+        s = StreamState();
+        s.epoch = epoch;
+        s.active = true;
+        s.cfg = cfg;
+        if (cfg.hasIndirect)
+            s.parent = cfg.baseSid;
+    }
+    // Wire children after all group members exist.
+    for (const auto &cfg : group) {
+        if (cfg.hasIndirect) {
+            auto it = _streams.find(cfg.baseSid);
+            sf_assert(it != _streams.end() && it->second.active,
+                      "indirect stream %d with unknown base %d",
+                      cfg.sid, cfg.baseSid);
+            it->second.children.push_back(cfg.sid);
+        }
+    }
+    recomputeQuotas();
+
+    // Float decisions for base load streams, then start run-ahead.
+    for (const auto &cfg : group) {
+        if (!cfg.isStore && !cfg.hasIndirect)
+            maybeFloat(cfg.sid, 0, /*at_config=*/true);
+    }
+    for (const auto &cfg : group) {
+        if (!cfg.isStore)
+            pump(cfg.sid);
+    }
+}
+
+void
+SECore::end(StreamId sid)
+{
+    ++_stats.ends;
+    auto it = _streams.find(sid);
+    if (it == _streams.end() || !it->second.active)
+        return;
+    StreamState &s = it->second;
+    if (s.floating && _floatCtrl)
+        _floatCtrl->unfloatStream(sid);
+    // Children are configured and ended by their own stream_end ops.
+    s.active = false;
+    ++s.epoch;
+    s.window.clear();
+    s.waiters.clear();
+    recomputeQuotas();
+}
+
+uint64_t
+SECore::horizonOf(const StreamState &s) const
+{
+    if (!s.cfg.lengthKnown)
+        return ~0ULL;
+    return s.cfg.totalElems();
+}
+
+bool
+SECore::elemAddr(StreamState &s, uint64_t idx, Addr &out)
+{
+    if (!s.cfg.hasIndirect) {
+        out = s.cfg.affine.elemAddr(idx);
+        return true;
+    }
+    // Indirect: B[A[i] * scale + offset (+ w)]; needs A[i]'s value.
+    uint32_t w_len = std::max<uint32_t>(1, s.cfg.indirect.wLen);
+    uint64_t parent_idx = idx / w_len;
+    uint32_t w = static_cast<uint32_t>(idx % w_len);
+    auto pit = _streams.find(s.parent);
+    if (pit == _streams.end() || !pit->second.active)
+        return false;
+    StreamState &p = pit->second;
+    if (parent_idx >= p.readyUpTo)
+        return false; // index data not yet available to the core
+    Addr idx_addr = p.cfg.affine.elemAddr(parent_idx);
+    int64_t idx_value = _as.readInt(idx_addr, s.cfg.indirect.idxSize);
+    out = s.cfg.indirect.targetAddr(idx_value, w);
+    return true;
+}
+
+void
+SECore::pump(StreamId sid, uint64_t min_end)
+{
+    auto it = _streams.find(sid);
+    if (it == _streams.end() || !it->second.active)
+        return;
+    StreamState &s = it->second;
+    if (s.cfg.isStore)
+        return;
+
+    uint64_t horizon = horizonOf(s);
+    uint64_t cap_end =
+        std::max(s.commitBase + s.quotaElems, min_end);
+    cap_end = std::min(cap_end, horizon);
+
+    // Allocate window entries (addresses) up to the cap. Floated
+    // indirect elements are matched at the SE_L2 by (sid, index), so
+    // they need no core-side address (the core cannot compute one
+    // without the index data anyway).
+    while (s.commitBase + s.window.size() < cap_end) {
+        uint64_t idx = s.commitBase + s.window.size();
+        ElemRec rec;
+        bool floated_ind = s.floating && s.cfg.hasIndirect &&
+                           idx >= s.floatFromElem;
+        if (!floated_ind && !elemAddr(s, idx, rec.vaddr))
+            break;
+        s.window.push_back(rec);
+    }
+
+    // Issue fetches, line-coalesced, in order.
+    uint64_t fetch_limit = s.commitBase + s.window.size();
+    if (s.aliasDisabled)
+        fetch_limit = std::min(fetch_limit, s.demandEnd);
+
+    while (s.nextFetch < fetch_limit) {
+        if (s.nextFetch < s.commitBase) {
+            s.nextFetch = s.commitBase;
+            continue;
+        }
+        size_t off = static_cast<size_t>(s.nextFetch - s.commitBase);
+        if (off >= s.window.size())
+            break;
+        ElemRec &rec = s.window[off];
+        if (rec.fetched) {
+            ++s.nextFetch;
+            continue;
+        }
+        // Group consecutive elements on the same line (affine only;
+        // indirect targets are scattered).
+        uint16_t count = 1;
+        if (!s.cfg.hasIndirect) {
+            Addr line = lineAlign(rec.vaddr);
+            while (s.nextFetch + count < fetch_limit &&
+                   off + count < s.window.size() &&
+                   lineAlign(s.window[off + count].vaddr) == line &&
+                   !s.window[off + count].fetched) {
+                ++count;
+            }
+        }
+        for (uint16_t i = 0; i < count; ++i)
+            s.window[off + i].fetched = true;
+        issueFetch(sid, s.nextFetch, count);
+        s.nextFetch += count;
+    }
+}
+
+void
+SECore::issueFetch(StreamId sid, uint64_t first_idx, uint16_t count)
+{
+    StreamState &s = state(sid);
+    uint32_t epoch = s.epoch;
+    bool floated = s.floating && first_idx >= s.floatFromElem;
+
+    if (floated && s.cfg.hasIndirect) {
+        ++_stats.floatedFetchesIssued;
+        _floatCtrl->fetchFloatedElems(
+            sid, first_idx, count, [this, sid, first_idx, count, epoch]() {
+                onFetchDone(sid, first_idx, count, false);
+                auto it = _streams.find(sid);
+                if (it != _streams.end() && it->second.epoch != epoch)
+                    return;
+            });
+        return;
+    }
+
+    size_t off = static_cast<size_t>(first_idx - s.commitBase);
+    Addr vaddr = s.window[off].vaddr;
+    Cycles tlb_lat = 0;
+    Addr paddr = _tlb.translate(_as, vaddr, tlb_lat);
+
+    mem::Access a;
+    a.vaddr = vaddr;
+    a.paddr = paddr;
+    uint32_t elem_size = s.cfg.hasIndirect ? s.cfg.indirect.elemSize
+                                           : s.cfg.affine.elemSize;
+    a.size = static_cast<uint16_t>(
+        std::min<uint32_t>(elem_size * count, lineBytes));
+    a.pc = static_cast<uint32_t>(1000000 + sid);
+    a.streamEligible = true;
+    a.stream = {_tile, sid};
+    a.elemIdx = first_idx;
+
+    if (floated) {
+        ++_stats.floatedFetchesIssued;
+        a.kind = mem::AccessKind::FloatedFetch;
+        a.onDone = [this, sid, first_idx, count, epoch]() {
+            auto it = _streams.find(sid);
+            if (it == _streams.end() || it->second.epoch != epoch)
+                return;
+            onFetchDone(sid, first_idx, count, false);
+        };
+        _cache.access(std::move(a));
+        return;
+    }
+
+    ++_stats.fetchesIssued;
+    a.kind = mem::AccessKind::StreamFetch;
+    auto miss = std::make_shared<bool>(false);
+    a.missOut = miss.get();
+    a.onDone = [this, sid, first_idx, count, epoch, miss]() {
+        auto it = _streams.find(sid);
+        if (it == _streams.end() || it->second.epoch != epoch)
+            return;
+        onFetchDone(sid, first_idx, count, *miss);
+    };
+    _cache.access(std::move(a));
+}
+
+void
+SECore::onFetchDone(StreamId sid, uint64_t first_idx, uint16_t count,
+                    bool missed)
+{
+    auto it = _streams.find(sid);
+    if (it == _streams.end() || !it->second.active)
+        return;
+    StreamState &s = it->second;
+
+    for (uint16_t i = 0; i < count; ++i) {
+        uint64_t idx = first_idx + i;
+        if (idx < s.commitBase)
+            continue;
+        size_t off = static_cast<size_t>(idx - s.commitBase);
+        if (off < s.window.size())
+            s.window[off].ready = true;
+    }
+
+    StreamHistory &h = _history.row(sid);
+    ++h.requests;
+    if (missed)
+        ++h.misses;
+    // Exponential decay so the table tracks phase changes (e.g. a
+    // sibling stream floating away and taking its cache fills along).
+    if (h.requests >= 4 * _cfg.floatDecisionRequests) {
+        h.requests /= 2;
+        h.misses /= 2;
+        h.reuses /= 2;
+    }
+
+    advanceReady(s);
+    fireWaiters(s);
+
+    // Children may now be able to compute indirect addresses.
+    for (StreamId child : s.children)
+        pump(child);
+
+    // History-based mid-stream float decision (§IV-D).
+    if (!s.floating && !s.cfg.isStore && !s.cfg.hasIndirect &&
+        h.requests >= _cfg.floatDecisionRequests) {
+        maybeFloat(sid, s.nextFetch, /*at_config=*/false);
+    }
+}
+
+void
+SECore::advanceReady(StreamState &s)
+{
+    uint64_t idx = std::max(s.readyUpTo, s.commitBase);
+    while (idx < s.commitBase + s.window.size()) {
+        size_t off = static_cast<size_t>(idx - s.commitBase);
+        if (!s.window[off].ready)
+            break;
+        ++idx;
+    }
+    s.readyUpTo = std::max(s.readyUpTo, idx);
+}
+
+void
+SECore::fireWaiters(StreamState &s)
+{
+    if (s.waiters.empty())
+        return;
+    std::vector<Use> still_waiting;
+    std::vector<std::function<void()>> ready;
+    for (auto &u : s.waiters) {
+        if (u.endElem <= s.readyUpTo)
+            ready.push_back(std::move(u.cb));
+        else
+            still_waiting.push_back(std::move(u));
+    }
+    s.waiters = std::move(still_waiting);
+    for (auto &cb : ready)
+        cb();
+    if (!ready.empty() && _wake)
+        _wake();
+}
+
+uint64_t
+SECore::requestElems(StreamId sid, uint16_t elems,
+                     std::function<void()> on_ready)
+{
+    StreamState &s = state(sid);
+    uint64_t first = s.dispatchIter;
+    uint64_t end = first + elems;
+    _stats.elementsConsumed += elems;
+
+    s.demandEnd = std::max(s.demandEnd, end);
+    if (s.commitBase + s.window.size() < end || s.nextFetch < end)
+        pump(sid, end);
+
+    if (s.readyUpTo >= end) {
+        on_ready();
+    } else {
+        s.waiters.push_back({end, std::move(on_ready)});
+    }
+    return first;
+}
+
+void
+SECore::step(StreamId sid, uint16_t elems)
+{
+    StreamState &s = state(sid);
+    s.dispatchIter += elems;
+    if (!s.cfg.isStore)
+        pump(sid);
+}
+
+void
+SECore::releaseAtCommit(StreamId sid, uint16_t elems)
+{
+    auto it = _streams.find(sid);
+    if (it == _streams.end() || !it->second.active)
+        return;
+    StreamState &s = it->second;
+    for (uint16_t i = 0; i < elems && !s.window.empty(); ++i)
+        s.window.pop_front();
+    s.commitBase += elems;
+    s.readyUpTo = std::max(s.readyUpTo, s.commitBase);
+    s.nextFetch = std::max(s.nextFetch, s.commitBase);
+    if (!s.cfg.isStore)
+        pump(sid);
+}
+
+Addr
+SECore::storeAddr(StreamId sid)
+{
+    StreamState &s = state(sid);
+    return s.cfg.affine.elemAddr(s.dispatchIter);
+}
+
+void
+SECore::storeCommitted(Addr vaddr, uint16_t size)
+{
+    Addr lo = vaddr;
+    Addr hi = vaddr + size;
+    for (auto &[sid, s] : _streams) {
+        if (!s.active || s.cfg.isStore)
+            continue;
+        bool aliased = false;
+        for (const auto &rec : s.window) {
+            uint32_t esz = s.cfg.hasIndirect ? s.cfg.indirect.elemSize
+                                             : s.cfg.affine.elemSize;
+            if (rec.vaddr < hi && rec.vaddr + esz > lo) {
+                aliased = true;
+                break;
+            }
+        }
+        if (!aliased)
+            continue;
+
+        ++_stats.aliasFlushes;
+        _history.row(sid).aliased = true;
+        s.aliasDisabled = true;
+
+        if (s.floating) {
+            sink(sid);
+        }
+        // Flush the PEB: prefetched-but-unused elements are refetched.
+        uint64_t flush_from = std::max(s.dispatchIter, s.commitBase);
+        for (uint64_t idx = flush_from;
+             idx < s.commitBase + s.window.size(); ++idx) {
+            size_t off = static_cast<size_t>(idx - s.commitBase);
+            s.window[off].ready = false;
+            s.window[off].fetched = false;
+        }
+        s.readyUpTo = std::min(s.readyUpTo, flush_from);
+        s.nextFetch = std::min(s.nextFetch, flush_from);
+        pump(sid, s.demandEnd);
+    }
+}
+
+bool
+SECore::canAcceptUse(StreamId sid) const
+{
+    // A dispatched-but-uncommitted reconfiguration means this use
+    // belongs to the NEW configuration; wait for it to commit.
+    auto pit = _pendingCfgs.find(sid);
+    if (pit != _pendingCfgs.end() && pit->second > 0)
+        return false;
+    const StreamState *s = find(sid);
+    if (!s)
+        return false; // stream_cfg not yet committed
+    if (s->cfg.isStore)
+        return true;
+    uint64_t in_flight = s->dispatchIter - s->commitBase;
+    return in_flight < s->quotaElems || s->dispatchIter == s->commitBase;
+}
+
+void
+SECore::notifyStreamReuse(StreamId sid)
+{
+    ++_history.row(sid).reuses;
+}
+
+void
+SECore::notifyFloatedCacheHit(StreamId sid)
+{
+    auto it = _streams.find(sid);
+    if (it == _streams.end() || !it->second.active ||
+        !it->second.floating) {
+        return;
+    }
+    if (++it->second.consecutiveCacheHits >=
+        _cfg.sinkCacheHitThreshold) {
+        sink(sid);
+    }
+}
+
+void
+SECore::notifyFloatedBufferServe(StreamId sid)
+{
+    auto it = _streams.find(sid);
+    if (it != _streams.end())
+        it->second.consecutiveCacheHits = 0;
+}
+
+void
+SECore::requestSink(StreamId sid)
+{
+    sink(sid);
+}
+
+void
+SECore::contextSwitchFlush()
+{
+    std::vector<StreamId> floating;
+    for (auto &[sid, s] : _streams) {
+        if (s.active && s.floating && !s.cfg.hasIndirect)
+            floating.push_back(sid);
+    }
+    for (StreamId sid : floating) {
+        auto it = _streams.find(sid);
+        if (it == _streams.end() || !it->second.active ||
+            !it->second.floating) {
+            continue;
+        }
+        StreamState &s = it->second;
+        if (_floatCtrl)
+            _floatCtrl->unfloatStream(sid);
+        s.floating = false;
+        s.floatFromElem = ~0ULL;
+        for (StreamId child : s.children) {
+            auto cit = _streams.find(child);
+            if (cit != _streams.end() && cit->second.active) {
+                cit->second.floating = false;
+                cit->second.floatFromElem = ~0ULL;
+            }
+        }
+        // Unlike a sink, a context switch carries no negative signal:
+        // the stream may refloat after resumption.
+        s.noRefloat = false;
+    }
+    // History is microarchitectural state tied to the context; a
+    // switch discards it.
+    _history.clear();
+}
+
+bool
+SECore::maybeFloat(StreamId sid, uint64_t start_elem, bool at_config)
+{
+    if (!_cfg.enableFloating || !_floatCtrl)
+        return false;
+    StreamState &s = state(sid);
+    if (s.cfg.isStore || s.cfg.hasIndirect || s.floating)
+        return false;
+
+    const StreamHistory &h = _history.row(sid);
+    if (h.aliased || s.aliasDisabled || s.noRefloat)
+        return false;
+
+    bool decided = false;
+    if (s.cfg.lengthKnown) {
+        uint64_t footprint = s.cfg.footprintBytes();
+        for (StreamId child : s.children) {
+            auto cit = _streams.find(child);
+            if (cit != _streams.end() && cit->second.active)
+                footprint += cit->second.cfg.footprintBytes();
+        }
+        if (footprint > _cfg.l2CapacityBytes) {
+            decided = true;
+            ++_stats.footprintFloats;
+        }
+    }
+    if (!decided && h.requests >= _cfg.floatDecisionRequests) {
+        double miss_ratio =
+            h.requests ? double(h.misses) / double(h.requests) : 0.0;
+        double reuse_ratio =
+            h.requests ? double(h.reuses) / double(h.requests) : 0.0;
+        if (miss_ratio >= _cfg.floatMissRatio &&
+            reuse_ratio <= _cfg.floatReuseRatio) {
+            decided = true;
+            ++_stats.historyFloats;
+        }
+    }
+    if (!decided)
+        return false;
+
+    FloatRequest req;
+    req.base = s.cfg;
+    req.baseStart = start_elem;
+    std::vector<StreamId> float_children =
+        _cfg.floatIndirects ? s.children : std::vector<StreamId>();
+    for (StreamId child : float_children) {
+        auto cit = _streams.find(child);
+        if (cit == _streams.end() || !cit->second.active)
+            continue;
+        FloatRequest::Indirect ind;
+        ind.cfg = cit->second.cfg;
+        // The remote engine produces indirect elements for base
+        // elements >= start_elem; anything earlier stays at the core.
+        uint32_t w_len =
+            std::max<uint32_t>(1, ind.cfg.indirect.wLen);
+        ind.start = start_elem * w_len;
+        req.indirects.push_back(ind);
+    }
+
+    if (!_floatCtrl->floatStream(req))
+        return false;
+
+    ++_stats.streamsFloated;
+    s.floating = true;
+    s.floatFromElem = start_elem;
+    s.consecutiveCacheHits = 0;
+    for (auto &ind : req.indirects) {
+        StreamState &c = state(ind.cfg.sid);
+        c.floating = true;
+        c.floatFromElem = ind.start;
+    }
+    return true;
+}
+
+void
+SECore::debugDump(std::FILE *f) const
+{
+    for (const auto &[sid, s] : _streams) {
+        if (!s.active)
+            continue;
+        std::fprintf(f,
+                     "  %s sid=%d float=%d dispatch=%llu commit=%llu "
+                     "ready=%llu nextFetch=%llu window=%zu waiters=%zu "
+                     "quota=%llu aliasDis=%d\n",
+                     name().c_str(), sid, s.floating,
+                     (unsigned long long)s.dispatchIter,
+                     (unsigned long long)s.commitBase,
+                     (unsigned long long)s.readyUpTo,
+                     (unsigned long long)s.nextFetch, s.window.size(),
+                     s.waiters.size(), (unsigned long long)s.quotaElems,
+                     s.aliasDisabled);
+    }
+}
+
+void
+SECore::sink(StreamId sid)
+{
+    auto it = _streams.find(sid);
+    if (it == _streams.end() || !it->second.active)
+        return;
+    StreamState &s = it->second;
+    if (!s.floating)
+        return;
+    // Sink the whole group: the base and its indirect children.
+    StreamId base = s.cfg.hasIndirect ? s.parent : sid;
+    auto bit = _streams.find(base);
+    if (bit == _streams.end() || !bit->second.active || base == sid) {
+        bit = it;
+        base = sid;
+    }
+    StreamState &bs = bit->second;
+
+    ++_stats.streamsSunk;
+    if (_floatCtrl)
+        _floatCtrl->unfloatStream(base);
+    bs.floating = false;
+    bs.noRefloat = true;
+    bs.floatFromElem = ~0ULL;
+    for (StreamId child : bs.children) {
+        auto cit = _streams.find(child);
+        if (cit != _streams.end() && cit->second.active) {
+            cit->second.floating = false;
+            cit->second.noRefloat = true;
+            cit->second.floatFromElem = ~0ULL;
+        }
+    }
+}
+
+} // namespace stream
+} // namespace sf

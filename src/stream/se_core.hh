@@ -1,0 +1,223 @@
+/**
+ * @file
+ * SE_core: the in-core stream engine (§III-B) plus the floating /
+ * sinking policy of §IV-D.
+ *
+ * The engine holds up to 12 stream definitions, runs ahead of the core
+ * filling per-stream FIFO windows (issuing line-coalesced fetches
+ * through the private cache, or tagged floated fetches served by the
+ * SE_L2 buffer), tracks the PEB aliasing window against committed
+ * stores, maintains the stream history table, and decides when to
+ * float a stream into the cache hierarchy and when to sink it back.
+ */
+
+#ifndef SF_STREAM_SE_CORE_HH
+#define SF_STREAM_SE_CORE_HH
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/stream_engine_if.hh"
+#include "mem/phys_mem.hh"
+#include "mem/priv_cache.hh"
+#include "mem/tlb.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "stream/float_if.hh"
+#include "stream/history.hh"
+
+namespace sf {
+namespace stream {
+
+struct SECoreConfig
+{
+    /** Total load-FIFO capacity shared by all streams (Table III). */
+    uint32_t fifoBytes = 1024;
+    int maxStreams = 12;
+
+    // --- floating policy (§IV-D) ---
+    bool enableFloating = false;
+    /** Float indirect streams along with their base (SF vs SF-Aff). */
+    bool floatIndirects = true;
+    /** Private L2 capacity; known footprints above this float at once. */
+    uint64_t l2CapacityBytes = 256 * 1024;
+    /** Requests to accumulate before a history-based float decision. */
+    uint64_t floatDecisionRequests = 64;
+    /** Float when miss ratio exceeds this... */
+    double floatMissRatio = 0.6;
+    /** ...and reuse ratio stays below this. */
+    double floatReuseRatio = 0.05;
+    /** Sink after this many consecutive private-cache hits (§IV-D). */
+    int sinkCacheHitThreshold = 8;
+};
+
+struct SECoreStats
+{
+    stats::Scalar configures, ends;
+    stats::Scalar fetchesIssued, floatedFetchesIssued;
+    stats::Scalar elementsConsumed;
+    stats::Scalar streamsFloated, streamsSunk;
+    stats::Scalar aliasFlushes;
+    stats::Scalar footprintFloats, historyFloats;
+
+    /** Register every counter with @p g for report dumping. */
+    void
+    regStats(stats::StatGroup &g) const
+    {
+        g.regScalar("configures", &configures);
+        g.regScalar("ends", &ends);
+        g.regScalar("fetchesIssued", &fetchesIssued);
+        g.regScalar("floatedFetchesIssued", &floatedFetchesIssued);
+        g.regScalar("elementsConsumed", &elementsConsumed);
+        g.regScalar("streamsFloated", &streamsFloated);
+        g.regScalar("streamsSunk", &streamsSunk);
+        g.regScalar("aliasFlushes", &aliasFlushes);
+        g.regScalar("footprintFloats", &footprintFloats);
+        g.regScalar("historyFloats", &historyFloats);
+    }
+};
+
+/**
+ * The core-side stream engine. Implements the pipeline-facing
+ * interface (cpu::StreamEngineIf).
+ */
+class SECore : public SimObject, public cpu::StreamEngineIf
+{
+  public:
+    SECore(const std::string &name, EventQueue &eq, TileId tile,
+           const SECoreConfig &cfg, mem::PrivCache &cache,
+           mem::TlbHierarchy &tlb, mem::AddressSpace &as);
+
+    /** Attach the floating controller (SE_L2); null disables SF. */
+    void setFloatController(FloatControllerIf *fc) { _floatCtrl = fc; }
+
+    /** Invoked to wake the core when FIFO data lands. */
+    void setWakeHook(std::function<void()> hook) { _wake = std::move(hook); }
+
+    // --- cpu::StreamEngineIf ---
+    void noteConfigDispatched(
+        const std::vector<isa::StreamConfig> &group) override;
+    void configure(const std::vector<isa::StreamConfig> &group) override;
+    void end(StreamId sid) override;
+    uint64_t requestElems(StreamId sid, uint16_t elems,
+                          std::function<void()> on_ready) override;
+    void step(StreamId sid, uint16_t elems) override;
+    void releaseAtCommit(StreamId sid, uint16_t elems) override;
+    Addr storeAddr(StreamId sid) override;
+    void storeCommitted(Addr vaddr, uint16_t size) override;
+    bool canAcceptUse(StreamId sid) const override;
+
+    // --- notifications from the memory system / SE_L2 ---
+    /** A line this stream filled was reused in the private cache. */
+    void notifyStreamReuse(StreamId sid);
+    /** A floated fetch hit in the private cache (sink candidate). */
+    void notifyFloatedCacheHit(StreamId sid);
+    /** A floated fetch was served from the SE_L2 buffer. */
+    void notifyFloatedBufferServe(StreamId sid);
+    /** SE_L2 asks us to sink (deadlock breaker, §IV-E). */
+    void requestSink(StreamId sid);
+
+    /**
+     * Context switch (§IV-E "Precise State and Context Switch"):
+     * stream floating adds no architectural state, so on a switch all
+     * floating streams are discarded; on switching back, streams
+     * restart not-floating and may refloat on their own merits.
+     */
+    void contextSwitchFlush();
+
+    SECoreStats &stats() { return _stats; }
+    const StreamHistoryTable &history() const { return _history; }
+    bool isFloating(StreamId sid) const;
+
+    /** Dump live stream state (debugging aid). */
+    void debugDump(std::FILE *f) const;
+
+  private:
+    struct ElemRec
+    {
+        Addr vaddr = 0;
+        bool fetched = false; //!< request issued
+        bool ready = false;   //!< data in FIFO
+    };
+
+    struct Use
+    {
+        uint64_t endElem;
+        std::function<void()> cb;
+    };
+
+    struct StreamState
+    {
+        bool active = false;
+        isa::StreamConfig cfg;
+        /** Dependent indirect streams configured with this one. */
+        std::vector<StreamId> children;
+        StreamId parent = invalidStream;
+
+        uint64_t dispatchIter = 0; //!< iteration map position
+        uint64_t commitBase = 0;   //!< first live FIFO element
+        std::deque<ElemRec> window;
+        uint64_t readyUpTo = 0; //!< contiguous ready prefix (absolute)
+        uint64_t nextFetch = 0; //!< first element with no request yet
+        std::vector<Use> waiters;
+
+        bool floating = false;
+        /** Sunk once: do not refloat this configuration (§IV-D). */
+        bool noRefloat = false;
+        /** Elements >= this index are fetched via the floated path. */
+        uint64_t floatFromElem = ~0ULL;
+        bool aliasDisabled = false; //!< prefetch disabled after alias
+        /** With prefetch disabled, fetch only up to requested uses. */
+        uint64_t demandEnd = 0;
+        int consecutiveCacheHits = 0;
+        uint64_t quotaElems = 8;
+        /** Guards stale fetch callbacks across reconfigurations. */
+        uint32_t epoch = 0;
+    };
+
+    StreamState &state(StreamId sid);
+    const StreamState *find(StreamId sid) const;
+
+    /** Run-ahead: allocate + fetch elements for @p sid. */
+    void pump(StreamId sid, uint64_t min_end = 0);
+    /** Issue one line-coalesced fetch starting at @p first_idx. */
+    void issueFetch(StreamId sid, uint64_t first_idx, uint16_t count);
+    void onFetchDone(StreamId sid, uint64_t first_idx, uint16_t count,
+                     bool missed);
+    void advanceReady(StreamState &s);
+    void fireWaiters(StreamState &s);
+
+    /** Element virtual address (affine direct; indirect chases). */
+    bool elemAddr(StreamState &s, uint64_t idx, Addr &out);
+
+    /** Total elements, or a large horizon for unknown lengths. */
+    uint64_t horizonOf(const StreamState &s) const;
+
+    void recomputeQuotas();
+
+    /** §IV-D float decision; @return true if the stream floated. */
+    bool maybeFloat(StreamId sid, uint64_t start_elem, bool at_config);
+    void sink(StreamId sid);
+
+    SECoreConfig _cfg;
+    TileId _tile;
+    mem::PrivCache &_cache;
+    mem::TlbHierarchy &_tlb;
+    mem::AddressSpace &_as;
+    FloatControllerIf *_floatCtrl = nullptr;
+    std::function<void()> _wake;
+
+    std::unordered_map<StreamId, StreamState> _streams;
+    /** Dispatched-but-uncommitted stream_cfg count per stream. */
+    std::unordered_map<StreamId, int> _pendingCfgs;
+    StreamHistoryTable _history;
+    SECoreStats _stats;
+};
+
+} // namespace stream
+} // namespace sf
+
+#endif // SF_STREAM_SE_CORE_HH

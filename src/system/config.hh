@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Whole-system configuration (Table III) and the evaluated machine
+ * variants (§VI: Base, L1Stride-L2Stride, L1Bingo-L2Stride, SS, SF and
+ * the SF-Aff / SF-Ind ablations plus bulk prefetching).
+ */
+
+#ifndef SF_SYSTEM_CONFIG_HH
+#define SF_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "cpu/core_config.hh"
+#include "flt/se_l2.hh"
+#include "flt/se_l3.hh"
+#include "mem/dram.hh"
+#include "mem/l3_bank.hh"
+#include "mem/priv_cache.hh"
+#include "noc/mesh.hh"
+#include "stream/se_core.hh"
+
+namespace sf {
+namespace sys {
+
+/** The machine variants compared throughout the evaluation. */
+enum class Machine
+{
+    Base,        //!< no prefetching
+    StridePf,    //!< L1 stride + L2 stride
+    BingoPf,     //!< L1 Bingo + L2 stride
+    StrideBulk,  //!< stride prefetchers + bulk request grouping
+    BingoBulk,   //!< Bingo + L2 stride + bulk request grouping
+    SS,          //!< stream-specialized core, no floating
+    SFAff,       //!< stream floating, affine only
+    SFInd,       //!< + indirect floating, no confluence
+    SF,          //!< full stream floating
+};
+
+inline const char *
+machineName(Machine m)
+{
+    switch (m) {
+      case Machine::Base: return "Base";
+      case Machine::StridePf: return "L1Stride-L2Stride";
+      case Machine::BingoPf: return "L1Bingo-L2Stride";
+      case Machine::StrideBulk: return "Stride+Bulk";
+      case Machine::BingoBulk: return "Bingo+Bulk";
+      case Machine::SS: return "SS";
+      case Machine::SFAff: return "SF-Aff";
+      case Machine::SFInd: return "SF-Ind";
+      case Machine::SF: return "SF";
+    }
+    return "?";
+}
+
+inline bool
+machineUsesStreams(Machine m)
+{
+    return m == Machine::SS || m == Machine::SFAff ||
+           m == Machine::SFInd || m == Machine::SF;
+}
+
+inline bool
+machineFloats(Machine m)
+{
+    return m == Machine::SFAff || m == Machine::SFInd ||
+           m == Machine::SF;
+}
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    int nx = 4;
+    int ny = 4;
+    cpu::CoreConfig core = cpu::CoreConfig::ooo8();
+    Machine machine = Machine::Base;
+
+    noc::MeshConfig noc;
+    /** Static-NUCA interleaving granularity in bytes. */
+    uint32_t nucaInterleave = 64;
+    mem::PrivCacheConfig priv;
+    mem::L3BankConfig l3;
+    mem::DramConfig dram;
+    flt::SEL2Config sel2;
+    flt::SEL3Config sel3;
+    stream::SECoreConfig seCore;
+
+    /** Deterministic seed for replacement policies / datasets. */
+    uint64_t seed = 1;
+    /** Safety bound on simulated cycles. */
+    Tick maxCycles = 500'000'000;
+
+    int numTiles() const { return nx * ny; }
+
+    /**
+     * Build the default configuration for one machine variant: wires
+     * Table III parameters and the variant-specific settings (SF uses
+     * 1 kB NUCA interleaving, bulk variants need >64 B interleaving).
+     */
+    static SystemConfig
+    make(Machine m, const cpu::CoreConfig &core, int nx = 4, int ny = 4)
+    {
+        SystemConfig c;
+        c.nx = nx;
+        c.ny = ny;
+        c.noc.nx = nx;
+        c.noc.ny = ny;
+        c.core = core;
+        c.machine = m;
+
+        c.seCore.fifoBytes = core.seFifoBytes;
+        c.seCore.maxStreams = core.seMaxStreams;
+        c.seCore.l2CapacityBytes = c.priv.l2Size;
+        c.seCore.enableFloating = machineFloats(m);
+
+        switch (m) {
+          case Machine::SF:
+          case Machine::SFInd:
+          case Machine::SFAff:
+            c.nucaInterleave = 1024;
+            c.sel3.enableConfluence = m == Machine::SF;
+            c.seCore.floatIndirects = m != Machine::SFAff;
+            break;
+          case Machine::StrideBulk:
+          case Machine::BingoBulk:
+            c.nucaInterleave = 1024;
+            break;
+          default:
+            c.nucaInterleave = 64;
+            break;
+        }
+        return c;
+    }
+};
+
+} // namespace sys
+} // namespace sf
+
+#endif // SF_SYSTEM_CONFIG_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Human-readable report formatting for simulation results: the
+ * gem5-stats-file equivalent for this simulator. Used by the examples
+ * and handy when exploring configurations interactively.
+ */
+
+#ifndef SF_SYSTEM_REPORT_HH
+#define SF_SYSTEM_REPORT_HH
+
+#include <ostream>
+
+#include "system/results.hh"
+
+namespace sf {
+namespace sys {
+
+/** Write a full breakdown of @p r to @p os. */
+inline void
+writeReport(std::ostream &os, const SimResults &r,
+            const std::string &title = "simulation")
+{
+    auto pct = [](uint64_t part, uint64_t whole) {
+        return whole ? 100.0 * double(part) / double(whole) : 0.0;
+    };
+
+    os << "=== " << title << " ===\n";
+    os << "cycles:               " << r.cycles
+       << (r.hitCycleLimit ? "  (HIT CYCLE LIMIT)" : "") << "\n";
+    os << "committed ops:        " << r.committedOps << "  (IPC/core "
+       << r.ipc() << ")\n";
+
+    os << "\n-- private caches --\n";
+    os << "L1 hits/misses:       " << r.l1Hits << " / " << r.l1Misses
+       << "  (" << pct(r.l1Hits, r.l1Hits + r.l1Misses) << "% hit)\n";
+    os << "L2 hits/misses:       " << r.l2Hits << " / " << r.l2Misses
+       << "  (" << pct(r.l2Hits, r.l2Hits + r.l2Misses) << "% hit)\n";
+    os << "L2 evictions:         " << r.l2Evictions << "  unreused "
+       << r.l2EvictionsUnreused << " ("
+       << pct(r.l2EvictionsUnreused, r.l2Evictions)
+       << "%), stream-covered "
+       << pct(r.l2EvictionsUnreusedStream, r.l2Evictions) << "%\n";
+    if (r.prefetchesIssued) {
+        os << "prefetches:           " << r.prefetchesIssued
+           << "  useful " << r.prefetchesUseful << " ("
+           << pct(r.prefetchesUseful, r.prefetchesIssued) << "%)\n";
+    }
+
+    os << "\n-- shared L3 --\n";
+    os << "hits/misses:          " << r.l3Hits << " / " << r.l3Misses
+       << "  (" << pct(r.l3Hits, r.l3Hits + r.l3Misses) << "% hit)\n";
+    uint64_t l3_reqs = 0;
+    for (uint64_t c : r.l3RequestsByClass)
+        l3_reqs += c;
+    os << "requests:             core " << r.l3RequestsByClass[0]
+       << ", core-stream " << r.l3RequestsByClass[1] << ", affine "
+       << r.l3RequestsByClass[2] << ", indirect "
+       << r.l3RequestsByClass[3] << ", confluence "
+       << r.l3RequestsByClass[4] << "\n";
+    os << "floated fraction:     "
+       << pct(r.l3RequestsByClass[2] + r.l3RequestsByClass[3] +
+                  r.l3RequestsByClass[4],
+              l3_reqs)
+       << "%\n";
+    os << "DRAM lines:           " << r.dramReads << " read, "
+       << r.dramWrites << " written\n";
+
+    os << "\n-- NoC --\n";
+    uint64_t hops = r.traffic.totalFlitHops();
+    os << "flit-hops:            " << hops << "  (control "
+       << pct(r.traffic.flitHops[0], hops) << "%, data "
+       << pct(r.traffic.flitHops[1], hops) << "%, stream-mgmt "
+       << pct(r.traffic.flitHops[2], hops) << "%)\n";
+    os << "link utilization:     " << 100.0 * r.nocUtilization << "%\n";
+
+    if (r.streamsFloated) {
+        os << "\n-- stream floating --\n";
+        os << "floated / sunk:       " << r.streamsFloated << " / "
+           << r.streamsSunk << "\n";
+        os << "migrations:           " << r.migrations << "\n";
+        os << "confluence merges:    " << r.confluenceMerges
+           << "  multicast requests " << r.confluenceRequests << "\n";
+        os << "credit messages:      " << r.creditMessages << "\n";
+        os << "SE_L3 line requests:  " << r.seL3LineRequests
+           << "  indirect " << r.seL3IndirectRequests << "\n";
+    }
+
+    os << "\n-- energy --\n";
+    os << "total:                " << r.energyNj / 1000.0 << " uJ\n";
+    os << "  core " << r.energy.core / 1000.0 << ", caches "
+       << r.energy.caches / 1000.0 << ", noc "
+       << r.energy.noc / 1000.0 << ", dram " << r.energy.dram / 1000.0
+       << ", SEs " << r.energy.streamEngines / 1000.0 << ", static "
+       << r.energy.staticLeakage / 1000.0 << " uJ\n";
+}
+
+} // namespace sys
+} // namespace sf
+
+#endif // SF_SYSTEM_REPORT_HH

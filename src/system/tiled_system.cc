@@ -1,0 +1,355 @@
+#include "system/tiled_system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sf {
+namespace sys {
+
+TiledSystem::TiledSystem(const SystemConfig &cfg) : _cfg(cfg)
+{
+    _as = std::make_unique<mem::AddressSpace>(0, _physMem);
+    noc::MeshConfig ncfg = _cfg.noc;
+    ncfg.nx = _cfg.nx;
+    ncfg.ny = _cfg.ny;
+    _mesh = std::make_unique<noc::Mesh>(_eq, ncfg);
+    _nuca = std::make_unique<mem::NucaMap>(_cfg.nx, _cfg.ny,
+                                           _cfg.nucaInterleave);
+    _barrier = std::make_unique<cpu::BarrierController>(
+        _eq, _cfg.numTiles());
+    buildTiles();
+}
+
+TiledSystem::~TiledSystem() = default;
+
+void
+TiledSystem::buildTiles()
+{
+    int n = _cfg.numTiles();
+    bool streams = machineUsesStreams(_cfg.machine);
+    bool floats = machineFloats(_cfg.machine);
+
+    _tlbs.resize(n);
+    _priv.resize(n);
+    _l3.resize(n);
+    _memCtrls.resize(n);
+    _seCores.resize(n);
+    _seL2.resize(n);
+    _seL3.resize(n);
+    _l1Pf.resize(n);
+    _l2Pf.resize(n);
+    _cores.resize(n);
+
+    auto as_resolver = [this](int asid) -> mem::AddressSpace * {
+        return asid == 0 ? _as.get() : nullptr;
+    };
+
+    for (TileId t = 0; t < n; ++t) {
+        std::string tn = "tile" + std::to_string(t);
+        // L1 TLB 64/8w; L2 TLB 2k/16w, 8-cycle; ~80-cycle walk.
+        _tlbs[t] = std::make_unique<mem::TlbHierarchy>(64, 8, 2048, 16,
+                                                       8, 80);
+        _priv[t] = std::make_unique<mem::PrivCache>(
+            tn + ".priv", _eq, t, _cfg.priv, *_mesh, *_nuca);
+        _l3[t] = std::make_unique<mem::L3Bank>(tn + ".l3", _eq, t,
+                                               _cfg.l3, *_mesh, *_nuca);
+
+        if (streams) {
+            stream::SECoreConfig sc = _cfg.seCore;
+            _seCores[t] = std::make_unique<stream::SECore>(
+                tn + ".se", _eq, t, sc, *_priv[t], *_tlbs[t], *_as);
+            _priv[t]->setStreamReuseHook(
+                [se = _seCores[t].get()](StreamId sid) {
+                    se->notifyStreamReuse(sid);
+                });
+        }
+        if (floats) {
+            _seL2[t] = std::make_unique<flt::SEL2>(
+                tn + ".sel2", _eq, t, _cfg.sel2, *_mesh, *_nuca,
+                *_priv[t], *_tlbs[t], *_as, *_seCores[t]);
+            _seCores[t]->setFloatController(_seL2[t].get());
+            _seL3[t] = std::make_unique<flt::SEL3>(
+                tn + ".sel3", _eq, t, _cfg.sel3, *_mesh, *_nuca,
+                *_l3[t], as_resolver);
+        }
+
+        switch (_cfg.machine) {
+          case Machine::StridePf:
+          case Machine::StrideBulk: {
+            prefetch::StrideConfig l1c;
+            l1c.degree = 8;
+            l1c.fillLevel = 1;
+            prefetch::StrideConfig l2c;
+            l2c.degree = 16;
+            l2c.fillLevel = 2;
+            _l1Pf[t] = std::make_unique<prefetch::StridePrefetcher>(
+                *_priv[t], l1c);
+            _l2Pf[t] = std::make_unique<prefetch::StridePrefetcher>(
+                *_priv[t], l2c);
+            break;
+          }
+          case Machine::BingoPf:
+          case Machine::BingoBulk: {
+            prefetch::BingoConfig bc;
+            _l1Pf[t] = std::make_unique<prefetch::BingoPrefetcher>(
+                *_priv[t], bc);
+            prefetch::StrideConfig l2c;
+            l2c.degree = 16;
+            l2c.fillLevel = 2;
+            _l2Pf[t] = std::make_unique<prefetch::StridePrefetcher>(
+                *_priv[t], l2c);
+            break;
+          }
+          default:
+            break;
+        }
+        _priv[t]->setPrefetchers(_l1Pf[t].get(), _l2Pf[t].get());
+        if (_cfg.machine == Machine::StrideBulk ||
+            _cfg.machine == Machine::BingoBulk) {
+            _priv[t]->setBulkPrefetch(true);
+        }
+
+        // Memory controllers live at the mesh corners.
+        const auto &ctrls = _nuca->memCtrls();
+        if (std::find(ctrls.begin(), ctrls.end(), t) != ctrls.end()) {
+            _memCtrls[t] = std::make_unique<mem::MemCtrl>(
+                tn + ".mc", _eq, t, _cfg.dram, *_mesh);
+        }
+
+        _mesh->bindSink(t, [this, t](const noc::MsgPtr &msg) {
+            dispatch(t, msg);
+        });
+    }
+}
+
+void
+TiledSystem::dispatch(TileId tile, const noc::MsgPtr &msg)
+{
+    if (auto mm = std::dynamic_pointer_cast<mem::MemMsg>(msg)) {
+        using mem::MemMsgType;
+        switch (mm->type) {
+          case MemMsgType::GetS:
+          case MemMsgType::GetM:
+          case MemMsgType::GetU:
+          case MemMsgType::PutS:
+          case MemMsgType::PutM:
+          case MemMsgType::InvAck:
+          case MemMsgType::FwdAck:
+          case MemMsgType::FwdMiss:
+          case MemMsgType::MemData:
+            _l3[tile]->recvMsg(mm);
+            return;
+          case MemMsgType::MemRead:
+          case MemMsgType::MemWrite:
+            sf_assert(_memCtrls[tile], "memory message at non-corner");
+            _memCtrls[tile]->recvMsg(mm);
+            return;
+          default:
+            _priv[tile]->recvMsg(mm);
+            return;
+        }
+    }
+    if (auto cfg = std::dynamic_pointer_cast<flt::StreamFloatMsg>(msg)) {
+        sf_assert(_seL3[tile], "stream config at non-SF tile");
+        _seL3[tile]->recvConfig(cfg);
+        return;
+    }
+    if (auto cr = std::dynamic_pointer_cast<flt::StreamCreditMsg>(msg)) {
+        _seL3[tile]->recvCredit(cr);
+        return;
+    }
+    if (auto end = std::dynamic_pointer_cast<flt::StreamEndMsg>(msg)) {
+        _seL3[tile]->recvEnd(end);
+        return;
+    }
+    panic("unroutable message on tile %d", tile);
+}
+
+SimResults
+TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
+{
+    sf_assert(static_cast<int>(threads.size()) == _cfg.numTiles(),
+              "need one op source per tile (%zu vs %d)", threads.size(),
+              _cfg.numTiles());
+    _threads = threads;
+    _coresDone = 0;
+
+    for (TileId t = 0; t < _cfg.numTiles(); ++t) {
+        std::string cn = "tile" + std::to_string(t) + ".core";
+        _cores[t] = std::make_unique<cpu::Core>(
+            cn, _eq, t, _cfg.core, *_priv[t], *_tlbs[t], *_as,
+            _barrier.get(), _threads[t].get());
+        if (_seCores[t]) {
+            _cores[t]->setStreamEngine(_seCores[t].get());
+            _seCores[t]->setWakeHook(
+                [c = _cores[t].get()]() { c->wake(); });
+        }
+        _cores[t]->onDone = [this]() { ++_coresDone; };
+    }
+    for (auto &c : _cores)
+        c->start();
+
+    bool hit_limit = false;
+    while (_coresDone < _cfg.numTiles()) {
+        if (_eq.empty()) {
+            panic("deadlock: %d/%d cores done, no pending events",
+                  _coresDone, _cfg.numTiles());
+        }
+        if (_eq.curTick() > _cfg.maxCycles) {
+            hit_limit = true;
+            warn("cycle limit reached (%llu)",
+                 (unsigned long long)_cfg.maxCycles);
+            break;
+        }
+        _eq.step();
+    }
+
+    return collect(hit_limit);
+}
+
+void
+TiledSystem::dumpStats(std::ostream &os) const
+{
+    for (TileId t = 0; t < _cfg.numTiles(); ++t) {
+        std::string tn = "tile" + std::to_string(t);
+        if (_cores[t]) {
+            stats::StatGroup g(tn + ".core");
+            _cores[t]->stats().regStats(g);
+            g.dump(os);
+        }
+        {
+            stats::StatGroup g(tn + ".priv");
+            _priv[t]->stats().regStats(g);
+            g.dump(os);
+        }
+        {
+            stats::StatGroup g(tn + ".l3");
+            _l3[t]->stats().regStats(g);
+            g.dump(os);
+        }
+        if (_seCores[t]) {
+            stats::StatGroup g(tn + ".seCore");
+            _seCores[t]->stats().regStats(g);
+            g.dump(os);
+        }
+        if (_seL2[t]) {
+            stats::StatGroup g(tn + ".seL2");
+            _seL2[t]->stats().regStats(g);
+            g.dump(os);
+        }
+        if (_seL3[t]) {
+            stats::StatGroup g(tn + ".seL3");
+            _seL3[t]->stats().regStats(g);
+            g.dump(os);
+        }
+    }
+    os << "mesh.flitHops.control " << _mesh->traffic().flitHops[0]
+       << "\n";
+    os << "mesh.flitHops.data " << _mesh->traffic().flitHops[1] << "\n";
+    os << "mesh.flitHops.streamMgmt " << _mesh->traffic().flitHops[2]
+       << "\n";
+    os << "mesh.utilization " << _mesh->linkUtilization() << "\n";
+}
+
+SimResults
+TiledSystem::collect(bool hit_limit)
+{
+    SimResults r;
+    r.hitCycleLimit = hit_limit;
+    for (auto &c : _cores) {
+        r.cycles = std::max(r.cycles, c->stats().doneTick);
+        r.committedOps += c->stats().committedOps;
+    }
+    if (hit_limit)
+        r.cycles = _eq.curTick();
+
+    r.traffic = _mesh->traffic();
+    r.nocUtilization = _mesh->linkUtilization();
+
+    uint64_t se_core_events = 0, se_l2_events = 0, se_l3_events = 0;
+    uint64_t tlb_accesses = 0;
+
+    for (TileId t = 0; t < _cfg.numTiles(); ++t) {
+        const auto &ps = _priv[t]->stats();
+        r.l1Hits += ps.l1Hits;
+        r.l1Misses += ps.l1Misses;
+        r.l2Hits += ps.l2Hits;
+        r.l2Misses += ps.l2Misses;
+        r.l2Evictions += ps.l2Evictions;
+        r.l2EvictionsUnreused += ps.l2EvictionsUnreused;
+        r.l2EvictionsUnreusedStream += ps.l2EvictionsUnreusedStream;
+        r.unreusedDataFlits += ps.unreusedDataFlits;
+        r.unreusedCtrlFlits += ps.unreusedCtrlFlits;
+        r.prefetchesIssued += ps.prefetchesIssued;
+        r.prefetchesUseful += ps.prefetchesUseful;
+
+        const auto &ls = _l3[t]->stats();
+        r.l3Hits += ls.hits;
+        r.l3Misses += ls.misses;
+        for (size_t k = 0; k < r.l3RequestsByClass.size(); ++k)
+            r.l3RequestsByClass[k] += ls.requestsByClass[k];
+
+        if (_memCtrls[t]) {
+            r.dramReads += _memCtrls[t]->channel().reads;
+            r.dramWrites += _memCtrls[t]->channel().writes;
+        }
+        if (_seCores[t]) {
+            const auto &ss = _seCores[t]->stats();
+            r.streamsFloated += ss.streamsFloated;
+            r.streamsSunk += ss.streamsSunk;
+            se_core_events += ss.elementsConsumed;
+        }
+        if (_seL2[t]) {
+            const auto &s2 = _seL2[t]->stats();
+            r.creditMessages += s2.creditsSent;
+            se_l2_events += s2.dataArrived;
+        }
+        if (_seL3[t]) {
+            const auto &s3 = _seL3[t]->stats();
+            r.migrations += s3.migrationsOut;
+            r.confluenceMerges += s3.confluenceMerges;
+            r.confluenceRequests += s3.confluenceRequests;
+            r.seL3LineRequests += s3.lineRequestsIssued;
+            r.seL3IndirectRequests += s3.indirectRequestsIssued;
+            se_l3_events += s3.lineRequestsIssued +
+                            s3.indirectRequestsIssued;
+        }
+        tlb_accesses += _tlbs[t]->l1().hits + _tlbs[t]->l1().misses;
+    }
+
+    uint64_t total_l2 = r.l2Hits + r.l2Misses;
+    r.l2HitRate = total_l2 ? double(r.l2Hits) / total_l2 : 0.0;
+    uint64_t total_l3 = r.l3Hits + r.l3Misses;
+    r.l3HitRate = total_l3 ? double(r.l3Hits) / total_l3 : 0.0;
+
+    // Energy.
+    energy::EnergyEvents ev;
+    for (auto &c : _cores) {
+        ev.intOps += c->stats().intOps;
+        ev.fpOps += c->stats().fpOps;
+        ev.memOps += c->stats().committedLoads +
+                     c->stats().committedStores +
+                     c->stats().committedStreamLoads +
+                     c->stats().committedStreamStores;
+    }
+    ev.l1Accesses = r.l1Hits + r.l1Misses;
+    ev.l2Accesses = r.l2Hits + r.l2Misses;
+    ev.l3Accesses = r.l3Hits + r.l3Misses;
+    ev.tlbAccesses = tlb_accesses;
+    ev.dramLines = r.dramReads + r.dramWrites;
+    ev.flitHops = r.traffic.totalFlitHops();
+    ev.seCoreEvents = se_core_events;
+    ev.seL2Events = se_l2_events;
+    ev.seL3Events = se_l3_events;
+    ev.cycles = r.cycles;
+    ev.numTiles = _cfg.numTiles();
+    ev.coreLabel = _cfg.core.label;
+    ev.streamHardware = machineUsesStreams(_cfg.machine);
+    r.energy = energy::computeEnergy(ev);
+    r.energyNj = r.energy.total();
+    return r;
+}
+
+} // namespace sys
+} // namespace sf

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * TiledSystem: assembles the full CMP from a SystemConfig - mesh,
+ * per-tile core + SE_core + L1/L2 + SE_L2 + L3 bank + SE_L3, corner
+ * memory controllers, prefetchers per machine variant - runs a
+ * workload to completion, and aggregates SimResults.
+ */
+
+#ifndef SF_SYSTEM_TILED_SYSTEM_HH
+#define SF_SYSTEM_TILED_SYSTEM_HH
+
+#include <functional>
+#include <ostream>
+#include <memory>
+#include <vector>
+
+#include "cpu/barrier.hh"
+#include "cpu/core.hh"
+#include "flt/se_l2.hh"
+#include "flt/se_l3.hh"
+#include "isa/op_source.hh"
+#include "mem/l3_bank.hh"
+#include "mem/mem_ctrl.hh"
+#include "mem/phys_mem.hh"
+#include "mem/priv_cache.hh"
+#include "mem/tlb.hh"
+#include "noc/mesh.hh"
+#include "prefetch/bingo.hh"
+#include "prefetch/stride.hh"
+#include "system/config.hh"
+#include "system/results.hh"
+
+namespace sf {
+namespace sys {
+
+/** One fully assembled simulated machine. */
+class TiledSystem
+{
+  public:
+    explicit TiledSystem(const SystemConfig &cfg);
+    ~TiledSystem();
+
+    /** The shared address space all workload threads run in. */
+    mem::AddressSpace &addressSpace() { return *_as; }
+    EventQueue &eventQueue() { return _eq; }
+    const SystemConfig &config() const { return _cfg; }
+    noc::Mesh &mesh() { return *_mesh; }
+
+    /**
+     * Attach one op source per tile (workload threads) and run to
+     * completion (or the cycle limit).
+     */
+    SimResults run(
+        const std::vector<std::shared_ptr<isa::OpSource>> &threads);
+
+    /**
+     * Write the full per-component statistics dump (the gem5
+     * stats-file equivalent) to @p os.
+     */
+    void dumpStats(std::ostream &os) const;
+
+    /** Component access for tests. */
+    mem::PrivCache &privCache(TileId t) { return *_priv[t]; }
+    mem::L3Bank &l3Bank(TileId t) { return *_l3[t]; }
+    cpu::Core &core(TileId t) { return *_cores[t]; }
+    stream::SECore *seCore(TileId t) { return _seCores[t].get(); }
+    flt::SEL2 *seL2(TileId t) { return _seL2[t].get(); }
+    flt::SEL3 *seL3(TileId t) { return _seL3[t].get(); }
+
+  private:
+    void buildTiles();
+    void dispatch(TileId tile, const noc::MsgPtr &msg);
+    SimResults collect(bool hit_limit);
+
+    SystemConfig _cfg;
+    EventQueue _eq;
+    mem::PhysMem _physMem;
+    std::unique_ptr<mem::AddressSpace> _as;
+    std::unique_ptr<noc::Mesh> _mesh;
+    std::unique_ptr<mem::NucaMap> _nuca;
+    std::unique_ptr<cpu::BarrierController> _barrier;
+
+    std::vector<std::unique_ptr<mem::TlbHierarchy>> _tlbs;
+    std::vector<std::unique_ptr<mem::PrivCache>> _priv;
+    std::vector<std::unique_ptr<mem::L3Bank>> _l3;
+    std::vector<std::unique_ptr<mem::MemCtrl>> _memCtrls; // by tile
+    std::vector<std::unique_ptr<stream::SECore>> _seCores;
+    std::vector<std::unique_ptr<flt::SEL2>> _seL2;
+    std::vector<std::unique_ptr<flt::SEL3>> _seL3;
+    std::vector<std::unique_ptr<mem::PrefetchObserverIf>> _l1Pf;
+    std::vector<std::unique_ptr<mem::PrefetchObserverIf>> _l2Pf;
+    std::vector<std::unique_ptr<cpu::Core>> _cores;
+    std::vector<std::shared_ptr<isa::OpSource>> _threads;
+
+    int _coresDone = 0;
+};
+
+} // namespace sys
+} // namespace sf
+
+#endif // SF_SYSTEM_TILED_SYSTEM_HH

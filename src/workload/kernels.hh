@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internal factory declarations for the 12 evaluated benchmarks
+ * (Table IV). Use workload::makeWorkload() from outside.
+ */
+
+#ifndef SF_WORKLOAD_KERNELS_HH
+#define SF_WORKLOAD_KERNELS_HH
+
+#include <memory>
+
+#include "workload/workload.hh"
+
+namespace sf {
+namespace workload {
+
+std::unique_ptr<Workload> makeConv3d(const WorkloadParams &p);
+std::unique_ptr<Workload> makeMv(const WorkloadParams &p);
+std::unique_ptr<Workload> makeBtree(const WorkloadParams &p);
+std::unique_ptr<Workload> makeBfs(const WorkloadParams &p);
+std::unique_ptr<Workload> makeCfd(const WorkloadParams &p);
+std::unique_ptr<Workload> makeHotspot(const WorkloadParams &p);
+std::unique_ptr<Workload> makeHotspot3D(const WorkloadParams &p);
+std::unique_ptr<Workload> makeNn(const WorkloadParams &p);
+std::unique_ptr<Workload> makeNw(const WorkloadParams &p);
+std::unique_ptr<Workload> makeParticlefilter(const WorkloadParams &p);
+std::unique_ptr<Workload> makePathfinder(const WorkloadParams &p);
+std::unique_ptr<Workload> makeSrad(const WorkloadParams &p);
+
+} // namespace workload
+} // namespace sf
+
+#endif // SF_WORKLOAD_KERNELS_HH

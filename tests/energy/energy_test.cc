@@ -1,0 +1,107 @@
+/** @file Unit tests for the energy / area model. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+using namespace sf::energy;
+
+namespace {
+
+EnergyEvents
+baseEvents()
+{
+    EnergyEvents e;
+    e.intOps = 1000;
+    e.fpOps = 500;
+    e.memOps = 600;
+    e.l1Accesses = 800;
+    e.l2Accesses = 300;
+    e.l3Accesses = 100;
+    e.dramLines = 50;
+    e.flitHops = 2000;
+    e.cycles = 10000;
+    e.numTiles = 16;
+    e.coreLabel = "OOO4";
+    return e;
+}
+
+} // namespace
+
+TEST(Energy, TotalIsSumOfComponents)
+{
+    auto b = computeEnergy(baseEvents());
+    EXPECT_NEAR(b.total(),
+                b.core + b.caches + b.noc + b.dram + b.streamEngines +
+                    b.staticLeakage,
+                1e-9);
+    EXPECT_GT(b.total(), 0.0);
+}
+
+TEST(Energy, MoreTrafficMoreNocEnergy)
+{
+    auto e1 = baseEvents();
+    auto e2 = baseEvents();
+    e2.flitHops *= 2;
+    EXPECT_GT(computeEnergy(e2).noc, computeEnergy(e1).noc);
+    EXPECT_EQ(computeEnergy(e2).core, computeEnergy(e1).core);
+}
+
+TEST(Energy, DramDominatesPerEvent)
+{
+    EnergyParams p;
+    EXPECT_GT(p.dramLine, p.l3Access);
+    EXPECT_GT(p.l3Access, p.l2Access);
+    EXPECT_GT(p.l2Access, p.l1Access);
+}
+
+TEST(Energy, CoreClassOrdering)
+{
+    auto io = baseEvents();
+    io.coreLabel = "IO4";
+    auto o4 = baseEvents();
+    o4.coreLabel = "OOO4";
+    auto o8 = baseEvents();
+    o8.coreLabel = "OOO8";
+    // Same work costs more on wider OOO cores (dynamic + static).
+    EXPECT_LT(computeEnergy(io).total(), computeEnergy(o4).total());
+    EXPECT_LT(computeEnergy(o4).total(), computeEnergy(o8).total());
+}
+
+TEST(Energy, StaticScalesWithTimeAndTiles)
+{
+    auto e1 = baseEvents();
+    auto e2 = baseEvents();
+    e2.cycles *= 3;
+    EXPECT_NEAR(computeEnergy(e2).staticLeakage,
+                3 * computeEnergy(e1).staticLeakage, 1e-6);
+    auto e3 = baseEvents();
+    e3.numTiles *= 4;
+    EXPECT_NEAR(computeEnergy(e3).staticLeakage,
+                4 * computeEnergy(e1).staticLeakage, 1e-6);
+}
+
+TEST(Energy, StreamHardwareAddsStaticPower)
+{
+    auto without = baseEvents();
+    auto with = baseEvents();
+    with.streamHardware = true;
+    EXPECT_GT(computeEnergy(with).staticLeakage,
+              computeEnergy(without).staticLeakage);
+}
+
+TEST(Area, MatchesPaperSection7A)
+{
+    // §VII-A: SE_L3 config storage 48kB = 0.11mm^2, TLB 0.04mm^2,
+    // ~4.5% of an L3 bank; SE_L2 adds 0.09 + 0.05 = 0.14mm^2 on a
+    // 1.85mm^2 L2 (~9% with the tag extension).
+    EXPECT_NEAR(AreaModel::seL3ConfigArea(), 0.11, 0.01);
+    double l3_overhead =
+        (AreaModel::seL3ConfigArea() + AreaModel::seL3TlbArea()) /
+        AreaModel::l3BankArea();
+    EXPECT_NEAR(l3_overhead, 0.045, 0.005);
+    double l2_overhead = (AreaModel::seL2BufferArea() +
+                          AreaModel::seL2ConfigArea() + 0.02) /
+                         AreaModel::l2Area();
+    EXPECT_NEAR(l2_overhead, 0.09, 0.02);
+}

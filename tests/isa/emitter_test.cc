@@ -1,0 +1,123 @@
+/** @file Unit tests for the op emitter / OpSource plumbing. */
+
+#include <gtest/gtest.h>
+
+#include "isa/op_source.hh"
+
+using namespace sf;
+using namespace sf::isa;
+
+namespace {
+
+/** Minimal emitter exposing the protected helpers. */
+class Probe : public OpEmitter
+{
+  public:
+    size_t
+    refill(std::vector<Op> &out) override
+    {
+        return 0;
+    }
+
+    using OpEmitter::emitBarrier;
+    using OpEmitter::emitCompute;
+    using OpEmitter::emitLoad;
+    using OpEmitter::emitStore;
+    using OpEmitter::emitStreamCfg;
+    using OpEmitter::emitStreamEnd;
+    using OpEmitter::emitStreamLoad;
+    using OpEmitter::emitStreamStep;
+    using OpEmitter::pos;
+};
+
+} // namespace
+
+TEST(OpEmitter, PositionsStartAtOneAndIncrement)
+{
+    Probe p;
+    std::vector<Op> out;
+    EXPECT_EQ(p.pos(), 1u);
+    uint64_t a = p.emitCompute(out, OpKind::IntAlu);
+    uint64_t b = p.emitCompute(out, OpKind::IntAlu);
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u);
+    EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(OpEmitter, DependencesAreRelativeBackReferences)
+{
+    Probe p;
+    std::vector<Op> out;
+    uint64_t a = p.emitLoad(out, 0x100, 4, 1);
+    uint64_t b = p.emitLoad(out, 0x200, 4, 2);
+    p.emitCompute(out, OpKind::FpAlu, a, b);
+    const Op &add = out.back();
+    EXPECT_EQ(add.numSrcs, 2);
+    EXPECT_EQ(add.srcs[0], 2); // a is 2 back
+    EXPECT_EQ(add.srcs[1], 1); // b is 1 back
+}
+
+TEST(OpEmitter, ZeroDependenceIsIgnored)
+{
+    Probe p;
+    std::vector<Op> out;
+    p.emitCompute(out, OpKind::IntAlu, 0, 0, 0);
+    EXPECT_EQ(out.back().numSrcs, 0);
+}
+
+TEST(OpEmitter, FarDependencesAreDropped)
+{
+    Probe p;
+    std::vector<Op> out;
+    uint64_t first = p.emitCompute(out, OpKind::IntAlu);
+    for (int i = 0; i < 70000; ++i)
+        p.emitCompute(out, OpKind::IntAlu);
+    p.emitCompute(out, OpKind::IntAlu, first);
+    // Beyond the 16-bit window the dependence is dropped, not wrapped.
+    EXPECT_EQ(out.back().numSrcs, 0);
+}
+
+TEST(OpEmitter, StreamCfgRegistersGroups)
+{
+    Probe p;
+    std::vector<Op> out;
+    StreamConfig a;
+    a.sid = 0;
+    StreamConfig b;
+    b.sid = 1;
+    p.emitStreamCfg(out, {a, b});
+    p.emitStreamCfg(out, {a});
+    EXPECT_EQ(out[0].kind, OpKind::StreamCfg);
+    EXPECT_EQ(out[0].cfgIdx, 0);
+    EXPECT_EQ(out[1].cfgIdx, 1);
+    EXPECT_EQ(p.streamConfigGroup(0).size(), 2u);
+    EXPECT_EQ(p.streamConfigGroup(1).size(), 1u);
+}
+
+TEST(OpEmitter, StreamOpsCarrySidAndElems)
+{
+    Probe p;
+    std::vector<Op> out;
+    p.emitStreamLoad(out, 3, 16, 64);
+    p.emitStreamStep(out, 3, 16);
+    p.emitStreamEnd(out, 3);
+    EXPECT_EQ(out[0].kind, OpKind::StreamLoad);
+    EXPECT_EQ(out[0].sid, 3);
+    EXPECT_EQ(out[0].elems, 16);
+    EXPECT_EQ(out[0].size, 64);
+    EXPECT_EQ(out[1].kind, OpKind::StreamStep);
+    EXPECT_EQ(out[2].kind, OpKind::StreamEnd);
+}
+
+TEST(OpKindHelpers, Classification)
+{
+    EXPECT_TRUE(isMemOp(OpKind::Load));
+    EXPECT_TRUE(isMemOp(OpKind::StreamStore));
+    EXPECT_FALSE(isMemOp(OpKind::IntAlu));
+    EXPECT_TRUE(isStreamOp(OpKind::StreamCfg));
+    EXPECT_FALSE(isStreamOp(OpKind::Barrier));
+    EXPECT_EQ(fuClassOf(OpKind::IntDiv), FuClass::IntMultDiv);
+    EXPECT_EQ(fuClassOf(OpKind::Load), FuClass::Mem);
+    EXPECT_EQ(opLatency(OpKind::FpDiv), 12u);
+    EXPECT_EQ(opLatency(OpKind::IntAlu), 1u);
+}

@@ -1,0 +1,78 @@
+/** @file Unit tests for static-NUCA interleaving. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/nuca.hh"
+
+using namespace sf;
+using namespace sf::mem;
+
+TEST(Nuca, RoundRobinAcrossBanks)
+{
+    NucaMap m(4, 4, 64);
+    for (Addr a = 0; a < 64 * 32; a += 64)
+        EXPECT_EQ(m.bankOf(a), static_cast<TileId>((a / 64) % 16));
+}
+
+TEST(Nuca, InterleaveGranularityGroupsLines)
+{
+    NucaMap m(4, 4, 1024);
+    TileId b = m.bankOf(0);
+    for (Addr a = 0; a < 1024; a += 64)
+        EXPECT_EQ(m.bankOf(a), b);
+    EXPECT_NE(m.bankOf(1024), b);
+}
+
+TEST(Nuca, BankBoundary)
+{
+    NucaMap m(4, 4, 1024);
+    EXPECT_EQ(m.bankBoundary(0), 1024u);
+    EXPECT_EQ(m.bankBoundary(1023), 1024u);
+    EXPECT_EQ(m.bankBoundary(1024), 2048u);
+}
+
+TEST(Nuca, MemCtrlsAtCorners)
+{
+    NucaMap m(8, 8, 64);
+    const auto &c = m.memCtrls();
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_EQ(c[0], 0);
+    EXPECT_EQ(c[1], 7);
+    EXPECT_EQ(c[2], 56);
+    EXPECT_EQ(c[3], 63);
+}
+
+TEST(Nuca, MemCtrlMappingCoversAllControllers)
+{
+    NucaMap m(4, 4, 64);
+    std::set<TileId> used;
+    for (Addr page = 0; page < 16; ++page)
+        used.insert(m.memCtrlOf(page << 12));
+    EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(Nuca, RejectsBadInterleave)
+{
+    EXPECT_THROW(NucaMap(2, 2, 32), PanicError);   // < line size
+    EXPECT_THROW(NucaMap(2, 2, 100), PanicError);  // not a power of 2
+}
+
+class NucaInterleaveSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(NucaInterleaveSweep, AllBanksUsedUniformly)
+{
+    uint32_t gran = GetParam();
+    NucaMap m(4, 4, gran);
+    std::vector<int> counts(16, 0);
+    for (Addr a = 0; a < uint64_t(gran) * 16 * 8; a += gran)
+        ++counts[static_cast<size_t>(m.bankOf(a))];
+    for (int c : counts)
+        EXPECT_EQ(c, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, NucaInterleaveSweep,
+                         ::testing::Values(64u, 256u, 1024u, 4096u));

@@ -1,0 +1,104 @@
+/** @file Unit tests for replacement policies (LRU, Bimodal RRIP). */
+
+#include <gtest/gtest.h>
+
+#include "mem/replacement.hh"
+
+using namespace sf;
+using namespace sf::mem;
+
+TEST(Lru, EvictsLeastRecentlyTouched)
+{
+    LruReplacement lru(1, 4);
+    for (uint32_t w = 0; w < 4; ++w)
+        lru.insert(0, w);
+    lru.touch(0, 0); // 0 is MRU, 1 is LRU
+    EXPECT_EQ(lru.victim(0), 1u);
+    lru.touch(0, 1);
+    EXPECT_EQ(lru.victim(0), 2u);
+}
+
+TEST(Lru, SetsAreIndependent)
+{
+    LruReplacement lru(2, 2);
+    lru.insert(0, 0);
+    lru.insert(0, 1);
+    lru.insert(1, 1);
+    lru.insert(1, 0);
+    EXPECT_EQ(lru.victim(0), 0u);
+    EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(Brrip, HitPromotionProtectsLine)
+{
+    BrripReplacement rrip(1, 4, 0.0);
+    for (uint32_t w = 0; w < 4; ++w)
+        rrip.insert(0, w);
+    rrip.touch(0, 2); // promote way 2 to RRPV 0
+    // Victim search should avoid way 2 until everything ages.
+    uint32_t v = rrip.victim(0);
+    EXPECT_NE(v, 2u);
+}
+
+TEST(Brrip, VictimAlwaysFound)
+{
+    BrripReplacement rrip(4, 8);
+    for (size_t s = 0; s < 4; ++s) {
+        for (uint32_t w = 0; w < 8; ++w) {
+            rrip.insert(s, w);
+            rrip.touch(s, w);
+        }
+        uint32_t v = rrip.victim(s);
+        EXPECT_LT(v, 8u);
+    }
+}
+
+/**
+ * Thrash-resistance property: with a reused working set of W lines
+ * plus a long scan through a set of associativity W+k, BRRIP keeps
+ * more of the reused set resident than LRU does (the paper's Table III
+ * baseline exists exactly to blunt streaming thrash).
+ */
+TEST(Brrip, ScanResistanceBeatsLru)
+{
+    constexpr uint32_t ways = 8;
+    auto run = [&](Replacement &repl) {
+        // Simulated set: tags[way]
+        std::vector<int> tags(ways, -1);
+        auto access = [&](int tag) -> bool {
+            for (uint32_t w = 0; w < ways; ++w) {
+                if (tags[w] == tag) {
+                    repl.touch(0, w);
+                    return true;
+                }
+            }
+            uint32_t v = repl.victim(0);
+            tags[v] = tag;
+            repl.insert(0, v);
+            return false;
+        };
+        int hits = 0;
+        // Interleave: reuse 4 hot lines, scan 1000 cold ones.
+        for (int round = 0; round < 200; ++round) {
+            for (int hot = 0; hot < 4; ++hot)
+                hits += access(hot);
+            for (int cold = 0; cold < 5; ++cold)
+                access(100 + round * 5 + cold);
+        }
+        return hits;
+    };
+
+    LruReplacement lru(1, ways);
+    BrripReplacement rrip(1, ways, 0.03);
+    int lru_hits = run(lru);
+    int rrip_hits = run(rrip);
+    EXPECT_GT(rrip_hits, lru_hits);
+}
+
+TEST(MakeReplacement, Factory)
+{
+    auto l = makeReplacement(ReplPolicy::LRU, 4, 4);
+    auto b = makeReplacement(ReplPolicy::BRRIP, 4, 4);
+    EXPECT_NE(dynamic_cast<LruReplacement *>(l.get()), nullptr);
+    EXPECT_NE(dynamic_cast<BrripReplacement *>(b.get()), nullptr);
+}

@@ -1,0 +1,91 @@
+/** @file Unit tests for the TLB model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+
+using namespace sf;
+using namespace sf::mem;
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(64, 8);
+    EXPECT_FALSE(tlb.lookup(0x1000));
+    tlb.insert(0x1000);
+    EXPECT_TRUE(tlb.lookup(0x1000));
+    EXPECT_TRUE(tlb.lookup(0x1fff)); // same page
+    EXPECT_FALSE(tlb.lookup(0x2000)); // next page
+    EXPECT_EQ(tlb.hits.value(), 2u);
+    EXPECT_EQ(tlb.misses.value(), 2u);
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    // Direct construct a tiny TLB: 2 sets x 2 ways.
+    Tlb tlb(4, 2);
+    // Pages 0, 2, 4 all map to set 0 (even page numbers).
+    tlb.insert(0 * pageBytes);
+    tlb.insert(2 * pageBytes);
+    EXPECT_TRUE(tlb.lookup(0 * pageBytes)); // 0 becomes MRU
+    tlb.insert(4 * pageBytes);              // evicts page 2
+    EXPECT_TRUE(tlb.lookup(0 * pageBytes));
+    EXPECT_FALSE(tlb.lookup(2 * pageBytes));
+    EXPECT_TRUE(tlb.lookup(4 * pageBytes));
+}
+
+TEST(Tlb, InsertIsIdempotent)
+{
+    Tlb tlb(4, 2);
+    tlb.insert(0x5000);
+    tlb.insert(0x5000);
+    tlb.insert(0x5000);
+    EXPECT_TRUE(tlb.lookup(0x5000));
+}
+
+TEST(Tlb, FlushClearsEverything)
+{
+    Tlb tlb(64, 8);
+    tlb.insert(0x1000);
+    tlb.flush();
+    EXPECT_FALSE(tlb.lookup(0x1000));
+}
+
+TEST(TlbHierarchy, LatencyDependsOnLevel)
+{
+    PhysMem pm;
+    AddressSpace as(0, pm);
+    Addr v = as.alloc(4 * pageBytes);
+    TlbHierarchy h(64, 8, 2048, 16, 8, 80);
+
+    Cycles lat = ~0ull;
+    h.translate(as, v, lat);
+    EXPECT_EQ(lat, 88u); // L2 miss: 8 + 80 walk
+
+    h.translate(as, v, lat);
+    EXPECT_EQ(lat, 0u); // L1 hit
+}
+
+TEST(TlbHierarchy, L2BacksUpL1)
+{
+    PhysMem pm;
+    AddressSpace as(0, pm);
+    TlbHierarchy h(4, 2, 64, 8, 8, 80);
+    // Touch many pages so the tiny L1 evicts but the L2 holds them.
+    Addr v = as.alloc(32 * pageBytes);
+    Cycles lat = 0;
+    for (int i = 0; i < 32; ++i)
+        h.translate(as, v + static_cast<Addr>(i) * pageBytes, lat);
+    // Re-touch the first page: L1 evicted it, the L2 still has it.
+    h.translate(as, v, lat);
+    EXPECT_EQ(lat, 8u);
+}
+
+TEST(TlbHierarchy, TranslationMatchesAddressSpace)
+{
+    PhysMem pm;
+    AddressSpace as(0, pm);
+    TlbHierarchy h(64, 8, 2048, 16, 8, 80);
+    Addr v = as.alloc(pageBytes);
+    Cycles lat = 0;
+    EXPECT_EQ(h.translate(as, v + 123, lat), as.translate(v + 123));
+}

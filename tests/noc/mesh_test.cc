@@ -1,0 +1,199 @@
+/** @file Unit tests for the mesh NoC. */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+
+using namespace sf;
+using namespace sf::noc;
+
+namespace {
+
+struct Harness
+{
+    explicit Harness(MeshConfig cfg = MeshConfig{})
+        : mesh(eq, cfg)
+    {
+        for (TileId t = 0; t < mesh.numTiles(); ++t) {
+            mesh.bindSink(t, [this, t](const MsgPtr &m) {
+                arrivals.push_back({t, eq.curTick()});
+            });
+        }
+    }
+
+    MsgPtr
+    makeMsg(TileId src, std::vector<TileId> dests, uint32_t payload,
+            FlitClass cls = FlitClass::Control)
+    {
+        auto m = std::make_shared<Message>();
+        m->src = src;
+        m->dests = std::move(dests);
+        m->payloadBytes = payload;
+        m->cls = cls;
+        return m;
+    }
+
+    EventQueue eq;
+    Mesh mesh;
+    std::vector<std::pair<TileId, Tick>> arrivals;
+};
+
+} // namespace
+
+TEST(Mesh, HopDistanceIsManhattan)
+{
+    Harness h;
+    // 8x8 default: tile 0=(0,0), tile 63=(7,7)
+    EXPECT_EQ(h.mesh.hopDistance(0, 63), 14);
+    EXPECT_EQ(h.mesh.hopDistance(0, 0), 0);
+    EXPECT_EQ(h.mesh.hopDistance(0, 7), 7);
+    EXPECT_EQ(h.mesh.hopDistance(9, 10), 1);
+}
+
+TEST(Mesh, FlitCountsFollowLinkWidth)
+{
+    MeshConfig c;
+    c.linkBits = 256;
+    Harness h(c);
+    // 8B header only -> 1 flit; 64B payload + 8B header = 576 bits ->
+    // 3 flits at 256-bit links.
+    EXPECT_EQ(h.mesh.flitsOf(0), 1u);
+    EXPECT_EQ(h.mesh.flitsOf(64), 3u);
+
+    MeshConfig wide;
+    wide.linkBits = 512;
+    Harness hw(wide);
+    EXPECT_EQ(hw.mesh.flitsOf(64), 2u);
+
+    MeshConfig narrow;
+    narrow.linkBits = 128;
+    Harness hn(narrow);
+    EXPECT_EQ(hn.mesh.flitsOf(64), 5u);
+}
+
+TEST(Mesh, LocalDeliveryTakesOneRouterPass)
+{
+    Harness h;
+    h.mesh.send(h.makeMsg(5, {5}, 0));
+    h.eq.run();
+    ASSERT_EQ(h.arrivals.size(), 1u);
+    EXPECT_EQ(h.arrivals[0].first, 5);
+    EXPECT_EQ(h.arrivals[0].second, h.mesh.config().routerLatency);
+}
+
+TEST(Mesh, SingleHopLatency)
+{
+    Harness h;
+    // 0 -> 1: inject router (5) + serialize (1 flit) + link (1) +
+    // eject router (5) = 12.
+    h.mesh.send(h.makeMsg(0, {1}, 0));
+    h.eq.run();
+    ASSERT_EQ(h.arrivals.size(), 1u);
+    EXPECT_EQ(h.arrivals[0].second, 12u);
+}
+
+TEST(Mesh, MultiHopLatencyScalesWithDistance)
+{
+    Harness h;
+    h.mesh.send(h.makeMsg(0, {7}, 0)); // 7 hops east
+    h.eq.run();
+    ASSERT_EQ(h.arrivals.size(), 1u);
+    // per hop: router 5 + serialize 1 + link 1 = 7; + final eject 5.
+    EXPECT_EQ(h.arrivals[0].second, 7u * 7 + 5);
+}
+
+TEST(Mesh, XYRoutingTraffic)
+{
+    Harness h;
+    h.mesh.send(h.makeMsg(0, {63}, 0));
+    h.eq.run();
+    // 14 hops, 1 flit each.
+    EXPECT_EQ(h.mesh.traffic().flitHops[0], 14u);
+    EXPECT_EQ(h.mesh.traffic().flitsInjected[0], 1u);
+}
+
+TEST(Mesh, DataMessagesCountDataFlits)
+{
+    Harness h;
+    h.mesh.send(h.makeMsg(0, {1}, 64, FlitClass::Data));
+    h.eq.run();
+    EXPECT_EQ(h.mesh.traffic().flitsInjected[1], 3u);
+    EXPECT_EQ(h.mesh.traffic().flitHops[1], 3u);
+    EXPECT_EQ(h.mesh.traffic().flitsInjected[0], 0u);
+}
+
+TEST(Mesh, SerializationCausesContention)
+{
+    Harness h;
+    // Two 3-flit data packets on the same link back-to-back: the
+    // second serializes after the first.
+    h.mesh.send(h.makeMsg(0, {1}, 64, FlitClass::Data));
+    h.mesh.send(h.makeMsg(0, {1}, 64, FlitClass::Data));
+    h.eq.run();
+    ASSERT_EQ(h.arrivals.size(), 2u);
+    Tick t0 = h.arrivals[0].second;
+    Tick t1 = h.arrivals[1].second;
+    EXPECT_EQ(t1 - t0, 3u); // 3 flits of serialization delay
+}
+
+TEST(Mesh, MulticastSharesCommonPathFlits)
+{
+    Harness h;
+    // 0 -> {6, 7}: the packet travels 0..6 once (6 hops) and forks for
+    // the last hop, instead of 6 + 7 = 13 unicast hops.
+    h.mesh.send(h.makeMsg(0, {6, 7}, 0));
+    h.eq.run();
+    EXPECT_EQ(h.arrivals.size(), 2u);
+    EXPECT_EQ(h.mesh.traffic().flitHops[0], 7u);
+}
+
+TEST(Mesh, MulticastDeliversToAllDestinations)
+{
+    Harness h;
+    std::vector<TileId> dests = {3, 12, 21, 60};
+    h.mesh.send(h.makeMsg(5, dests, 16));
+    h.eq.run();
+    EXPECT_EQ(h.arrivals.size(), dests.size());
+}
+
+TEST(Mesh, UtilizationBounded)
+{
+    Harness h;
+    for (int i = 0; i < 50; ++i)
+        h.mesh.send(h.makeMsg(0, {7}, 64, FlitClass::Data));
+    h.eq.run();
+    double u = h.mesh.linkUtilization();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+}
+
+class MeshSizeTest : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(MeshSizeTest, AllPairsDeliver)
+{
+    auto [nx, ny] = GetParam();
+    MeshConfig c;
+    c.nx = nx;
+    c.ny = ny;
+    Harness h(c);
+    int n = nx * ny;
+    int sent = 0;
+    for (TileId s = 0; s < n; s += 3) {
+        for (TileId d = 0; d < n; d += 5) {
+            h.mesh.send(h.makeMsg(s, {d}, 8));
+            ++sent;
+        }
+    }
+    h.eq.run();
+    EXPECT_EQ(static_cast<int>(h.arrivals.size()), sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshSizeTest,
+                         ::testing::Values(std::pair{1, 1},
+                                           std::pair{2, 2},
+                                           std::pair{4, 4},
+                                           std::pair{8, 8},
+                                           std::pair{4, 8}));

@@ -1,0 +1,152 @@
+/** @file Unit tests for the deterministic event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace sf;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.numPending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&]() { order.push_back(2); },
+                EventPriority::ClockTick);
+    eq.schedule(5, [&]() { order.push_back(0); },
+                EventPriority::Delivery);
+    eq.schedule(5, [&]() { order.push_back(1); },
+                EventPriority::Delivery);
+    eq.schedule(5, [&]() { order.push_back(3); }, EventPriority::Stat);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&]() {
+        eq.scheduleIn(5, [&]() { seen = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueue, DescheduleSkipsEvent)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto id = eq.schedule(10, [&]() { ran = true; });
+    eq.deschedule(id);
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, DescheduleOneOfManyAtSameTick)
+{
+    EventQueue eq;
+    int sum = 0;
+    eq.schedule(10, [&]() { sum += 1; });
+    auto id = eq.schedule(10, [&]() { sum += 10; });
+    eq.schedule(10, [&]() { sum += 100; });
+    eq.deschedule(id);
+    eq.run();
+    EXPECT_EQ(sum, 101);
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&]() { ++count; });
+    eq.schedule(20, [&]() { ++count; });
+    eq.schedule(30, [&]() { ++count; });
+    eq.run(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&]() { ++count; });
+    eq.schedule(2, [&]() { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 50)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 50);
+    EXPECT_EQ(eq.curTick(), 49u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(5, []() {}), PanicError);
+}
+
+TEST(EventQueue, NumExecutedCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(static_cast<Tick>(i), []() {});
+    eq.run();
+    EXPECT_EQ(eq.numExecuted(), 7u);
+}
+
+/** Determinism: two identical schedules produce identical traces. */
+TEST(EventQueue, DeterministicAcrossInstances)
+{
+    auto trace = []() {
+        EventQueue eq;
+        std::vector<Tick> t;
+        for (int i = 0; i < 100; ++i) {
+            eq.schedule(static_cast<Tick>((i * 37) % 50),
+                        [&t, &eq]() { t.push_back(eq.curTick()); });
+        }
+        eq.run();
+        return t;
+    };
+    EXPECT_EQ(trace(), trace());
+}

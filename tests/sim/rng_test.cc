@@ -1,0 +1,100 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+using namespace sf;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsNearHalf)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, RangeInclusiveCoversEndpoints)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.rangeInclusive(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+class RngRangeTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RngRangeTest, RangeStaysInBounds)
+{
+    uint64_t bound = GetParam();
+    Rng r(bound * 977 + 1);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(r.range(bound), bound);
+}
+
+TEST_P(RngRangeTest, RangeHitsMostBuckets)
+{
+    uint64_t bound = GetParam();
+    if (bound > 64)
+        GTEST_SKIP() << "bucket check for small bounds only";
+    Rng r(bound + 123);
+    std::vector<int> hits(bound, 0);
+    for (uint64_t i = 0; i < bound * 200; ++i)
+        ++hits[r.range(bound)];
+    int empty = 0;
+    for (int h : hits)
+        empty += h == 0;
+    EXPECT_EQ(empty, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngRangeTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 1000,
+                                           1u << 20, 1ull << 40));

@@ -1,0 +1,78 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace sf::stats;
+
+TEST(Scalar, IncrementAndAdd)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 10;
+    EXPECT_EQ(s.value(), 11u);
+    EXPECT_EQ(static_cast<uint64_t>(s), 11u);
+}
+
+TEST(Scalar, Reset)
+{
+    Scalar s;
+    s += 5;
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Average, MeanAndCount)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10, 4); // buckets [0,10) [10,20) [20,30) [30,40) + ovf
+    h.sample(5);
+    h.sample(15);
+    h.sample(35);
+    h.sample(1000);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.buckets()[4], 1u); // overflow bucket
+}
+
+TEST(Histogram, MeanTracksSamples)
+{
+    Histogram h(1, 8);
+    for (uint64_t v : {1, 2, 3, 4})
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(StatGroup, RegisterDumpAndFind)
+{
+    StatGroup g("cache");
+    Scalar hits, misses;
+    hits += 7;
+    misses += 3;
+    g.regScalar("hits", &hits);
+    g.regScalar("misses", &misses);
+
+    EXPECT_EQ(g.findScalar("hits")->value(), 7u);
+    EXPECT_EQ(g.findScalar("nothing"), nullptr);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("cache.hits 7"), std::string::npos);
+    EXPECT_NE(os.str().find("cache.misses 3"), std::string::npos);
+}

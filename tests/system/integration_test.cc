@@ -1,0 +1,224 @@
+/**
+ * @file
+ * End-to-end integration tests: whole-system runs across machine
+ * variants with invariants drawn from the paper's evaluation (traffic
+ * reduction, request-class shifts, confluence, telemetry sanity).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/tiled_system.hh"
+#include "workload/workload.hh"
+
+using namespace sf;
+using namespace sf::sys;
+
+namespace {
+
+SimResults
+run(Machine m, const std::string &wl_name, const cpu::CoreConfig &core,
+    int nx = 2, int ny = 2, double scale = 0.01,
+    uint32_t link_bits = 256)
+{
+    SystemConfig cfg = SystemConfig::make(m, core, nx, ny);
+    cfg.noc.linkBits = link_bits;
+    cfg.maxCycles = 30'000'000;
+    TiledSystem sys(cfg);
+    workload::WorkloadParams wp;
+    wp.numThreads = cfg.numTiles();
+    wp.scale = scale;
+    wp.useStreams = machineUsesStreams(m);
+    auto wl = workload::makeWorkload(wl_name, wp);
+    wl->init(sys.addressSpace());
+    SimResults r = sys.run(wl->makeAllThreads());
+    EXPECT_FALSE(r.hitCycleLimit) << wl_name;
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.committedOps, 0u);
+    return r;
+}
+
+} // namespace
+
+TEST(Integration, AllMachinesCompletePathfinder)
+{
+    for (Machine m : {Machine::Base, Machine::StridePf, Machine::BingoPf,
+                      Machine::StrideBulk, Machine::BingoBulk,
+                      Machine::SS, Machine::SFAff, Machine::SFInd,
+                      Machine::SF}) {
+        SimResults r = run(m, "pathfinder", cpu::CoreConfig::ooo4());
+        EXPECT_GT(r.traffic.totalFlitHops(), 0u) << machineName(m);
+    }
+}
+
+TEST(Integration, SfFloatsStreamsAndCutsTraffic)
+{
+    // Large enough that the matrix rows thrash the private caches.
+    SimResults base = run(Machine::Base, "mv", cpu::CoreConfig::ooo8(),
+                          2, 2, 0.2);
+    SimResults sf = run(Machine::SF, "mv", cpu::CoreConfig::ooo8(), 2,
+                        2, 0.2);
+    EXPECT_GT(sf.streamsFloated, 0u);
+    EXPECT_LT(sf.traffic.totalFlitHops(), base.traffic.totalFlitHops());
+}
+
+TEST(Integration, SfRequestsComeFromSEL3)
+{
+    SimResults sf = run(Machine::SF, "nn", cpu::CoreConfig::ooo8());
+    uint64_t floated = sf.l3RequestsByClass[2] + sf.l3RequestsByClass[3] +
+                       sf.l3RequestsByClass[4];
+    EXPECT_GT(floated, 0u);
+    // Affine floating dominates for nn (Fig. 14).
+    EXPECT_GT(sf.l3RequestsByClass[2], sf.l3RequestsByClass[3]);
+}
+
+TEST(Integration, IndirectFloatingOnlyInSfInd)
+{
+    SimResults aff = run(Machine::SFAff, "bfs", cpu::CoreConfig::ooo4());
+    SimResults ind = run(Machine::SFInd, "bfs", cpu::CoreConfig::ooo4());
+    EXPECT_EQ(aff.l3RequestsByClass[3], 0u);
+    EXPECT_GT(ind.l3RequestsByClass[3], 0u);
+    EXPECT_GT(ind.seL3IndirectRequests, 0u);
+}
+
+TEST(Integration, ConfluenceMergesOnSharedInput)
+{
+    SimResults sf = run(Machine::SF, "particlefilter",
+                        cpu::CoreConfig::ooo8(), 2, 2, 0.02);
+    EXPECT_GT(sf.confluenceMerges, 0u);
+    SimResults no_conf = run(Machine::SFInd, "particlefilter",
+                             cpu::CoreConfig::ooo8(), 2, 2, 0.02);
+    EXPECT_EQ(no_conf.confluenceMerges, 0u);
+}
+
+TEST(Integration, UnreusedEvictionTelemetryIsSane)
+{
+    // nn streams a record array larger than the private caches.
+    SimResults base = run(Machine::Base, "nn", cpu::CoreConfig::ooo4(),
+                          2, 2, 0.3);
+    EXPECT_GT(base.l2Evictions, 0u);
+    EXPECT_LE(base.l2EvictionsUnreused, base.l2Evictions);
+    EXPECT_LE(base.l2EvictionsUnreusedStream, base.l2EvictionsUnreused);
+    // These kernels are streaming: most evictions are unreused (the
+    // Fig. 2a motivation).
+    EXPECT_GT(double(base.l2EvictionsUnreused) / base.l2Evictions, 0.5);
+}
+
+TEST(Integration, PrefetchersIssueAndHit)
+{
+    SimResults st = run(Machine::StridePf, "pathfinder",
+                        cpu::CoreConfig::io4());
+    EXPECT_GT(st.prefetchesIssued, 0u);
+    EXPECT_GT(st.prefetchesUseful, 0u);
+}
+
+TEST(Integration, EnergyBreakdownIsPositiveAndComplete)
+{
+    SimResults r = run(Machine::SF, "hotspot", cpu::CoreConfig::ooo4());
+    EXPECT_GT(r.energy.core, 0.0);
+    EXPECT_GT(r.energy.caches, 0.0);
+    EXPECT_GT(r.energy.noc, 0.0);
+    EXPECT_GT(r.energy.staticLeakage, 0.0);
+    EXPECT_NEAR(r.energyNj, r.energy.total(), 1e-9);
+}
+
+TEST(Integration, WiderLinksDontSlowAnythingDown)
+{
+    SimResults narrow = run(Machine::SF, "pathfinder",
+                            cpu::CoreConfig::ooo8(), 2, 2, 0.01, 128);
+    SimResults wide = run(Machine::SF, "pathfinder",
+                          cpu::CoreConfig::ooo8(), 2, 2, 0.01, 512);
+    EXPECT_LE(wide.cycles, narrow.cycles * 11 / 10);
+    // Same payload, wider flits: fewer flit-hops.
+    EXPECT_LT(wide.traffic.totalFlitHops(),
+              narrow.traffic.totalFlitHops());
+}
+
+TEST(Integration, LargerMeshCompletes)
+{
+    SimResults r = run(Machine::SF, "hotspot", cpu::CoreConfig::ooo4(),
+                       4, 4, 0.02);
+    EXPECT_GT(r.streamsFloated, 0u);
+}
+
+TEST(Integration, NucaInterleavingAffectsMigrationCount)
+{
+    SystemConfig fine = SystemConfig::make(Machine::SF,
+                                           cpu::CoreConfig::ooo4(), 2, 2);
+    fine.nucaInterleave = 64;
+    SystemConfig coarse = SystemConfig::make(
+        Machine::SF, cpu::CoreConfig::ooo4(), 2, 2);
+    coarse.nucaInterleave = 4096;
+
+    auto run_cfg = [&](SystemConfig &cfg) {
+        cfg.maxCycles = 30'000'000;
+        TiledSystem sys(cfg);
+        workload::WorkloadParams wp;
+        wp.numThreads = cfg.numTiles();
+        wp.scale = 0.01;
+        wp.useStreams = true;
+        auto wl = workload::makeWorkload("nn", wp);
+        wl->init(sys.addressSpace());
+        return sys.run(wl->makeAllThreads());
+    };
+    SimResults r_fine = run_cfg(fine);
+    SimResults r_coarse = run_cfg(coarse);
+    EXPECT_GT(r_fine.migrations, r_coarse.migrations);
+}
+
+TEST(Integration, DeterministicRuns)
+{
+    SimResults a = run(Machine::SF, "srad", cpu::CoreConfig::ooo4());
+    SimResults b = run(Machine::SF, "srad", cpu::CoreConfig::ooo4());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.traffic.totalFlitHops(), b.traffic.totalFlitHops());
+    EXPECT_EQ(a.committedOps, b.committedOps);
+}
+
+class AllWorkloadsOnSf : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllWorkloadsOnSf, RunsToCompletion)
+{
+    SimResults r = run(Machine::SF, GetParam(), cpu::CoreConfig::ooo4());
+    EXPECT_GT(r.committedOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIV, AllWorkloadsOnSf,
+    ::testing::ValuesIn(workload::workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(Integration, StatsDumpCoversAllComponents)
+{
+    SystemConfig cfg = SystemConfig::make(Machine::SF,
+                                          cpu::CoreConfig::ooo4(), 2, 2);
+    TiledSystem sys(cfg);
+    workload::WorkloadParams wp;
+    wp.numThreads = 4;
+    wp.scale = 0.01;
+    wp.useStreams = true;
+    auto wl = workload::makeWorkload("nn", wp);
+    wl->init(sys.addressSpace());
+    sys.run(wl->makeAllThreads());
+
+    std::ostringstream os;
+    sys.dumpStats(os);
+    std::string s = os.str();
+    for (const char *key :
+         {"tile0.core.committedOps", "tile0.priv.l1Hits",
+          "tile0.l3.hits", "tile0.seCore.streamsFloated",
+          "tile0.seL2.dataArrived", "tile0.seL3.lineRequestsIssued",
+          "mesh.flitHops.data", "mesh.utilization"}) {
+        EXPECT_NE(s.find(key), std::string::npos) << key;
+    }
+}

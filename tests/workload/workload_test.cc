@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Workload generator tests, parameterized over all 12 benchmarks:
+ * every kernel must generate a finite op sequence in both plain and
+ * stream mode, with consistent barrier counts across threads, balanced
+ * stream configure/end pairs, and dependences that stay within the
+ * back-reference window.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/phys_mem.hh"
+#include "workload/workload.hh"
+
+using namespace sf;
+using namespace sf::workload;
+
+namespace {
+
+struct ThreadTrace
+{
+    uint64_t ops = 0;
+    uint64_t loads = 0, stores = 0;
+    uint64_t streamLoads = 0, streamStores = 0;
+    uint64_t barriers = 0;
+    uint64_t cfgs = 0, ends = 0;
+    uint64_t badDeps = 0;
+    uint64_t memBytes = 0;
+};
+
+ThreadTrace
+drainThread(isa::OpSource &src)
+{
+    ThreadTrace t;
+    std::vector<isa::Op> chunk;
+    uint64_t pos = 0;
+    int guard = 0;
+    while (src.refill(chunk) > 0 && ++guard < 2'000'000) {
+        for (const auto &op : chunk) {
+            ++pos;
+            ++t.ops;
+            switch (op.kind) {
+              case isa::OpKind::Load:
+                ++t.loads;
+                t.memBytes += op.size;
+                break;
+              case isa::OpKind::Store:
+                ++t.stores;
+                t.memBytes += op.size;
+                break;
+              case isa::OpKind::StreamLoad:
+                ++t.streamLoads;
+                break;
+              case isa::OpKind::StreamStore:
+                ++t.streamStores;
+                break;
+              case isa::OpKind::Barrier:
+                ++t.barriers;
+                break;
+              case isa::OpKind::StreamCfg:
+                t.cfgs += src.streamConfigGroup(op.cfgIdx).size();
+                break;
+              case isa::OpKind::StreamEnd:
+                ++t.ends;
+                break;
+              default:
+                break;
+            }
+            for (int s = 0; s < op.numSrcs; ++s) {
+                if (op.srcs[s] == 0 || op.srcs[s] > pos)
+                    ++t.badDeps;
+            }
+        }
+        chunk.clear();
+    }
+    EXPECT_LT(guard, 2'000'000) << "workload never finished";
+    return t;
+}
+
+struct WlSetup
+{
+    explicit WlSetup(const std::string &name, bool streams,
+                   int threads = 4)
+    {
+        WorkloadParams p;
+        p.numThreads = threads;
+        p.scale = 0.01;
+        p.useStreams = streams;
+        wl = makeWorkload(name, p);
+        as = std::make_unique<mem::AddressSpace>(0, pm);
+        wl->init(*as);
+    }
+
+    mem::PhysMem pm;
+    std::unique_ptr<mem::AddressSpace> as;
+    std::unique_ptr<Workload> wl;
+};
+
+class AllWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+TEST_P(AllWorkloads, PlainModeGeneratesMemoryTraffic)
+{
+    WlSetup s(GetParam(), false);
+    auto threads = s.wl->makeAllThreads();
+    uint64_t total_loads = 0;
+    for (auto &t : threads) {
+        ThreadTrace tr = drainThread(*t);
+        total_loads += tr.loads;
+        EXPECT_EQ(tr.streamLoads, 0u) << "plain mode must not stream";
+        EXPECT_EQ(tr.cfgs, 0u);
+        EXPECT_EQ(tr.badDeps, 0u);
+    }
+    EXPECT_GT(total_loads, 100u);
+}
+
+TEST_P(AllWorkloads, StreamModeUsesStreams)
+{
+    WlSetup s(GetParam(), true);
+    auto threads = s.wl->makeAllThreads();
+    uint64_t stream_loads = 0, cfgs = 0, ends = 0;
+    for (auto &t : threads) {
+        ThreadTrace tr = drainThread(*t);
+        stream_loads += tr.streamLoads;
+        cfgs += tr.cfgs;
+        ends += tr.ends;
+        EXPECT_EQ(tr.badDeps, 0u);
+    }
+    EXPECT_GT(stream_loads, 100u);
+    EXPECT_GT(cfgs, 0u);
+    // Every configured stream is eventually deconstructed.
+    EXPECT_EQ(cfgs, ends);
+}
+
+TEST_P(AllWorkloads, BarrierCountsAgreeAcrossThreads)
+{
+    WlSetup s(GetParam(), false);
+    auto threads = s.wl->makeAllThreads();
+    uint64_t expect = ~0ull;
+    for (auto &t : threads) {
+        ThreadTrace tr = drainThread(*t);
+        if (expect == ~0ull)
+            expect = tr.barriers;
+        EXPECT_EQ(tr.barriers, expect);
+    }
+    EXPECT_GE(expect, 1u);
+}
+
+TEST_P(AllWorkloads, DeterministicGeneration)
+{
+    auto fingerprint = [&]() {
+        WlSetup s(GetParam(), true, 2);
+        auto threads = s.wl->makeAllThreads();
+        uint64_t fp = 0;
+        for (auto &t : threads) {
+            ThreadTrace tr = drainThread(*t);
+            fp = fp * 1000003 + tr.ops * 31 + tr.streamLoads;
+        }
+        return fp;
+    };
+    EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+TEST_P(AllWorkloads, ScaleChangesWorkSize)
+{
+    // Spread the scales far enough apart that no dimension saturates
+    // at its floor in both configurations.
+    WorkloadParams small;
+    small.numThreads = 2;
+    small.scale = 0.02;
+    WorkloadParams big = small;
+    big.scale = 0.3;
+
+    mem::PhysMem pm1, pm2;
+    mem::AddressSpace as1(0, pm1), as2(0, pm2);
+    auto w1 = makeWorkload(GetParam(), small);
+    auto w2 = makeWorkload(GetParam(), big);
+    w1->init(as1);
+    w2->init(as2);
+    uint64_t ops1 = drainThread(*w1->makeThread(0)).ops;
+    uint64_t ops2 = drainThread(*w2->makeThread(0)).ops;
+    EXPECT_GT(ops2, ops1);
+}
+
+TEST_P(AllWorkloads, AccessCountsMatchAcrossModes)
+{
+    // The stream-specialized binary must perform exactly the same
+    // memory accesses as the plain binary: every loadView/storeView
+    // call becomes either a Load/Store or a StreamLoad/StreamStore.
+    WlSetup plain(GetParam(), false);
+    WlSetup streamed(GetParam(), true);
+    uint64_t plain_loads = 0, plain_stores = 0;
+    uint64_t stream_loads = 0, stream_stores = 0;
+    for (int t = 0; t < 4; ++t) {
+        ThreadTrace a = drainThread(*plain.wl->makeThread(t));
+        plain_loads += a.loads;
+        plain_stores += a.stores;
+        ThreadTrace b = drainThread(*streamed.wl->makeThread(t));
+        stream_loads += b.loads + b.streamLoads;
+        stream_stores += b.stores + b.streamStores;
+    }
+    EXPECT_EQ(plain_loads, stream_loads);
+    EXPECT_EQ(plain_stores, stream_stores);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIV, AllWorkloads,
+    ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(WorkloadRegistry, KnowsAllTwelve)
+{
+    EXPECT_EQ(workloadNames().size(), 12u);
+    WorkloadParams p;
+    p.numThreads = 2;
+    for (const auto &n : workloadNames())
+        EXPECT_NE(makeWorkload(n, p), nullptr);
+}
+
+TEST(WorkloadRegistry, UnknownNameFatals)
+{
+    WorkloadParams p;
+    EXPECT_THROW(makeWorkload("nope", p), FatalError);
+}
