@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sebuf.dir/abl_sebuf.cc.o"
+  "CMakeFiles/abl_sebuf.dir/abl_sebuf.cc.o.d"
+  "abl_sebuf"
+  "abl_sebuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sebuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_overall.dir/fig13_overall.cc.o"
+  "CMakeFiles/fig13_overall.dir/fig13_overall.cc.o.d"
+  "fig13_overall"
+  "fig13_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

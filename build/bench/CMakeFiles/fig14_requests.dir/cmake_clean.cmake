@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_requests.dir/fig14_requests.cc.o"
+  "CMakeFiles/fig14_requests.dir/fig14_requests.cc.o.d"
+  "fig14_requests"
+  "fig14_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_traffic.dir/fig15_traffic.cc.o"
+  "CMakeFiles/fig15_traffic.dir/fig15_traffic.cc.o.d"
+  "fig15_traffic"
+  "fig15_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

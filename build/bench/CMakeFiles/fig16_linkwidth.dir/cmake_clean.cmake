@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_linkwidth.dir/fig16_linkwidth.cc.o"
+  "CMakeFiles/fig16_linkwidth.dir/fig16_linkwidth.cc.o.d"
+  "fig16_linkwidth"
+  "fig16_linkwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_linkwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_nuca.dir/fig17_nuca.cc.o"
+  "CMakeFiles/fig17_nuca.dir/fig17_nuca.cc.o.d"
+  "fig17_nuca"
+  "fig17_nuca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_nuca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig18_scaling.cc" "bench/CMakeFiles/fig18_scaling.dir/fig18_scaling.cc.o" "gcc" "bench/CMakeFiles/fig18_scaling.dir/fig18_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/sf_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/flt/CMakeFiles/sf_flt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sf_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sf_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/sf_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_energy_speedup.dir/fig19_energy_speedup.cc.o"
+  "CMakeFiles/fig19_energy_speedup.dir/fig19_energy_speedup.cc.o.d"
+  "fig19_energy_speedup"
+  "fig19_energy_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_energy_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

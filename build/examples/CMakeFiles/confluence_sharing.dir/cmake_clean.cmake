@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confluence_sharing.dir/confluence_sharing.cpp.o"
+  "CMakeFiles/confluence_sharing.dir/confluence_sharing.cpp.o.d"
+  "confluence_sharing"
+  "confluence_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confluence_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

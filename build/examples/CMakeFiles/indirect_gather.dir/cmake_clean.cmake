@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indirect_gather.dir/indirect_gather.cpp.o"
+  "CMakeFiles/indirect_gather.dir/indirect_gather.cpp.o.d"
+  "indirect_gather"
+  "indirect_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indirect_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("isa")
+subdirs("mem")
+subdirs("noc")
+subdirs("cpu")
+subdirs("stream")
+subdirs("flt")
+subdirs("prefetch")
+subdirs("energy")
+subdirs("workload")
+subdirs("system")

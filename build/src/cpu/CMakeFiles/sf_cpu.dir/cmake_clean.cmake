@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_cpu.dir/core.cc.o"
+  "CMakeFiles/sf_cpu.dir/core.cc.o.d"
+  "libsf_cpu.a"
+  "libsf_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

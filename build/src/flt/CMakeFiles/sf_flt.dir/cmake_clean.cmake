@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_flt.dir/se_l2.cc.o"
+  "CMakeFiles/sf_flt.dir/se_l2.cc.o.d"
+  "CMakeFiles/sf_flt.dir/se_l3.cc.o"
+  "CMakeFiles/sf_flt.dir/se_l3.cc.o.d"
+  "libsf_flt.a"
+  "libsf_flt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_flt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

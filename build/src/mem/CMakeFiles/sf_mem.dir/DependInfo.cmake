@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/l3_bank.cc" "src/mem/CMakeFiles/sf_mem.dir/l3_bank.cc.o" "gcc" "src/mem/CMakeFiles/sf_mem.dir/l3_bank.cc.o.d"
+  "/root/repo/src/mem/priv_cache.cc" "src/mem/CMakeFiles/sf_mem.dir/priv_cache.cc.o" "gcc" "src/mem/CMakeFiles/sf_mem.dir/priv_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/sf_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

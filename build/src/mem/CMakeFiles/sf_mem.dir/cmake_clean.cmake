@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_mem.dir/l3_bank.cc.o"
+  "CMakeFiles/sf_mem.dir/l3_bank.cc.o.d"
+  "CMakeFiles/sf_mem.dir/priv_cache.cc.o"
+  "CMakeFiles/sf_mem.dir/priv_cache.cc.o.d"
+  "libsf_mem.a"
+  "libsf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_noc.dir/mesh.cc.o"
+  "CMakeFiles/sf_noc.dir/mesh.cc.o.d"
+  "libsf_noc.a"
+  "libsf_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

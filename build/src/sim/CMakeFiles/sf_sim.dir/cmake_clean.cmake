@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_sim.dir/logging.cc.o"
+  "CMakeFiles/sf_sim.dir/logging.cc.o.d"
+  "libsf_sim.a"
+  "libsf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_stream.dir/se_core.cc.o"
+  "CMakeFiles/sf_stream.dir/se_core.cc.o.d"
+  "libsf_stream.a"
+  "libsf_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

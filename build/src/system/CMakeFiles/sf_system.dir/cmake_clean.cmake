@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_system.dir/tiled_system.cc.o"
+  "CMakeFiles/sf_system.dir/tiled_system.cc.o.d"
+  "libsf_system.a"
+  "libsf_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

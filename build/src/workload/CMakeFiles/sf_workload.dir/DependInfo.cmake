@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bfs.cc" "src/workload/CMakeFiles/sf_workload.dir/bfs.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/bfs.cc.o.d"
+  "/root/repo/src/workload/btree.cc" "src/workload/CMakeFiles/sf_workload.dir/btree.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/btree.cc.o.d"
+  "/root/repo/src/workload/cfd.cc" "src/workload/CMakeFiles/sf_workload.dir/cfd.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/cfd.cc.o.d"
+  "/root/repo/src/workload/conv3d.cc" "src/workload/CMakeFiles/sf_workload.dir/conv3d.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/conv3d.cc.o.d"
+  "/root/repo/src/workload/hotspot.cc" "src/workload/CMakeFiles/sf_workload.dir/hotspot.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/hotspot.cc.o.d"
+  "/root/repo/src/workload/hotspot3d.cc" "src/workload/CMakeFiles/sf_workload.dir/hotspot3d.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/hotspot3d.cc.o.d"
+  "/root/repo/src/workload/mv.cc" "src/workload/CMakeFiles/sf_workload.dir/mv.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/mv.cc.o.d"
+  "/root/repo/src/workload/nn.cc" "src/workload/CMakeFiles/sf_workload.dir/nn.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/nn.cc.o.d"
+  "/root/repo/src/workload/nw.cc" "src/workload/CMakeFiles/sf_workload.dir/nw.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/nw.cc.o.d"
+  "/root/repo/src/workload/particlefilter.cc" "src/workload/CMakeFiles/sf_workload.dir/particlefilter.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/particlefilter.cc.o.d"
+  "/root/repo/src/workload/pathfinder.cc" "src/workload/CMakeFiles/sf_workload.dir/pathfinder.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/pathfinder.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/workload/CMakeFiles/sf_workload.dir/registry.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/registry.cc.o.d"
+  "/root/repo/src/workload/srad.cc" "src/workload/CMakeFiles/sf_workload.dir/srad.cc.o" "gcc" "src/workload/CMakeFiles/sf_workload.dir/srad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/sf_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_workload.dir/bfs.cc.o"
+  "CMakeFiles/sf_workload.dir/bfs.cc.o.d"
+  "CMakeFiles/sf_workload.dir/btree.cc.o"
+  "CMakeFiles/sf_workload.dir/btree.cc.o.d"
+  "CMakeFiles/sf_workload.dir/cfd.cc.o"
+  "CMakeFiles/sf_workload.dir/cfd.cc.o.d"
+  "CMakeFiles/sf_workload.dir/conv3d.cc.o"
+  "CMakeFiles/sf_workload.dir/conv3d.cc.o.d"
+  "CMakeFiles/sf_workload.dir/hotspot.cc.o"
+  "CMakeFiles/sf_workload.dir/hotspot.cc.o.d"
+  "CMakeFiles/sf_workload.dir/hotspot3d.cc.o"
+  "CMakeFiles/sf_workload.dir/hotspot3d.cc.o.d"
+  "CMakeFiles/sf_workload.dir/mv.cc.o"
+  "CMakeFiles/sf_workload.dir/mv.cc.o.d"
+  "CMakeFiles/sf_workload.dir/nn.cc.o"
+  "CMakeFiles/sf_workload.dir/nn.cc.o.d"
+  "CMakeFiles/sf_workload.dir/nw.cc.o"
+  "CMakeFiles/sf_workload.dir/nw.cc.o.d"
+  "CMakeFiles/sf_workload.dir/particlefilter.cc.o"
+  "CMakeFiles/sf_workload.dir/particlefilter.cc.o.d"
+  "CMakeFiles/sf_workload.dir/pathfinder.cc.o"
+  "CMakeFiles/sf_workload.dir/pathfinder.cc.o.d"
+  "CMakeFiles/sf_workload.dir/registry.cc.o"
+  "CMakeFiles/sf_workload.dir/registry.cc.o.d"
+  "CMakeFiles/sf_workload.dir/srad.cc.o"
+  "CMakeFiles/sf_workload.dir/srad.cc.o.d"
+  "libsf_workload.a"
+  "libsf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_array_test.dir/mem/cache_array_test.cc.o"
+  "CMakeFiles/cache_array_test.dir/mem/cache_array_test.cc.o.d"
+  "cache_array_test"
+  "cache_array_test.pdb"
+  "cache_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

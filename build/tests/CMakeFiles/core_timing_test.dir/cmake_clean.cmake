@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_timing_test.dir/cpu/core_timing_test.cc.o"
+  "CMakeFiles/core_timing_test.dir/cpu/core_timing_test.cc.o.d"
+  "core_timing_test"
+  "core_timing_test.pdb"
+  "core_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float_test.dir/flt/float_test.cc.o"
+  "CMakeFiles/float_test.dir/flt/float_test.cc.o.d"
+  "float_test"
+  "float_test.pdb"
+  "float_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_timing_test.dir/noc/mesh_timing_test.cc.o"
+  "CMakeFiles/mesh_timing_test.dir/noc/mesh_timing_test.cc.o.d"
+  "mesh_timing_test"
+  "mesh_timing_test.pdb"
+  "mesh_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

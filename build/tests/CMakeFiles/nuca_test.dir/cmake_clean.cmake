@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuca_test.dir/mem/nuca_test.cc.o"
+  "CMakeFiles/nuca_test.dir/mem/nuca_test.cc.o.d"
+  "nuca_test"
+  "nuca_test.pdb"
+  "nuca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

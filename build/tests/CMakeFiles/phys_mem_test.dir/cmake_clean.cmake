@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys_mem_test.dir/mem/phys_mem_test.cc.o"
+  "CMakeFiles/phys_mem_test.dir/mem/phys_mem_test.cc.o.d"
+  "phys_mem_test"
+  "phys_mem_test.pdb"
+  "phys_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

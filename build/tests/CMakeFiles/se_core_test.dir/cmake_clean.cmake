@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se_core_test.dir/stream/se_core_test.cc.o"
+  "CMakeFiles/se_core_test.dir/stream/se_core_test.cc.o.d"
+  "se_core_test"
+  "se_core_test.pdb"
+  "se_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/emitter_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/phys_mem_test[1]_include.cmake")
+include("/root/repo/build/tests/tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/replacement_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_array_test[1]_include.cmake")
+include("/root/repo/build/tests/nuca_test[1]_include.cmake")
+include("/root/repo/build/tests/coherence_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/se_core_test[1]_include.cmake")
+include("/root/repo/build/tests/float_test[1]_include.cmake")
+include("/root/repo/build/tests/prefetch_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_control_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/core_timing_test[1]_include.cmake")
