@@ -8,17 +8,23 @@
  *   --scale=S          dataset scale vs Table IV (default 0.03)
  *   --workloads=a,b,c  subset of the 12 benchmarks
  *   --full             paper-fidelity mode (8x8, scale 0.25)
+ *   --stats-json=DIR   write one schema-versioned stats.json per run
+ *   --sample-interval=N  counter snapshot every N cycles (with JSON)
  */
 
 #ifndef SF_BENCH_BENCH_UTIL_HH
 #define SF_BENCH_BENCH_UTIL_HH
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "sim/stream_trace.hh"
 #include "system/tiled_system.hh"
 #include "workload/workload.hh"
 
@@ -31,6 +37,10 @@ struct BenchOptions
     int ny = 4;
     double scale = 0.06;
     std::vector<std::string> workloads = workload::workloadNames();
+    /** When non-empty, every runSim() drops a stats.json here. */
+    std::string statsJsonDir;
+    /** Sampling interval (cycles) for JSON time series; 0 = off. */
+    Cycles sampleInterval = 0;
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -59,19 +69,38 @@ struct BenchOptions
                     o.workloads.push_back(s.substr(pos, comma - pos));
                     pos = comma + 1;
                 }
+            } else if (const char *v = val("--stats-json=")) {
+                o.statsJsonDir = v;
+            } else if (arg == "--stats-json" && i + 1 < argc) {
+                o.statsJsonDir = argv[++i];
+            } else if (const char *v = val("--sample-interval=")) {
+                o.sampleInterval = std::strtoull(v, nullptr, 10);
             } else if (arg == "--full") {
                 o.nx = o.ny = 8;
                 o.scale = 0.25;
             } else if (arg == "--help") {
                 std::printf(
                     "options: --cores=NxN --scale=S "
-                    "--workloads=a,b,c --full\n");
+                    "--workloads=a,b,c --full --stats-json=DIR "
+                    "--sample-interval=N\n");
                 std::exit(0);
             }
         }
         return o;
     }
 };
+
+/** Lower a free-form label into a filename-safe token. */
+inline std::string
+fileToken(const std::string &s)
+{
+    std::string t = s;
+    for (char &c : t) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return t;
+}
 
 /** Run one (machine, workload) simulation. */
 inline sys::SimResults
@@ -85,7 +114,15 @@ runSim(sys::Machine machine, const cpu::CoreConfig &core,
         cfg.noc.linkBits = link_bits;
     if (interleave)
         cfg.nucaInterleave = interleave;
+    if (!opt.statsJsonDir.empty()) {
+        // Default to ~100 points over a typical scaled run.
+        cfg.samplingInterval =
+            opt.sampleInterval ? opt.sampleInterval : 10'000;
+    }
     sys::TiledSystem system(cfg);
+
+    auto &tracer = trace::StreamLifecycleTracer::instance();
+    tracer.clear();
 
     workload::WorkloadParams wp;
     wp.numThreads = cfg.numTiles();
@@ -93,7 +130,22 @@ runSim(sys::Machine machine, const cpu::CoreConfig &core,
     wp.useStreams = sys::machineUsesStreams(machine);
     auto wl = workload::makeWorkload(wl_name, wp);
     wl->init(system.addressSpace());
-    return system.run(wl->makeAllThreads());
+    sys::SimResults r = system.run(wl->makeAllThreads());
+
+    if (!opt.statsJsonDir.empty()) {
+        std::filesystem::create_directories(opt.statsJsonDir);
+        std::string stem = fileToken(core.label) + "_" +
+                           fileToken(sys::machineName(machine)) + "_" +
+                           fileToken(wl_name);
+        std::ofstream js(opt.statsJsonDir + "/" + stem + ".stats.json");
+        system.dumpStatsJson(js, r);
+        if (tracer.enabled() && !tracer.events().empty()) {
+            std::ofstream tr(opt.statsJsonDir + "/" + stem +
+                             ".trace.json");
+            tracer.exportChromeTrace(tr);
+        }
+    }
+    return r;
 }
 
 inline double

@@ -5,13 +5,24 @@
  * and print the headline numbers the paper's evaluation revolves
  * around: cycles, NoC traffic, and energy.
  *
- * Usage: quickstart [workload] [scale]
+ * Usage: quickstart [workload] [scale] [--stats-json=DIR] [--trace=FILE]
+ *
+ *   --stats-json=DIR  write one schema-versioned stats.json per machine
+ *                     (with interval time series) into DIR
+ *   --trace=FILE      write the SF run's stream-lifecycle events as a
+ *                     Chrome trace-event file (open in Perfetto)
+ *
+ * Set SF_DEBUG_FLAGS (e.g. StreamFloat,SEL3) to watch components live.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "sim/stream_trace.hh"
 #include "system/tiled_system.hh"
 #include "workload/workload.hh"
 
@@ -20,10 +31,13 @@ using namespace sf;
 namespace {
 
 sys::SimResults
-runOne(sys::Machine machine, const std::string &wl_name, double scale)
+runOne(sys::Machine machine, const std::string &wl_name, double scale,
+       const std::string &stats_dir)
 {
     sys::SystemConfig cfg =
         sys::SystemConfig::make(machine, cpu::CoreConfig::ooo8(), 4, 4);
+    if (!stats_dir.empty())
+        cfg.samplingInterval = 10'000;
     sys::TiledSystem system(cfg);
 
     workload::WorkloadParams wp;
@@ -33,7 +47,22 @@ runOne(sys::Machine machine, const std::string &wl_name, double scale)
     auto wl = workload::makeWorkload(wl_name, wp);
     wl->init(system.addressSpace());
 
-    return system.run(wl->makeAllThreads());
+    sys::SimResults r = system.run(wl->makeAllThreads());
+
+    if (!stats_dir.empty()) {
+        std::filesystem::create_directories(stats_dir);
+        std::string path = stats_dir + "/" +
+                           std::string(sys::machineName(machine)) + "_" +
+                           wl_name + ".stats.json";
+        for (char &c : path) {
+            if (c == '+')
+                c = '_';
+        }
+        std::ofstream os(path);
+        system.dumpStatsJson(os, r);
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return r;
 }
 
 } // namespace
@@ -41,15 +70,44 @@ runOne(sys::Machine machine, const std::string &wl_name, double scale)
 int
 main(int argc, char **argv)
 {
-    std::string wl = argc > 1 ? argv[1] : "pathfinder";
-    double scale = argc > 2 ? std::atof(argv[2]) : 0.05;
+    std::string wl = "pathfinder";
+    double scale = 0.05;
+    std::string stats_dir;
+    std::string trace_file;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--stats-json=", 0) == 0) {
+            stats_dir = arg.substr(std::strlen("--stats-json="));
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace_file = arg.substr(std::strlen("--trace="));
+        } else if (positional == 0) {
+            wl = arg;
+            ++positional;
+        } else {
+            scale = std::atof(arg.c_str());
+            ++positional;
+        }
+    }
 
     std::printf("stream-floating quickstart: workload=%s scale=%.3f "
                 "(4x4 OOO8)\n\n",
                 wl.c_str(), scale);
 
-    auto base = runOne(sys::Machine::BingoPf, wl, scale);
-    auto sf_run = runOne(sys::Machine::SF, wl, scale);
+    auto &tracer = trace::StreamLifecycleTracer::instance();
+    if (!trace_file.empty())
+        tracer.setEnabled(true);
+
+    auto base = runOne(sys::Machine::BingoPf, wl, scale, stats_dir);
+    tracer.clear(); // keep only the SF run's stream events
+    auto sf_run = runOne(sys::Machine::SF, wl, scale, stats_dir);
+
+    if (!trace_file.empty()) {
+        std::ofstream os(trace_file);
+        tracer.exportChromeTrace(os);
+        std::printf("wrote %s (%zu stream events)\n", trace_file.c_str(),
+                    tracer.events().size());
+    }
 
     std::printf("%-22s %15s %15s\n", "", "L1Bingo-L2Stride", "SF");
     std::printf("%-22s %15llu %15llu\n", "cycles",

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace sf {
@@ -29,6 +30,7 @@ Core::Core(const std::string &name, EventQueue &eq, TileId tile,
 void
 Core::start()
 {
+    SF_DPRINTF(Core, "start");
     refillFetchBuffer();
     wake();
 }
@@ -392,6 +394,8 @@ Core::commitStage()
             break;
           case OpKind::Barrier:
             ++_stats.barriers;
+            SF_DPRINTF(Core, "barrier %llu committed",
+                       (unsigned long long)_stats.barriers.value());
             break;
           case OpKind::IntAlu:
           case OpKind::IntMult:
@@ -628,6 +632,8 @@ Core::finishIfDrained()
     }
     _done = true;
     _stats.doneTick = curTick();
+    SF_DPRINTF(Core, "done: %llu ops committed",
+               (unsigned long long)_stats.committedOps.value());
     if (_barrier)
         _barrier->retire();
     if (onDone)

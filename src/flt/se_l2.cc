@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace sf {
@@ -210,6 +211,11 @@ SEL2::floatStream(const stream::FloatRequest &req)
 
     ++_stats.floats;
     ++_stats.configsSent;
+    SF_DPRINTF(StreamFloat,
+               "float config sid=%d -> bank %d nextElem=%llu "
+               "credit=%llu",
+               req.base.sid, bank, (unsigned long long)remote_start,
+               (unsigned long long)msg->creditLimit);
     return true;
 }
 
@@ -226,6 +232,8 @@ SEL2::unfloatStream(StreamId sid)
     }
     FloatedStream &base = it->second;
     ++_stats.unfloats;
+    SF_DPRINTF(StreamFloat, "unfloat sid=%d nextExpected=%llu", sid,
+               (unsigned long long)base.nextExpected);
 
     bool finished = base.cfg.lengthKnown &&
                     base.nextExpected >= base.cfg.totalElems();
@@ -509,6 +517,9 @@ SEL2::maybeGrantCredits(StreamId sid, FloatedStream &s)
     msg->seq = _headSeq;
     _mesh.send(msg);
     ++_stats.creditsSent;
+    SF_DPRINTF(StreamFloat, "credit sid=%d -> bank %d limit=%llu seq=%u",
+               sid, bank, (unsigned long long)s.grantedUpTo,
+               unsigned(_headSeq));
 }
 
 void

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "sim/stream_trace.hh"
 
 namespace sf {
 namespace flt {
@@ -69,6 +71,14 @@ SEL3::recvConfig(const std::shared_ptr<StreamFloatMsg> &msg)
         ++_stats.migrationsIn;
     else
         ++_stats.configsReceived;
+    SF_DPRINTF(SEL3, "%s c%d.s%d gen=%u nextElem=%llu credit=%llu",
+               msg->isMigration ? "migration in" : "config",
+               msg->gsid.core, msg->gsid.sid, msg->gen,
+               (unsigned long long)msg->nextElem,
+               (unsigned long long)msg->creditLimit);
+    trace::recordStream(curTick(), msg->gsid,
+                        trace::StreamPhase::Arrive, _tile,
+                        msg->isMigration ? "migration" : "config");
 
     // An end packet may have raced ahead of this (re)configuration.
     auto pend = _pendingEnds.find(msg->gsid);
@@ -123,7 +133,8 @@ SEL3::addStream(Entry &&e)
         return;
     }
     if (static_cast<int>(_entries.size()) >= _cfg.maxStreams) {
-        warn("%s: stream table full, dropping stream", name().c_str());
+        warn_once("%s: stream table full, dropping stream",
+                  name().c_str());
         return;
     }
     _entries.push_back(std::move(e));
@@ -188,6 +199,13 @@ SEL3::recvCredit(const std::shared_ptr<StreamCreditMsg> &msg)
     for (auto &m : it->members) {
         if (m.gsid == msg->gsid && m.gen == msg->gen)
             m.creditLimit = std::max(m.creditLimit, msg->creditLimit);
+    }
+    if (it->stalledOnCredit) {
+        SF_DPRINTF(SEL3, "credit resume c%d.s%d limit=%llu",
+                   msg->gsid.core, msg->gsid.sid,
+                   (unsigned long long)msg->creditLimit);
+        trace::recordStream(curTick(), it->members.front().gsid,
+                            trace::StreamPhase::Resume, _tile);
     }
     it->stalledOnCredit = false;
     kick();
@@ -262,6 +280,9 @@ SEL3::issueOne(Entry &e)
         e.base.lengthKnown ? e.base.totalElems() : ~0ULL;
     if (e.issuePos >= horizon) {
         ++_stats.streamsCompleted;
+        const GlobalStreamId &gsid = e.members.front().gsid;
+        SF_DPRINTF(SEL3, "stream complete c%d.s%d at elem %llu",
+                   gsid.core, gsid.sid, (unsigned long long)horizon);
         _entries.remove_if(
             [&](const Entry &x) { return &x == &e; });
         return true;
@@ -290,6 +311,12 @@ SEL3::issueOne(Entry &e)
         if (!e.stalledOnCredit) {
             e.stalledOnCredit = true;
             ++_stats.creditStalls;
+            const GlobalStreamId &gsid = e.members.front().gsid;
+            SF_DPRINTF(SEL3, "credit stall c%d.s%d at elem %llu",
+                       gsid.core, gsid.sid,
+                       (unsigned long long)e.issuePos);
+            trace::recordStream(curTick(), gsid,
+                                trace::StreamPhase::CreditStall, _tile);
         }
         return false;
     }
@@ -470,6 +497,12 @@ SEL3::migrate(Entry &e, TileId next_bank)
         msg->finalizeSize();
         _mesh.send(msg);
         ++_stats.migrationsOut;
+        SF_DPRINTF(SEL3, "migrate c%d.s%d -> bank %d at elem %llu",
+                   m.gsid.core, m.gsid.sid, next_bank,
+                   (unsigned long long)e.issuePos);
+        trace::recordStream(curTick(), m.gsid,
+                            trace::StreamPhase::Migrate, _tile,
+                            "to bank " + std::to_string(next_bank));
     }
     _entries.remove_if([&](const Entry &x) { return &x == &e; });
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace sf {
@@ -76,6 +77,9 @@ L3Bank::process(const MemMsgPtr &msg)
         return;
     }
 
+    SF_DPRINTF(Cache, "%s %llx from tile %d", memMsgName(msg->type),
+               (unsigned long long)msg->lineAddr, (int)msg->requester);
+
     switch (msg->type) {
       case MemMsgType::GetS:
         handleGetS(msg);
@@ -112,6 +116,10 @@ L3Bank::processStream(StreamReadReq req)
     }
 
     ++_stats.requestsByClass[static_cast<size_t>(req.reqClass)];
+
+    SF_DPRINTF(SEL3, "streamRead %llx c%d.s%d elem=%llu",
+               (unsigned long long)req.lineAddr, (int)req.stream.core,
+               (int)req.stream.sid, (unsigned long long)req.elemIdx);
 
     CacheLine *line = _array.access(req.lineAddr);
     if (line && line->owner == invalidTile) {
@@ -485,6 +493,9 @@ void
 L3Bank::startMemFetch(Addr line_addr)
 {
     ++_stats.memReads;
+    SF_DPRINTF(Cache, "L3 miss %llx -> mem ctrl %d",
+               (unsigned long long)line_addr,
+               (int)_nuca.memCtrlOf(line_addr));
     TileId ctrl = _nuca.memCtrlOf(line_addr);
     auto rd = makeMemMsg(MemMsgType::MemRead, line_addr, _tile, ctrl,
                          _tile);

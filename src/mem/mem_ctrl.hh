@@ -10,6 +10,7 @@
 #include "mem/dram.hh"
 #include "mem/mem_msg.hh"
 #include "noc/mesh.hh"
+#include "sim/debug.hh"
 #include "sim/sim_object.hh"
 
 namespace sf {
@@ -29,11 +30,16 @@ class MemCtrl : public SimObject
     recvMsg(const MemMsgPtr &msg)
     {
         if (msg->type == MemMsgType::MemWrite) {
+            SF_DPRINTF(DRAM, "write %llx from tile %d",
+                       (unsigned long long)msg->lineAddr, (int)msg->src);
             _channel.access(true, nullptr);
             return;
         }
         sf_assert(msg->type == MemMsgType::MemRead,
                   "MemCtrl got %s", memMsgName(msg->type));
+        SF_DPRINTF(DRAM, "read %llx for tile %d (requester %d)",
+                   (unsigned long long)msg->lineAddr, (int)msg->src,
+                   (int)msg->requester);
         _channel.access(false, [this, msg]() {
             auto data = makeMemMsg(MemMsgType::MemData, msg->lineAddr,
                                    _tile, msg->src, msg->requester);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace sf {
@@ -185,6 +186,9 @@ PrivCache::accessL2(Access a, bool l1_was_miss)
             return;
         }
         ++_stats.l2Hits;
+        SF_DPRINTF(Cache, "L2 hit %s %llx kind=%d",
+                   a.isWrite ? "st" : "ld", (unsigned long long)a.paddr,
+                   (int)a.kind);
         if (l1_was_miss)
             l2_line->reused = true;
         recordReuse(*l2_line, is_demand);
@@ -237,6 +241,9 @@ PrivCache::accessL2(Access a, bool l1_was_miss)
 
     if (is_demand) {
         ++_stats.l2Misses;
+        SF_DPRINTF(Cache, "L2 miss %s %llx%s",
+                   a.isWrite ? "st" : "ld", (unsigned long long)line_addr,
+                   l2_line ? " (upgrade)" : "");
         if (_l1Prefetcher) {
             _l1Prefetcher->observe({a.paddr, a.vaddr, a.pc,
                                     a.isWrite, true, true});
@@ -247,6 +254,8 @@ PrivCache::accessL2(Access a, bool l1_was_miss)
         }
     } else if (a.kind == AccessKind::StreamFetch) {
         ++_stats.l2Misses;
+        SF_DPRINTF(Cache, "L2 miss stream-fetch %llx sid=%d",
+                   (unsigned long long)line_addr, (int)a.stream.sid);
     }
 
     Mshr m;
@@ -318,6 +327,9 @@ PrivCache::sendRequest(MemMsgType type, Addr line_addr, uint16_t bulk_lines)
         if (it->second.streamFetchSeen)
             msg->reqClass = ReqClass::CoreStream;
     }
+    SF_DPRINTF(Cache, "send %s %llx -> bank %d bulk=%u",
+               memMsgName(type), (unsigned long long)line_addr, (int)bank,
+               (unsigned)bulk_lines);
     _mesh.send(msg);
 }
 
@@ -373,6 +385,10 @@ PrivCache::evictL2Line(const CacheLine &victim)
         }
         _l1.invalidate(victim.tag);
     }
+
+    SF_DPRINTF(Cache, "L2 evict %llx%s%s",
+               (unsigned long long)victim.tag, dirty ? " dirty" : "",
+               victim.reused ? "" : " unreused");
 
     if (!victim.reused && !dirty) {
         ++_stats.l2EvictionsUnreused;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace sf {
@@ -29,6 +30,17 @@ int
 Mesh::hopDistance(TileId a, TileId b) const
 {
     return std::abs(xOf(a) - xOf(b)) + std::abs(yOf(a) - yOf(b));
+}
+
+int
+Mesh::liveLinkCount() const
+{
+    int live = 0;
+    for (TileId t = 0; t < numTiles(); ++t)
+        for (int d = 0; d < 4; ++d)
+            if (neighbor(t, d) != invalidTile)
+                ++live;
+    return live;
 }
 
 double
@@ -63,6 +75,13 @@ Mesh::send(const MsgPtr &msg)
     auto cls = static_cast<size_t>(msg->cls);
     _traffic.flitsInjected[cls] += flits;
     ++_traffic.packets[cls];
+    int max_hops = 0;
+    for (TileId d : msg->dests)
+        max_hops = std::max(max_hops, hopDistance(msg->src, d));
+    _packetHops.sample(static_cast<uint64_t>(max_hops));
+    SF_DPRINTF(NoC, "inject %d -> %d (+%zu) cls=%d flits=%u hops=%d",
+               (int)msg->src, (int)msg->dests.front(),
+               msg->dests.size() - 1, (int)msg->cls, flits, max_hops);
     // Injection passes through the local router pipeline once.
     hop(msg, msg->src, msg->dests, flits);
 }

@@ -99,11 +99,17 @@ class Mesh : public SimObject
 
     const TrafficStats &traffic() const { return _traffic; }
 
+    /** Distribution of per-packet hop counts (max over multicast dests). */
+    const stats::Histogram &packetHops() const { return _packetHops; }
+
     /**
      * Average link utilization: busy link-cycles over total
      * link-cycles elapsed since construction.
      */
     double linkUtilization() const;
+
+    /** Number of directed links that exist (edge routers have fewer). */
+    int liveLinkCount() const;
 
     int xOf(TileId t) const { return t % _cfg.nx; }
     int yOf(TileId t) const { return t / _cfg.nx; }
@@ -136,6 +142,7 @@ class Mesh : public SimObject
     /** numTiles x 4 directed links. */
     std::vector<Link> _links;
     TrafficStats _traffic;
+    stats::Histogram _packetHops{1, 16};
     Tick _startTick;
 };
 

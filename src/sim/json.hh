@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for stat / trace export.
+ *
+ * Emits syntactically valid JSON with automatic comma handling and
+ * string escaping; containers are closed in LIFO order. No external
+ * dependency, no intermediate DOM: values are written straight to the
+ * output stream, which keeps large stat dumps cheap.
+ */
+
+#ifndef SF_SIM_JSON_HH
+#define SF_SIM_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sf {
+namespace json {
+
+/** Escape a string for embedding in a JSON document (no quotes). */
+inline std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Streaming writer with automatic comma / indentation management. */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os, bool pretty = true)
+        : _os(os), _pretty(pretty)
+    {}
+
+    // --- containers ---
+    void beginObject() { open('{'); }
+    void beginObject(const std::string &key) { openKeyed(key, '{'); }
+    void endObject() { close('}'); }
+    void beginArray() { open('['); }
+    void beginArray(const std::string &key) { openKeyed(key, '['); }
+    void endArray() { close(']'); }
+
+    // --- key/value pairs inside objects ---
+    void
+    kv(const std::string &key, const std::string &v)
+    {
+        item(key);
+        _os << '"' << escape(v) << '"';
+    }
+
+    void
+    kv(const std::string &key, const char *v)
+    {
+        kv(key, std::string(v));
+    }
+
+    void
+    kv(const std::string &key, uint64_t v)
+    {
+        item(key);
+        _os << v;
+    }
+
+    void
+    kv(const std::string &key, int v)
+    {
+        item(key);
+        _os << v;
+    }
+
+    void
+    kv(const std::string &key, double v)
+    {
+        item(key);
+        writeDouble(v);
+    }
+
+    void
+    kv(const std::string &key, bool v)
+    {
+        item(key);
+        _os << (v ? "true" : "false");
+    }
+
+    // --- bare values inside arrays ---
+    void
+    value(double v)
+    {
+        item();
+        writeDouble(v);
+    }
+
+    void
+    value(uint64_t v)
+    {
+        item();
+        _os << v;
+    }
+
+    void
+    value(const std::string &v)
+    {
+        item();
+        _os << '"' << escape(v) << '"';
+    }
+
+    /** Open containers remaining (0 when the document is complete). */
+    size_t depth() const { return _needComma.size(); }
+
+  private:
+    void
+    open(char c)
+    {
+        item();
+        _os << c;
+        _needComma.push_back(false);
+    }
+
+    void
+    openKeyed(const std::string &key, char c)
+    {
+        item(key);
+        _os << c;
+        _needComma.push_back(false);
+    }
+
+    void
+    close(char c)
+    {
+        _needComma.pop_back();
+        newlineIndent();
+        _os << c;
+    }
+
+    /** Comma/indent bookkeeping before a bare array element. */
+    void
+    item()
+    {
+        if (_needComma.empty())
+            return;
+        if (_needComma.back())
+            _os << ',';
+        _needComma.back() = true;
+        newlineIndent();
+    }
+
+    /** Comma/indent bookkeeping plus the key of an object member. */
+    void
+    item(const std::string &key)
+    {
+        item();
+        _os << '"' << escape(key) << "\":";
+        if (_pretty)
+            _os << ' ';
+    }
+
+    void
+    newlineIndent()
+    {
+        if (!_pretty)
+            return;
+        _os << '\n';
+        for (size_t i = 0; i < _needComma.size(); ++i)
+            _os << "  ";
+    }
+
+    void
+    writeDouble(double v)
+    {
+        // JSON has no NaN / Inf; clamp to null.
+        if (std::isnan(v) || std::isinf(v)) {
+            _os << "null";
+            return;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        _os << buf;
+    }
+
+    std::ostream &_os;
+    bool _pretty;
+    /** One entry per open container: "next item needs a comma". */
+    std::vector<bool> _needComma;
+};
+
+} // namespace json
+} // namespace sf
+
+#endif // SF_SIM_JSON_HH

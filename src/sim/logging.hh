@@ -2,10 +2,11 @@
  * @file
  * Error-reporting helpers in the spirit of gem5's base/logging.hh.
  *
- * panic()  - the simulator itself is broken; aborts.
- * fatal()  - the user configuration is invalid; exits cleanly.
- * warn()   - something works well enough but deserves attention.
- * inform() - status message.
+ * panic()     - the simulator itself is broken; aborts.
+ * fatal()     - the user configuration is invalid; exits cleanly.
+ * warn()      - something works well enough but deserves attention.
+ * warn_once() - warn(), suppressed after the first hit per call site.
+ * inform()    - status message.
  */
 
 #ifndef SF_SIM_LOGGING_HH
@@ -86,6 +87,21 @@ inform(const char *fmt, Args... args)
     std::string msg = detail::formatMessage(fmt, args...);
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
+
+/**
+ * warn(), but at most once per call site: the first occurrence prints
+ * (tagged so readers know repeats are suppressed), later ones are
+ * dropped. Use for conditions that can fire thousands of times in a
+ * long run (credit stalls, capacity drops) without drowning stderr.
+ */
+#define warn_once(...)                                                     \
+    do {                                                                   \
+        static bool _sf_warned_once = false;                               \
+        if (!_sf_warned_once) {                                            \
+            _sf_warned_once = true;                                        \
+            ::sf::warn("(repeats suppressed) " __VA_ARGS__);               \
+        }                                                                  \
+    } while (0)
 
 /** panic() when a condition does not hold. */
 #define sf_assert(cond, fmt, ...)                                          \

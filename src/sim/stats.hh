@@ -12,6 +12,7 @@
 #define SF_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -99,6 +100,9 @@ class Histogram
 class StatGroup
 {
   public:
+    /** A derived statistic evaluated lazily at dump time. */
+    using Formula = std::function<double()>;
+
     explicit StatGroup(std::string name) : _name(std::move(name)) {}
 
     void
@@ -113,6 +117,18 @@ class StatGroup
         _averages.emplace(stat_name, stat);
     }
 
+    void
+    regHistogram(const std::string &stat_name, const Histogram *stat)
+    {
+        _histograms.emplace(stat_name, stat);
+    }
+
+    void
+    regFormula(const std::string &stat_name, Formula f)
+    {
+        _formulas.emplace(stat_name, std::move(f));
+    }
+
     const std::string &name() const { return _name; }
 
     /** Look up a scalar by name; nullptr when missing. */
@@ -123,6 +139,22 @@ class StatGroup
         return it == _scalars.end() ? nullptr : it->second;
     }
 
+    /** Look up an average by name; nullptr when missing. */
+    const Average *
+    findAverage(const std::string &stat_name) const
+    {
+        auto it = _averages.find(stat_name);
+        return it == _averages.end() ? nullptr : it->second;
+    }
+
+    /** Look up a histogram by name; nullptr when missing. */
+    const Histogram *
+    findHistogram(const std::string &stat_name) const
+    {
+        auto it = _histograms.find(stat_name);
+        return it == _histograms.end() ? nullptr : it->second;
+    }
+
     void
     dump(std::ostream &os) const
     {
@@ -131,12 +163,34 @@ class StatGroup
         for (const auto &[n, a] : _averages)
             os << _name << "." << n << " " << a->mean()
                << " (n=" << a->count() << ")\n";
+        for (const auto &[n, h] : _histograms) {
+            os << _name << "." << n << ".count " << h->count() << "\n";
+            os << _name << "." << n << ".mean " << h->mean() << "\n";
+            os << _name << "." << n << ".buckets";
+            for (uint64_t b : h->buckets())
+                os << " " << b;
+            os << "\n";
+        }
+        for (const auto &[n, f] : _formulas)
+            os << _name << "." << n << " " << f() << "\n";
     }
+
+    // --- iteration for registry walkers (JSON export etc.) ---
+    const std::map<std::string, const Scalar *> &
+    scalars() const { return _scalars; }
+    const std::map<std::string, const Average *> &
+    averages() const { return _averages; }
+    const std::map<std::string, const Histogram *> &
+    histograms() const { return _histograms; }
+    const std::map<std::string, Formula> &
+    formulas() const { return _formulas; }
 
   private:
     std::string _name;
     std::map<std::string, const Scalar *> _scalars;
     std::map<std::string, const Average *> _averages;
+    std::map<std::string, const Histogram *> _histograms;
+    std::map<std::string, Formula> _formulas;
 };
 
 } // namespace stats

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Stream-lifecycle tracing: config → float → migrate → credit-stall →
+ * sink → end transitions per stream, with ticks and tile coordinates.
+ *
+ * The tracer is a process-wide singleton so every component (SE_core,
+ * SE_L2, SE_L3) can record without plumbing; recording is a no-op
+ * unless enabled via the SF_STREAM_TRACE environment variable or the
+ * API. Events export as Chrome trace-event JSON (load in
+ * chrome://tracing or https://ui.perfetto.dev): one track per stream
+ * (pid = owning core, tid = stream id), with each lifecycle state
+ * rendered as a duration slice up to the next transition.
+ */
+
+#ifndef SF_SIM_STREAM_TRACE_HH
+#define SF_SIM_STREAM_TRACE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sf {
+namespace trace {
+
+/** Lifecycle states/transitions of a (possibly floated) stream. */
+enum class StreamPhase : uint8_t
+{
+    Config,      //!< stream_cfg committed at the core
+    Float,       //!< SE_core floated the stream into the hierarchy
+    Arrive,      //!< config/migration landed at an SE_L3 bank
+    Migrate,     //!< SE_L3 handed the stream to the next bank
+    CreditStall, //!< SE_L3 issue blocked on the credit horizon
+    Resume,      //!< issue resumed after a credit refresh
+    Sink,        //!< SE_core pulled the stream back to the core
+    End,         //!< stream_end committed / remote completion
+};
+
+const char *phaseName(StreamPhase p);
+
+struct StreamEvent
+{
+    Tick tick = 0;
+    GlobalStreamId gsid;
+    StreamPhase phase = StreamPhase::Config;
+    /** Tile where the transition happened (bank for SE_L3 events). */
+    TileId tile = invalidTile;
+    std::string detail;
+};
+
+class StreamLifecycleTracer
+{
+  public:
+    static StreamLifecycleTracer &instance();
+
+    void setEnabled(bool e) { _enabled = e; }
+    bool enabled() const { return _enabled; }
+
+    void clear() { _events.clear(); }
+
+    void
+    record(Tick tick, GlobalStreamId gsid, StreamPhase phase,
+           TileId tile, std::string detail = std::string())
+    {
+        _events.push_back(
+            {tick, gsid, phase, tile, std::move(detail)});
+    }
+
+    const std::vector<StreamEvent> &events() const { return _events; }
+
+    /**
+     * Write the event log as Chrome trace-event JSON. Ticks map to
+     * trace microseconds at the 2 GHz clock of Table III.
+     */
+    void exportChromeTrace(std::ostream &os) const;
+
+  private:
+    StreamLifecycleTracer();
+
+    bool _enabled = false;
+    std::vector<StreamEvent> _events;
+};
+
+/** Single-branch recording helper for instrumentation sites. */
+inline void
+recordStream(Tick tick, GlobalStreamId gsid, StreamPhase phase,
+             TileId tile, std::string detail = std::string())
+{
+    auto &t = StreamLifecycleTracer::instance();
+    if (__builtin_expect(t.enabled(), 0))
+        t.record(tick, gsid, phase, tile, std::move(detail));
+}
+
+} // namespace trace
+} // namespace sf
+
+#endif // SF_SIM_STREAM_TRACE_HH

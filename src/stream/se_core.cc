@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "sim/stream_trace.hh"
 
 namespace sf {
 namespace stream {
@@ -94,6 +96,15 @@ SECore::configure(const std::vector<isa::StreamConfig> &group)
         s.cfg = cfg;
         if (cfg.hasIndirect)
             s.parent = cfg.baseSid;
+        SF_DPRINTF(StreamFloat,
+                   "config sid=%d %s%s elemSize=%u lengthKnown=%d",
+                   cfg.sid, cfg.isStore ? "store" : "load",
+                   cfg.hasIndirect ? " indirect" : "",
+                   cfg.hasIndirect ? cfg.indirect.elemSize
+                                   : cfg.affine.elemSize,
+                   cfg.lengthKnown);
+        trace::recordStream(curTick(), {_tile, cfg.sid},
+                            trace::StreamPhase::Config, _tile);
     }
     // Wire children after all group members exist.
     for (const auto &cfg : group) {
@@ -126,6 +137,10 @@ SECore::end(StreamId sid)
     if (it == _streams.end() || !it->second.active)
         return;
     StreamState &s = it->second;
+    SF_DPRINTF(StreamFloat, "end sid=%d floating=%d consumed=%llu", sid,
+               s.floating, (unsigned long long)s.commitBase);
+    trace::recordStream(curTick(), {_tile, sid},
+                        trace::StreamPhase::End, _tile);
     if (s.floating && _floatCtrl)
         _floatCtrl->unfloatStream(sid);
     // Children are configured and ended by their own stream_end ops.
@@ -450,7 +465,7 @@ SECore::storeCommitted(Addr vaddr, uint16_t size)
         s.aliasDisabled = true;
 
         if (s.floating) {
-            sink(sid);
+            sink(sid, "store-alias");
         }
         // Flush the PEB: prefetched-but-unused elements are refetched.
         uint64_t flush_from = std::max(s.dispatchIter, s.commitBase);
@@ -499,7 +514,7 @@ SECore::notifyFloatedCacheHit(StreamId sid)
     }
     if (++it->second.consecutiveCacheHits >=
         _cfg.sinkCacheHitThreshold) {
-        sink(sid);
+        sink(sid, "cache-hits");
     }
 }
 
@@ -514,7 +529,7 @@ SECore::notifyFloatedBufferServe(StreamId sid)
 void
 SECore::requestSink(StreamId sid)
 {
-    sink(sid);
+    sink(sid, "se_l2-request");
 }
 
 void
@@ -566,6 +581,7 @@ SECore::maybeFloat(StreamId sid, uint64_t start_elem, bool at_config)
         return false;
 
     bool decided = false;
+    const char *reason = "";
     if (s.cfg.lengthKnown) {
         uint64_t footprint = s.cfg.footprintBytes();
         for (StreamId child : s.children) {
@@ -575,7 +591,13 @@ SECore::maybeFloat(StreamId sid, uint64_t start_elem, bool at_config)
         }
         if (footprint > _cfg.l2CapacityBytes) {
             decided = true;
+            reason = "footprint";
             ++_stats.footprintFloats;
+            SF_DPRINTF(StreamFloat,
+                       "float decision sid=%d: footprint %llu B > L2 "
+                       "%llu B",
+                       sid, (unsigned long long)footprint,
+                       (unsigned long long)_cfg.l2CapacityBytes);
         }
     }
     if (!decided && h.requests >= _cfg.floatDecisionRequests) {
@@ -586,7 +608,13 @@ SECore::maybeFloat(StreamId sid, uint64_t start_elem, bool at_config)
         if (miss_ratio >= _cfg.floatMissRatio &&
             reuse_ratio <= _cfg.floatReuseRatio) {
             decided = true;
+            reason = "history";
             ++_stats.historyFloats;
+            SF_DPRINTF(StreamFloat,
+                       "float decision sid=%d: history miss=%.2f "
+                       "reuse=%.2f over %llu reqs",
+                       sid, miss_ratio, reuse_ratio,
+                       (unsigned long long)h.requests);
         }
     }
     if (!decided)
@@ -611,10 +639,19 @@ SECore::maybeFloat(StreamId sid, uint64_t start_elem, bool at_config)
         req.indirects.push_back(ind);
     }
 
-    if (!_floatCtrl->floatStream(req))
+    if (!_floatCtrl->floatStream(req)) {
+        SF_DPRINTF(StreamFloat, "float rejected sid=%d (SE_L2 full)",
+                   sid);
         return false;
+    }
 
     ++_stats.streamsFloated;
+    SF_DPRINTF(StreamFloat,
+               "floated sid=%d from elem %llu (%s, %zu indirects)", sid,
+               (unsigned long long)start_elem, reason,
+               req.indirects.size());
+    trace::recordStream(curTick(), {_tile, sid},
+                        trace::StreamPhase::Float, _tile, reason);
     s.floating = true;
     s.floatFromElem = start_elem;
     s.consecutiveCacheHits = 0;
@@ -647,7 +684,7 @@ SECore::debugDump(std::FILE *f) const
 }
 
 void
-SECore::sink(StreamId sid)
+SECore::sink(StreamId sid, const char *reason)
 {
     auto it = _streams.find(sid);
     if (it == _streams.end() || !it->second.active)
@@ -655,6 +692,9 @@ SECore::sink(StreamId sid)
     StreamState &s = it->second;
     if (!s.floating)
         return;
+    SF_DPRINTF(StreamFloat, "sink sid=%d (%s)", sid, reason);
+    trace::recordStream(curTick(), {_tile, sid},
+                        trace::StreamPhase::Sink, _tile, reason);
     // Sink the whole group: the base and its indirect children.
     StreamId base = s.cfg.hasIndirect ? s.parent : sid;
     auto bit = _streams.find(base);

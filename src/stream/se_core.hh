@@ -200,7 +200,8 @@ class SECore : public SimObject, public cpu::StreamEngineIf
 
     /** §IV-D float decision; @return true if the stream floated. */
     bool maybeFloat(StreamId sid, uint64_t start_elem, bool at_config);
-    void sink(StreamId sid);
+    /** Pull a floated stream back to the core; @p reason is trace-only. */
+    void sink(StreamId sid, const char *reason);
 
     SECoreConfig _cfg;
     TileId _tile;

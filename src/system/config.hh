@@ -89,6 +89,11 @@ struct SystemConfig
     uint64_t seed = 1;
     /** Safety bound on simulated cycles. */
     Tick maxCycles = 500'000'000;
+    /**
+     * Interval (cycles) between counter snapshots for the time-series
+     * section of the JSON stat dump; 0 disables sampling.
+     */
+    Cycles samplingInterval = 0;
 
     int numTiles() const { return nx * ny; }
 

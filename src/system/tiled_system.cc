@@ -190,6 +190,9 @@ TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
     for (auto &c : _cores)
         c->start();
 
+    if (_cfg.samplingInterval > 0)
+        startSampler();
+
     bool hit_limit = false;
     while (_coresDone < _cfg.numTiles()) {
         if (_eq.empty()) {
@@ -205,51 +208,222 @@ TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
         _eq.step();
     }
 
+    if (_sampler)
+        _sampler->stop();
+
     return collect(hit_limit);
+}
+
+void
+TiledSystem::startSampler()
+{
+    _sampler = std::make_unique<stats::IntervalSampler>(
+        "sampler", _eq, _cfg.samplingInterval);
+
+    auto sum_ops = [this]() {
+        double s = 0;
+        for (auto &c : _cores)
+            s += double(c->stats().committedOps.value());
+        return s;
+    };
+    auto ticks = [this]() { return double(_eq.curTick()); };
+    _sampler->addRatio("ipc", sum_ops, ticks);
+
+    _sampler->addRatio(
+        "l2HitRate",
+        [this]() {
+            double s = 0;
+            for (auto &p : _priv)
+                s += double(p->stats().l2Hits.value());
+            return s;
+        },
+        [this]() {
+            double s = 0;
+            for (auto &p : _priv) {
+                s += double(p->stats().l2Hits.value()) +
+                     double(p->stats().l2Misses.value());
+            }
+            return s;
+        });
+
+    _sampler->addRatio(
+        "l3HitRate",
+        [this]() {
+            double s = 0;
+            for (auto &b : _l3)
+                s += double(b->stats().hits.value());
+            return s;
+        },
+        [this]() {
+            double s = 0;
+            for (auto &b : _l3) {
+                s += double(b->stats().hits.value()) +
+                     double(b->stats().misses.value());
+            }
+            return s;
+        });
+
+    double live_links = double(_mesh->liveLinkCount());
+    _sampler->addRatio(
+        "nocLinkUtilization",
+        [this]() { return double(_mesh->traffic().linkBusyCycles); },
+        [this, live_links]() {
+            return double(_eq.curTick()) * live_links;
+        });
+
+    if (machineFloats(_cfg.machine)) {
+        _sampler->addRatio(
+            "floatedFetchFraction",
+            [this]() {
+                double s = 0;
+                for (auto &se : _seCores) {
+                    if (se) {
+                        s += double(
+                            se->stats().floatedFetchesIssued.value());
+                    }
+                }
+                return s;
+            },
+            [this]() {
+                double s = 0;
+                for (auto &se : _seCores) {
+                    if (se)
+                        s += double(se->stats().fetchesIssued.value());
+                }
+                return s;
+            });
+    }
+
+    _sampler->start();
+}
+
+void
+TiledSystem::buildStatRegistry(stats::StatRegistry &reg) const
+{
+    for (TileId t = 0; t < _cfg.numTiles(); ++t) {
+        std::string tn = "tile" + std::to_string(t);
+        if (_cores[t])
+            _cores[t]->stats().regStats(reg.group(tn + ".core"));
+        _priv[t]->stats().regStats(reg.group(tn + ".priv"));
+        _l3[t]->stats().regStats(reg.group(tn + ".l3"));
+        if (_seCores[t])
+            _seCores[t]->stats().regStats(reg.group(tn + ".seCore"));
+        if (_seL2[t])
+            _seL2[t]->stats().regStats(reg.group(tn + ".seL2"));
+        if (_seL3[t])
+            _seL3[t]->stats().regStats(reg.group(tn + ".seL3"));
+    }
+
+    stats::StatGroup &mg = reg.group("mesh");
+    const noc::Mesh *mesh = _mesh.get();
+    mg.regFormula("flitHops.control", [mesh]() {
+        return double(mesh->traffic().flitHops[0]);
+    });
+    mg.regFormula("flitHops.data", [mesh]() {
+        return double(mesh->traffic().flitHops[1]);
+    });
+    mg.regFormula("flitHops.streamMgmt", [mesh]() {
+        return double(mesh->traffic().flitHops[2]);
+    });
+    mg.regFormula("utilization",
+                  [mesh]() { return mesh->linkUtilization(); });
+    mg.regHistogram("packetHops", &mesh->packetHops());
 }
 
 void
 TiledSystem::dumpStats(std::ostream &os) const
 {
-    for (TileId t = 0; t < _cfg.numTiles(); ++t) {
-        std::string tn = "tile" + std::to_string(t);
-        if (_cores[t]) {
-            stats::StatGroup g(tn + ".core");
-            _cores[t]->stats().regStats(g);
-            g.dump(os);
+    stats::StatRegistry reg;
+    buildStatRegistry(reg);
+    reg.dump(os);
+}
+
+void
+TiledSystem::dumpStatsJson(std::ostream &os, const SimResults &r) const
+{
+    stats::StatRegistry reg;
+    buildStatRegistry(reg);
+
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("schema", stats::jsonSchemaName);
+    w.kv("schemaVersion", stats::jsonSchemaVersion);
+
+    w.beginObject("config");
+    w.kv("machine", machineName(_cfg.machine));
+    w.kv("core", _cfg.core.label);
+    w.kv("nx", _cfg.nx);
+    w.kv("ny", _cfg.ny);
+    w.kv("samplingInterval", uint64_t(_cfg.samplingInterval));
+    w.kv("maxCycles", uint64_t(_cfg.maxCycles));
+    w.endObject();
+
+    w.beginObject("results");
+    w.kv("cycles", uint64_t(r.cycles));
+    w.kv("hitCycleLimit", r.hitCycleLimit);
+    w.kv("committedOps", r.committedOps);
+    w.kv("ipc", r.ipc());
+    w.kv("l1Hits", r.l1Hits);
+    w.kv("l1Misses", r.l1Misses);
+    w.kv("l2Hits", r.l2Hits);
+    w.kv("l2Misses", r.l2Misses);
+    w.kv("l2HitRate", r.l2HitRate);
+    w.kv("l2Evictions", r.l2Evictions);
+    w.kv("l2EvictionsUnreused", r.l2EvictionsUnreused);
+    w.kv("l3Hits", r.l3Hits);
+    w.kv("l3Misses", r.l3Misses);
+    w.kv("l3HitRate", r.l3HitRate);
+    w.beginArray("l3RequestsByClass");
+    for (uint64_t v : r.l3RequestsByClass)
+        w.value(v);
+    w.endArray();
+    w.kv("dramReads", r.dramReads);
+    w.kv("dramWrites", r.dramWrites);
+    w.kv("streamsFloated", r.streamsFloated);
+    w.kv("streamsSunk", r.streamsSunk);
+    w.kv("migrations", r.migrations);
+    w.kv("confluenceMerges", r.confluenceMerges);
+    w.kv("confluenceRequests", r.confluenceRequests);
+    w.kv("creditMessages", r.creditMessages);
+    w.kv("seL3LineRequests", r.seL3LineRequests);
+    w.kv("seL3IndirectRequests", r.seL3IndirectRequests);
+    w.kv("prefetchesIssued", r.prefetchesIssued);
+    w.kv("prefetchesUseful", r.prefetchesUseful);
+    w.beginObject("traffic");
+    w.kv("flitsInjected", r.traffic.flitsInjected[0] +
+                              r.traffic.flitsInjected[1] +
+                              r.traffic.flitsInjected[2]);
+    w.kv("flitHops", r.traffic.totalFlitHops());
+    w.kv("linkBusyCycles", r.traffic.linkBusyCycles);
+    w.endObject();
+    w.kv("nocUtilization", r.nocUtilization);
+    w.kv("energyNj", r.energyNj);
+    w.endObject();
+
+    reg.dumpJson(w);
+
+    w.beginObject("series");
+    if (_sampler) {
+        w.kv("interval", uint64_t(_sampler->interval()));
+        w.beginArray("ticks");
+        for (Tick t : _sampler->ticks())
+            w.value(uint64_t(t));
+        w.endArray();
+        w.beginObject("values");
+        for (const auto &s : _sampler->series()) {
+            w.beginArray(s.name);
+            for (double v : s.values)
+                w.value(v);
+            w.endArray();
         }
-        {
-            stats::StatGroup g(tn + ".priv");
-            _priv[t]->stats().regStats(g);
-            g.dump(os);
-        }
-        {
-            stats::StatGroup g(tn + ".l3");
-            _l3[t]->stats().regStats(g);
-            g.dump(os);
-        }
-        if (_seCores[t]) {
-            stats::StatGroup g(tn + ".seCore");
-            _seCores[t]->stats().regStats(g);
-            g.dump(os);
-        }
-        if (_seL2[t]) {
-            stats::StatGroup g(tn + ".seL2");
-            _seL2[t]->stats().regStats(g);
-            g.dump(os);
-        }
-        if (_seL3[t]) {
-            stats::StatGroup g(tn + ".seL3");
-            _seL3[t]->stats().regStats(g);
-            g.dump(os);
-        }
+        w.endObject();
+    } else {
+        w.kv("interval", uint64_t(0));
     }
-    os << "mesh.flitHops.control " << _mesh->traffic().flitHops[0]
-       << "\n";
-    os << "mesh.flitHops.data " << _mesh->traffic().flitHops[1] << "\n";
-    os << "mesh.flitHops.streamMgmt " << _mesh->traffic().flitHops[2]
-       << "\n";
-    os << "mesh.utilization " << _mesh->linkUtilization() << "\n";
+    w.endObject();
+
+    w.endObject();
+    os << "\n";
 }
 
 SimResults

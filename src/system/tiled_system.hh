@@ -27,6 +27,8 @@
 #include "noc/mesh.hh"
 #include "prefetch/bingo.hh"
 #include "prefetch/stride.hh"
+#include "sim/interval_sampler.hh"
+#include "sim/stat_registry.hh"
 #include "system/config.hh"
 #include "system/results.hh"
 
@@ -59,6 +61,23 @@ class TiledSystem
      */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Register every component's statistics with @p reg, one group per
+     * component (tileN.core, tileN.priv, ..., mesh). Rebuilt on demand
+     * because cores only exist once run() has been called.
+     */
+    void buildStatRegistry(stats::StatRegistry &reg) const;
+
+    /**
+     * Schema-versioned JSON stat dump: run config, SimResults
+     * aggregates, every registered stat group, and the interval
+     * sampler's time series (when sampling was enabled).
+     */
+    void dumpStatsJson(std::ostream &os, const SimResults &r) const;
+
+    /** Interval sampler of the last run(); null when sampling is off. */
+    const stats::IntervalSampler *sampler() const { return _sampler.get(); }
+
     /** Component access for tests. */
     mem::PrivCache &privCache(TileId t) { return *_priv[t]; }
     mem::L3Bank &l3Bank(TileId t) { return *_l3[t]; }
@@ -70,6 +89,8 @@ class TiledSystem
   private:
     void buildTiles();
     void dispatch(TileId tile, const noc::MsgPtr &msg);
+    /** Create the interval sampler and register its standard probes. */
+    void startSampler();
     SimResults collect(bool hit_limit);
 
     SystemConfig _cfg;
@@ -91,6 +112,7 @@ class TiledSystem
     std::vector<std::unique_ptr<mem::PrefetchObserverIf>> _l2Pf;
     std::vector<std::unique_ptr<cpu::Core>> _cores;
     std::vector<std::shared_ptr<isa::OpSource>> _threads;
+    std::unique_ptr<stats::IntervalSampler> _sampler;
 
     int _coresDone = 0;
 };

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for test assertions: just
+ * enough to round-trip the simulator's own stat / trace dumps. Not a
+ * general-purpose parser; throws std::runtime_error on malformed input.
+ */
+
+#ifndef SF_TESTS_COMMON_TEST_JSON_HH
+#define SF_TESTS_COMMON_TEST_JSON_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace test_json {
+
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    const Value &
+    at(const std::string &key) const
+    {
+        auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("missing key: " + key);
+        return it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return object.count(key) > 0;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _s(text) {}
+
+    Value
+    parse()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (_pos != _s.size())
+            throw std::runtime_error("trailing garbage");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (_pos < _s.size() &&
+               std::isspace(static_cast<unsigned char>(_s[_pos]))) {
+            ++_pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (_pos >= _s.size())
+            throw std::runtime_error("unexpected end of input");
+        return _s[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c) {
+            throw std::runtime_error(std::string("expected '") + c +
+                                     "' got '" + _s[_pos] + "'");
+        }
+        ++_pos;
+    }
+
+    Value
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': return parseLiteral("true", makeBool(true));
+          case 'f': return parseLiteral("false", makeBool(false));
+          case 'n': return parseLiteral("null", Value{});
+          default: return parseNumber();
+        }
+    }
+
+    static Value
+    makeBool(bool b)
+    {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        v.boolean = b;
+        return v;
+    }
+
+    Value
+    parseLiteral(const char *word, Value v)
+    {
+        skipWs();
+        size_t n = std::string(word).size();
+        if (_s.compare(_pos, n, word) != 0)
+            throw std::runtime_error("bad literal");
+        _pos += n;
+        return v;
+    }
+
+    Value
+    parseString()
+    {
+        expect('"');
+        Value v;
+        v.kind = Value::Kind::String;
+        while (_pos < _s.size() && _s[_pos] != '"') {
+            char c = _s[_pos++];
+            if (c == '\\') {
+                if (_pos >= _s.size())
+                    throw std::runtime_error("bad escape");
+                char e = _s[_pos++];
+                switch (e) {
+                  case 'n': v.str += '\n'; break;
+                  case 'r': v.str += '\r'; break;
+                  case 't': v.str += '\t'; break;
+                  case 'u':
+                    // Tests only need ASCII; decode the low byte.
+                    if (_pos + 4 > _s.size())
+                        throw std::runtime_error("bad \\u escape");
+                    v.str += static_cast<char>(
+                        std::strtoul(_s.substr(_pos, 4).c_str(), nullptr,
+                                     16));
+                    _pos += 4;
+                    break;
+                  default: v.str += e; break;
+                }
+            } else {
+                v.str += c;
+            }
+        }
+        if (_pos >= _s.size())
+            throw std::runtime_error("unterminated string");
+        ++_pos; // closing quote
+        return v;
+    }
+
+    Value
+    parseNumber()
+    {
+        skipWs();
+        size_t start = _pos;
+        while (_pos < _s.size() &&
+               (std::isdigit(static_cast<unsigned char>(_s[_pos])) ||
+                _s[_pos] == '-' || _s[_pos] == '+' || _s[_pos] == '.' ||
+                _s[_pos] == 'e' || _s[_pos] == 'E')) {
+            ++_pos;
+        }
+        if (start == _pos)
+            throw std::runtime_error("bad number");
+        Value v;
+        v.kind = Value::Kind::Number;
+        v.number = std::atof(_s.substr(start, _pos - start).c_str());
+        return v;
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        Value v;
+        v.kind = Value::Kind::Array;
+        if (peek() == ']') {
+            ++_pos;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            char c = peek();
+            ++_pos;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                throw std::runtime_error("expected ',' in array");
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        Value v;
+        v.kind = Value::Kind::Object;
+        if (peek() == '}') {
+            ++_pos;
+            return v;
+        }
+        while (true) {
+            Value key = parseString();
+            expect(':');
+            v.object.emplace(key.str, parseValue());
+            char c = peek();
+            ++_pos;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                throw std::runtime_error("expected ',' in object");
+        }
+    }
+
+    const std::string &_s;
+    size_t _pos = 0;
+};
+
+inline Value
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace test_json
+
+#endif // SF_TESTS_COMMON_TEST_JSON_HH

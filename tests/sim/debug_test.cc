@@ -1,0 +1,166 @@
+/** @file Unit tests for the debug-flag tracing facility. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+using namespace sf;
+using debug::Flag;
+
+namespace {
+
+/** RAII: clean flag mask + trace output captured into a tmpfile. */
+class DebugFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        debug::disableAll();
+        _file = std::tmpfile();
+        ASSERT_NE(_file, nullptr);
+        debug::setOutput(_file);
+    }
+
+    void
+    TearDown() override
+    {
+        debug::setOutput(nullptr);
+        debug::disableAll();
+        std::fclose(_file);
+    }
+
+    std::string
+    captured()
+    {
+        std::fflush(_file);
+        long sz = std::ftell(_file);
+        std::rewind(_file);
+        std::string out(static_cast<size_t>(sz), '\0');
+        size_t got = std::fread(out.data(), 1, out.size(), _file);
+        out.resize(got);
+        return out;
+    }
+
+    std::FILE *_file = nullptr;
+};
+
+} // namespace
+
+TEST(DebugFlags, ParseKnownNames)
+{
+    Flag f;
+    EXPECT_TRUE(debug::parseFlag("Cache", f));
+    EXPECT_EQ(f, Flag::Cache);
+    EXPECT_TRUE(debug::parseFlag("StreamFloat", f));
+    EXPECT_EQ(f, Flag::StreamFloat);
+    EXPECT_FALSE(debug::parseFlag("NotAFlag", f));
+    EXPECT_FALSE(debug::parseFlag("", f));
+}
+
+TEST(DebugFlags, AllNamesRoundTrip)
+{
+    auto names = debug::allFlagNames();
+    EXPECT_EQ(names.size(), debug::numFlags);
+    for (const auto &n : names) {
+        Flag f;
+        EXPECT_TRUE(debug::parseFlag(n, f)) << n;
+        EXPECT_STREQ(debug::flagName(f), n.c_str());
+    }
+}
+
+TEST(DebugFlags, EnableDisableSingle)
+{
+    debug::disableAll();
+    EXPECT_FALSE(debug::enabled(Flag::NoC));
+    debug::enable(Flag::NoC);
+    EXPECT_TRUE(debug::enabled(Flag::NoC));
+    EXPECT_FALSE(debug::enabled(Flag::Cache));
+    debug::disable(Flag::NoC);
+    EXPECT_FALSE(debug::enabled(Flag::NoC));
+}
+
+TEST(DebugFlags, SpecCommaList)
+{
+    debug::disableAll();
+    EXPECT_EQ(debug::setFlagsFromString("Cache,StreamFloat"), 2u);
+    EXPECT_TRUE(debug::enabled(Flag::Cache));
+    EXPECT_TRUE(debug::enabled(Flag::StreamFloat));
+    EXPECT_FALSE(debug::enabled(Flag::DRAM));
+    debug::disableAll();
+}
+
+TEST(DebugFlags, SpecAllAndNegation)
+{
+    debug::disableAll();
+    debug::setFlagsFromString("All,-NoC");
+    EXPECT_TRUE(debug::enabled(Flag::Cache));
+    EXPECT_TRUE(debug::enabled(Flag::DRAM));
+    EXPECT_FALSE(debug::enabled(Flag::NoC));
+    debug::disableAll();
+}
+
+TEST(DebugFlags, SpecUnknownNamesAreSkipped)
+{
+    debug::disableAll();
+    // Must not crash or enable anything else; returns applied count.
+    EXPECT_EQ(debug::setFlagsFromString("Bogus,Cache"), 1u);
+    EXPECT_TRUE(debug::enabled(Flag::Cache));
+    debug::disableAll();
+}
+
+TEST_F(DebugFixture, PrintStampsTickAndName)
+{
+    debug::enable(Flag::StreamFloat);
+    SF_DPRINTF_AT(StreamFloat, Tick(1234), "tile3.se",
+                  "floated sid=%d", 7);
+    std::string out = captured();
+    EXPECT_NE(out.find("1234"), std::string::npos);
+    EXPECT_NE(out.find("tile3.se"), std::string::npos);
+    EXPECT_NE(out.find("[StreamFloat]"), std::string::npos);
+    EXPECT_NE(out.find("floated sid=7"), std::string::npos);
+}
+
+TEST_F(DebugFixture, DisabledFlagWritesNothing)
+{
+    ASSERT_FALSE(debug::enabled(Flag::Cache));
+    SF_DPRINTF_AT(Cache, Tick(1), "tile0.priv", "should not appear");
+    EXPECT_EQ(captured(), "");
+}
+
+TEST_F(DebugFixture, OnlyEnabledFlagsEmit)
+{
+    debug::enable(Flag::DRAM);
+    SF_DPRINTF_AT(DRAM, Tick(10), "tile0.mc", "read");
+    SF_DPRINTF_AT(NoC, Tick(11), "mesh", "inject");
+    std::string out = captured();
+    EXPECT_NE(out.find("[DRAM]"), std::string::npos);
+    EXPECT_EQ(out.find("[NoC]"), std::string::npos);
+}
+
+TEST(WarnOnce, SuppressesRepeats)
+{
+    for (int i = 0; i < 3; ++i) {
+        ::testing::internal::CaptureStderr();
+        warn_once("stream table full on tile %d", i);
+        std::string err = ::testing::internal::GetCapturedStderr();
+        if (i == 0)
+            EXPECT_NE(err.find("stream table full"), std::string::npos);
+        else
+            EXPECT_EQ(err, "");
+    }
+}
+
+TEST(WarnOnce, DistinctCallSitesWarnIndependently)
+{
+    ::testing::internal::CaptureStderr();
+    warn_once("first site");
+    warn_once("second site");
+    std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("first site"), std::string::npos);
+    EXPECT_NE(err.find("second site"), std::string::npos);
+}

@@ -76,3 +76,51 @@ TEST(StatGroup, RegisterDumpAndFind)
     EXPECT_NE(os.str().find("cache.hits 7"), std::string::npos);
     EXPECT_NE(os.str().find("cache.misses 3"), std::string::npos);
 }
+
+TEST(StatGroup, FindAverage)
+{
+    StatGroup g("g");
+    Average lat;
+    lat.sample(10.0);
+    lat.sample(20.0);
+    g.regAverage("latency", &lat);
+
+    ASSERT_NE(g.findAverage("latency"), nullptr);
+    EXPECT_DOUBLE_EQ(g.findAverage("latency")->mean(), 15.0);
+    EXPECT_EQ(g.findAverage("nothing"), nullptr);
+}
+
+TEST(StatGroup, HistogramRegistrationAndDump)
+{
+    StatGroup g("noc");
+    Histogram hops(1, 4);
+    hops.sample(1);
+    hops.sample(2);
+    hops.sample(2);
+    g.regHistogram("packetHops", &hops);
+
+    ASSERT_NE(g.findHistogram("packetHops"), nullptr);
+    EXPECT_EQ(g.findHistogram("packetHops")->count(), 3u);
+    EXPECT_EQ(g.findHistogram("nothing"), nullptr);
+
+    std::ostringstream os;
+    g.dump(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("noc.packetHops.count 3"), std::string::npos);
+    EXPECT_NE(s.find("noc.packetHops.mean "), std::string::npos);
+    EXPECT_NE(s.find("noc.packetHops.buckets 0 1 2 0 0"),
+              std::string::npos);
+}
+
+TEST(StatGroup, FormulaEvaluatedLazilyAtDump)
+{
+    StatGroup g("core");
+    Scalar ops;
+    g.regFormula("opsTimesTwo",
+                 [&ops]() { return 2.0 * double(ops.value()); });
+
+    ops += 21; // after registration: dump must see the current value
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("core.opsTimesTwo 42"), std::string::npos);
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Observability-layer integration tests: the JSON stat dump must
+ * round-trip through a parser and agree with the SimResults aggregates,
+ * interval sampling must produce aligned time series, and the
+ * stream-lifecycle tracer must export a well-formed Chrome trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/test_json.hh"
+#include "sim/stream_trace.hh"
+#include "system/tiled_system.hh"
+#include "workload/workload.hh"
+
+using namespace sf;
+using namespace sf::sys;
+
+namespace {
+
+struct RunOutput
+{
+    SimResults results;
+    test_json::Value json;
+};
+
+RunOutput
+runWithJson(Machine m, const std::string &wl_name, Cycles interval)
+{
+    SystemConfig cfg =
+        SystemConfig::make(m, cpu::CoreConfig::ooo4(), 2, 2);
+    cfg.maxCycles = 30'000'000;
+    cfg.samplingInterval = interval;
+    TiledSystem sys(cfg);
+    workload::WorkloadParams wp;
+    wp.numThreads = cfg.numTiles();
+    wp.scale = 0.02;
+    wp.useStreams = machineUsesStreams(m);
+    auto wl = workload::makeWorkload(wl_name, wp);
+    wl->init(sys.addressSpace());
+    SimResults r = sys.run(wl->makeAllThreads());
+    EXPECT_FALSE(r.hitCycleLimit);
+
+    std::ostringstream os;
+    sys.dumpStatsJson(os, r);
+    return {r, test_json::parse(os.str())};
+}
+
+} // namespace
+
+TEST(StatsJson, SchemaAndResultsMatchSimResults)
+{
+    RunOutput out = runWithJson(Machine::SF, "pathfinder", 2000);
+    const auto &j = out.json;
+
+    EXPECT_EQ(j.at("schema").str, "sf-stats");
+    EXPECT_EQ(j.at("schemaVersion").number, 1.0);
+    EXPECT_EQ(j.at("config").at("machine").str, "SF");
+
+    const auto &res = j.at("results");
+    EXPECT_EQ(res.at("cycles").number, double(out.results.cycles));
+    EXPECT_EQ(res.at("committedOps").number,
+              double(out.results.committedOps));
+    EXPECT_EQ(res.at("l2Hits").number, double(out.results.l2Hits));
+    EXPECT_EQ(res.at("l3Misses").number, double(out.results.l3Misses));
+    EXPECT_EQ(res.at("streamsFloated").number,
+              double(out.results.streamsFloated));
+    EXPECT_NEAR(res.at("ipc").number, out.results.ipc(), 1e-6);
+    EXPECT_EQ(res.at("l3RequestsByClass").array.size(), 5u);
+}
+
+TEST(StatsJson, GroupTotalsMatchAggregates)
+{
+    RunOutput out = runWithJson(Machine::SF, "pathfinder", 0);
+    const auto &groups = out.json.at("groups");
+
+    // Summing per-tile group scalars must reproduce the aggregates.
+    double l1_hits = 0, floated = 0;
+    for (int t = 0; t < 4; ++t) {
+        std::string tn = "tile" + std::to_string(t);
+        l1_hits += groups.at(tn + ".priv").at("l1Hits").number;
+        floated += groups.at(tn + ".seCore").at("streamsFloated").number;
+    }
+    EXPECT_EQ(l1_hits, double(out.results.l1Hits));
+    EXPECT_EQ(floated, double(out.results.streamsFloated));
+
+    // The mesh group carries formulas and the hop histogram.
+    const auto &mesh = groups.at("mesh");
+    EXPECT_EQ(mesh.at("flitHops.data").number,
+              double(out.results.traffic.flitHops[1]));
+    EXPECT_GT(mesh.at("packetHops").at("count").number, 0.0);
+    EXPECT_EQ(mesh.at("packetHops").at("buckets").array.size(), 17u);
+}
+
+TEST(StatsJson, IntervalSeriesAlignedAndPlausible)
+{
+    RunOutput out = runWithJson(Machine::SF, "pathfinder", 1000);
+    const auto &series = out.json.at("series");
+
+    EXPECT_EQ(series.at("interval").number, 1000.0);
+    size_t n = series.at("ticks").array.size();
+    EXPECT_GT(n, 1u);
+
+    const auto &values = series.at("values");
+    // The standard probe set: >= 4 series, all aligned with ticks.
+    EXPECT_GE(values.object.size(), 4u);
+    for (const char *name :
+         {"ipc", "l2HitRate", "l3HitRate", "nocLinkUtilization"}) {
+        ASSERT_TRUE(values.has(name)) << name;
+        EXPECT_EQ(values.at(name).array.size(), n) << name;
+    }
+    // Rates are ratios: every point within [0, 1].
+    for (const auto &v : values.at("l2HitRate").array) {
+        EXPECT_GE(v.number, 0.0);
+        EXPECT_LE(v.number, 1.0);
+    }
+}
+
+TEST(StatsJson, SamplingOffEmitsNoSeries)
+{
+    RunOutput out = runWithJson(Machine::BingoPf, "pathfinder", 0);
+    EXPECT_EQ(out.json.at("series").at("interval").number, 0.0);
+    EXPECT_FALSE(out.json.at("series").has("ticks"));
+}
+
+TEST(StreamTrace, ChromeTraceExportRoundTrips)
+{
+    auto &tracer = trace::StreamLifecycleTracer::instance();
+    tracer.clear();
+    tracer.setEnabled(true);
+    RunOutput out = runWithJson(Machine::SF, "pathfinder", 0);
+    tracer.setEnabled(false);
+    EXPECT_GT(out.results.streamsFloated, 0u);
+    ASSERT_FALSE(tracer.events().empty());
+
+    std::ostringstream os;
+    tracer.exportChromeTrace(os);
+    test_json::Value j = test_json::parse(os.str());
+    tracer.clear();
+
+    const auto &evs = j.at("traceEvents").array;
+    ASSERT_FALSE(evs.empty());
+    bool saw_float = false, saw_meta = false;
+    for (const auto &e : evs) {
+        const std::string &ph = e.at("ph").str;
+        if (ph == "M") {
+            saw_meta = true;
+            continue;
+        }
+        // Every non-metadata event sits on a (pid, tid) stream track
+        // with a microsecond timestamp and the raw tick in args.
+        EXPECT_TRUE(e.has("pid"));
+        EXPECT_TRUE(e.has("tid"));
+        EXPECT_TRUE(e.has("ts"));
+        EXPECT_TRUE(e.at("args").has("tick"));
+        if (e.at("name").str == "float")
+            saw_float = true;
+    }
+    EXPECT_TRUE(saw_meta);
+    EXPECT_TRUE(saw_float);
+}
+
+TEST(StreamTrace, DisabledTracerRecordsNothing)
+{
+    auto &tracer = trace::StreamLifecycleTracer::instance();
+    tracer.clear();
+    tracer.setEnabled(false);
+    RunOutput out = runWithJson(Machine::SF, "pathfinder", 0);
+    EXPECT_GT(out.results.streamsFloated, 0u);
+    EXPECT_TRUE(tracer.events().empty());
+}
