@@ -10,6 +10,10 @@
  *   --full             paper-fidelity mode (8x8, scale 0.25)
  *   --stats-json=DIR   write one schema-versioned stats.json per run
  *   --sample-interval=N  counter snapshot every N cycles (with JSON)
+ *   --check=LVL        invariant checker off|basic|full (SF_CHECK env
+ *                      overrides)
+ *   --faults=SPEC      deterministic fault injection (see sim/fault.hh)
+ *   --watchdog-cycles=N  forward-progress watchdog interval (0 = off)
  */
 
 #ifndef SF_BENCH_BENCH_UTIL_HH
@@ -41,6 +45,12 @@ struct BenchOptions
     std::string statsJsonDir;
     /** Sampling interval (cycles) for JSON time series; 0 = off. */
     Cycles sampleInterval = 0;
+    /** Invariant checker level for every run. */
+    CheckLevel check = CheckLevel::Off;
+    /** Fault-injection schedule for every run. */
+    FaultConfig faults;
+    /** Watchdog interval override; ~0 keeps the config default. */
+    Tick watchdogCycles = ~0ULL;
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -75,6 +85,12 @@ struct BenchOptions
                 o.statsJsonDir = argv[++i];
             } else if (const char *v = val("--sample-interval=")) {
                 o.sampleInterval = std::strtoull(v, nullptr, 10);
+            } else if (const char *v = val("--check=")) {
+                o.check = checkLevelFromString(v);
+            } else if (const char *v = val("--faults=")) {
+                o.faults = FaultConfig::parse(v);
+            } else if (const char *v = val("--watchdog-cycles=")) {
+                o.watchdogCycles = std::strtoull(v, nullptr, 10);
             } else if (arg == "--full") {
                 o.nx = o.ny = 8;
                 o.scale = 0.25;
@@ -82,7 +98,8 @@ struct BenchOptions
                 std::printf(
                     "options: --cores=NxN --scale=S "
                     "--workloads=a,b,c --full --stats-json=DIR "
-                    "--sample-interval=N\n");
+                    "--sample-interval=N --check=off|basic|full "
+                    "--faults=SPEC --watchdog-cycles=N\n");
                 std::exit(0);
             }
         }
@@ -119,6 +136,10 @@ runSim(sys::Machine machine, const cpu::CoreConfig &core,
         cfg.samplingInterval =
             opt.sampleInterval ? opt.sampleInterval : 10'000;
     }
+    cfg.checkLevel = opt.check;
+    cfg.faults = opt.faults;
+    if (opt.watchdogCycles != ~0ULL)
+        cfg.watchdogCycles = opt.watchdogCycles;
     sys::TiledSystem system(cfg);
 
     auto &tracer = trace::StreamLifecycleTracer::instance();

@@ -6,11 +6,20 @@
  * around: cycles, NoC traffic, and energy.
  *
  * Usage: quickstart [workload] [scale] [--stats-json=DIR] [--trace=FILE]
+ *                   [--check=LVL] [--faults=SPEC] [--watchdog-cycles=N]
  *
  *   --stats-json=DIR  write one schema-versioned stats.json per machine
  *                     (with interval time series) into DIR
  *   --trace=FILE      write the SF run's stream-lifecycle events as a
  *                     Chrome trace-event file (open in Perfetto)
+ *   --check=LVL       invariant checker level off|basic|full (the
+ *                     SF_CHECK env var overrides this)
+ *   --faults=SPEC     deterministic fault injection, e.g.
+ *                     "seed:7,dropfloat:0.2,delay:0.1" (see fault.hh)
+ *   --watchdog-cycles=N  forward-progress watchdog interval (0 = off)
+ *
+ * Exits with the FatalError exit code on watchdog timeouts (64),
+ * invariant violations (65) and drain failures (66).
  *
  * Set SF_DEBUG_FLAGS (e.g. StreamFloat,SEL3) to watch components live.
  */
@@ -30,14 +39,26 @@ using namespace sf;
 
 namespace {
 
+/** Robustness knobs shared by both runs. */
+struct RobustnessOptions
+{
+    CheckLevel check = CheckLevel::Off;
+    FaultConfig faults;
+    Tick watchdogCycles = ~0ULL; //!< ~0 = keep the config default
+};
+
 sys::SimResults
 runOne(sys::Machine machine, const std::string &wl_name, double scale,
-       const std::string &stats_dir)
+       const std::string &stats_dir, const RobustnessOptions &rob)
 {
     sys::SystemConfig cfg =
         sys::SystemConfig::make(machine, cpu::CoreConfig::ooo8(), 4, 4);
     if (!stats_dir.empty())
         cfg.samplingInterval = 10'000;
+    cfg.checkLevel = rob.check;
+    cfg.faults = rob.faults;
+    if (rob.watchdogCycles != ~0ULL)
+        cfg.watchdogCycles = rob.watchdogCycles;
     sys::TiledSystem system(cfg);
 
     workload::WorkloadParams wp;
@@ -69,11 +90,12 @@ runOne(sys::Machine machine, const std::string &wl_name, double scale,
 
 int
 main(int argc, char **argv)
-{
+try {
     std::string wl = "pathfinder";
     double scale = 0.05;
     std::string stats_dir;
     std::string trace_file;
+    RobustnessOptions rob;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -81,6 +103,16 @@ main(int argc, char **argv)
             stats_dir = arg.substr(std::strlen("--stats-json="));
         } else if (arg.rfind("--trace=", 0) == 0) {
             trace_file = arg.substr(std::strlen("--trace="));
+        } else if (arg.rfind("--check=", 0) == 0) {
+            rob.check = checkLevelFromString(
+                arg.substr(std::strlen("--check=")));
+        } else if (arg.rfind("--faults=", 0) == 0) {
+            rob.faults =
+                FaultConfig::parse(arg.substr(std::strlen("--faults=")));
+        } else if (arg.rfind("--watchdog-cycles=", 0) == 0) {
+            rob.watchdogCycles = std::strtoull(
+                arg.c_str() + std::strlen("--watchdog-cycles="),
+                nullptr, 10);
         } else if (positional == 0) {
             wl = arg;
             ++positional;
@@ -98,9 +130,9 @@ main(int argc, char **argv)
     if (!trace_file.empty())
         tracer.setEnabled(true);
 
-    auto base = runOne(sys::Machine::BingoPf, wl, scale, stats_dir);
+    auto base = runOne(sys::Machine::BingoPf, wl, scale, stats_dir, rob);
     tracer.clear(); // keep only the SF run's stream events
-    auto sf_run = runOne(sys::Machine::SF, wl, scale, stats_dir);
+    auto sf_run = runOne(sys::Machine::SF, wl, scale, stats_dir, rob);
 
     if (!trace_file.empty()) {
         std::ofstream os(trace_file);
@@ -130,4 +162,9 @@ main(int argc, char **argv)
                 (unsigned long long)base.migrations,
                 (unsigned long long)sf_run.migrations);
     return 0;
+} catch (const FatalError &e) {
+    // The message and diagnostic snapshot already went to stderr;
+    // surface the distinct exit code (watchdog 64, invariant 65,
+    // drain 66, config 1) to scripts and ctest.
+    return e.exitStatus();
 }

@@ -167,6 +167,7 @@ SEL2::floatStream(const stream::FloatRequest &req)
     };
 
     FloatedStream &base = setup(req.base, req.baseStart, invalidStream);
+    base.lastProgress = curTick();
     for (const auto &ind : req.indirects) {
         setup(ind.cfg, ind.start, req.base.sid);
         base.children.push_back(ind.cfg.sid);
@@ -216,7 +217,173 @@ SEL2::floatStream(const stream::FloatRequest &req)
                "credit=%llu",
                req.base.sid, bank, (unsigned long long)remote_start,
                (unsigned long long)msg->creditLimit);
+    if (_cfg.retryEnabled) {
+        armAckCheck(req.base.sid, base.gen);
+        scheduleProgressScan();
+    }
     return true;
+}
+
+void
+SEL2::resendConfig(StreamId sid, FloatedStream &base)
+{
+    // Rebuild the config from the live stream state and re-send it to
+    // the home bank of the arrival frontier: idempotent on the SE_L3
+    // side (same-gen configs replace the entry; already-delivered
+    // elements that get re-produced are dropped by the frontier check
+    // here), so it recovers from a lost config, migration, or credit
+    // without needing to know which one was lost.
+    uint64_t next_elem = std::max(base.nextExpected, base.startElem);
+    uint64_t horizon =
+        base.cfg.lengthKnown ? base.cfg.totalElems() : ~0ULL;
+    uint64_t bank_elem = next_elem;
+    if (horizon != ~0ULL && bank_elem >= horizon)
+        bank_elem = horizon ? horizon - 1 : 0;
+    TileId bank = bankOfElem(base, bank_elem);
+    auto msg = StreamFloatMsg::make(_tile, bank);
+    msg->gsid = {_tile, sid};
+    msg->gen = base.gen;
+    msg->asid = _as.asid();
+    msg->base = base.cfg;
+    for (StreamId child_sid : base.children) {
+        if (FloatedStream *child = find(child_sid)) {
+            uint32_t w_len =
+                std::max<uint32_t>(1, child->cfg.indirect.wLen);
+            FloatedIndirect ind;
+            ind.cfg = child->cfg;
+            ind.start = std::max(child->startElem, next_elem * w_len);
+            msg->indirects.push_back(ind);
+        }
+    }
+    msg->nextElem = next_elem;
+    msg->creditLimit = std::max(base.grantedUpTo, next_elem);
+    msg->finalizeSize();
+    _mesh.send(msg);
+    ++_stats.configsSent;
+    ++_stats.floatRetries;
+    SF_DPRINTF(StreamFloat,
+               "retry %d/%d: resend config sid=%d -> bank %d "
+               "nextElem=%llu",
+               base.retries, _cfg.maxFloatRetries, sid, bank,
+               (unsigned long long)next_elem);
+}
+
+void
+SEL2::armAckCheck(StreamId sid, uint32_t gen)
+{
+    scheduleIn(_cfg.floatAckTimeout,
+               [this, sid, gen] { checkAck(sid, gen); });
+}
+
+void
+SEL2::checkAck(StreamId sid, uint32_t gen)
+{
+    FloatedStream *s = find(sid);
+    if (!s || s->gen != gen || s->acked)
+        return;
+    if (s->retries >= _cfg.maxFloatRetries) {
+        // The hierarchy never confirmed the float: revert this stream
+        // to core-fetch for good (SE_core marks it noRefloat).
+        ++_stats.floatFallbacks;
+        warn_once("%s: float config unacked after %d retries, sinking",
+                  name().c_str(), _cfg.maxFloatRetries);
+        _seCore.requestSink(sid);
+        return;
+    }
+    ++s->retries;
+    resendConfig(sid, *s);
+    armAckCheck(sid, gen);
+}
+
+bool
+SEL2::groupHasWaiters(const FloatedStream &base) const
+{
+    if (!base.waiters.empty())
+        return true;
+    for (StreamId child : base.children) {
+        if (const FloatedStream *c = findConst(child)) {
+            if (!c->waiters.empty())
+                return true;
+        }
+    }
+    // A lagging constant-offset stream blocked below its tail is
+    // waiting on OUR data.
+    for (StreamId lag_sid : base.aliasedBy) {
+        if (const FloatedStream *lag = findConst(lag_sid)) {
+            if (!lag->waiters.empty())
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+SEL2::scheduleProgressScan()
+{
+    if (_scanScheduled || !_cfg.retryEnabled)
+        return;
+    _scanScheduled = true;
+    scheduleIn(std::max<Cycles>(1, _cfg.progressTimeout / 2),
+               [this] { progressScan(); }, EventPriority::Stat);
+}
+
+void
+SEL2::progressScan()
+{
+    _scanScheduled = false;
+    if (_floated.empty())
+        return; // self-stop; floatStream() restarts the scan
+    Tick now = curTick();
+    std::vector<StreamId> to_recover;
+    std::vector<StreamId> to_sink;
+    for (auto &[sid, s] : _floated) {
+        if (s.baseSid != invalidStream)
+            continue; // children recover through their base
+        if (!s.acked)
+            continue; // the ack-timeout path owns unacked streams
+        if (!groupHasWaiters(s))
+            continue; // not blocking the core: nothing to recover
+        if (now - s.lastProgress < _cfg.progressTimeout)
+            continue;
+        if (s.retries >= _cfg.maxFloatRetries)
+            to_sink.push_back(sid);
+        else
+            to_recover.push_back(sid);
+    }
+    for (StreamId sid : to_recover) {
+        FloatedStream &s = _floated.at(sid);
+        ++s.retries;
+        s.lastProgress = now;
+        resendConfig(sid, s);
+    }
+    for (StreamId sid : to_sink) {
+        ++_stats.floatFallbacks;
+        warn_once("%s: floated stream stuck after %d recoveries, "
+                  "sinking",
+                  name().c_str(), _cfg.maxFloatRetries);
+        _seCore.requestSink(sid);
+    }
+    scheduleProgressScan();
+}
+
+void
+SEL2::recvFloatAck(const std::shared_ptr<StreamAckMsg> &msg)
+{
+    StreamId sid = msg->gsid.sid;
+    FloatedStream *s = find(sid);
+    if (!s || s->gen != msg->gen)
+        return; // stale (stream sunk or refloated since)
+    if (msg->nack) {
+        ++_stats.floatNacks;
+        SF_DPRINTF(StreamFloat,
+                   "NACK sid=%d gen=%u: falling back to core-fetch",
+                   sid, msg->gen);
+        _seCore.requestSink(sid);
+        return;
+    }
+    ++_stats.acksReceived;
+    s->acked = true;
+    s->lastProgress = curTick();
 }
 
 void
@@ -425,6 +592,9 @@ SEL2::recvDataU(const mem::MemMsgPtr &msg)
     }
 
     ++_stats.dataArrived;
+    s->lastProgress = curTick();
+    s->acked = true; // data proves the engine is alive
+    s->retries = 0;  // fresh recovery budget after real progress
     advanceArrival(*s, msg->elemIdx, msg->elemCount);
     serveWaiters(sid, *s);
     // New leader data may unblock lagging constant-offset streams.
@@ -459,6 +629,7 @@ SEL2::serveWaiters(StreamId sid, FloatedStream &s)
     }
     s.waiters = std::move(keep);
     if (!fire.empty()) {
+        s.lastProgress = curTick();
         _stats.servedFetches += fire.size();
         _seCore.notifyFloatedBufferServe(sid);
         // Defer: callbacks can re-enter the SE (refetch, refloat) and
@@ -588,17 +759,37 @@ SEL2::debugDump(std::FILE *f) const
         std::fprintf(f,
                      "  %s sid=%d gen=%u start=%llu nextExp=%llu "
                      "consumed=%llu granted=%llu cap=%llu ooo=%zu "
-                     "waiters=%zu\n",
+                     "waiters=%zu acked=%d retries=%d "
+                     "lastProgress=%llu\n",
                      name().c_str(), sid, s.gen,
                      (unsigned long long)s.startElem,
                      (unsigned long long)s.nextExpected,
                      (unsigned long long)s.consumedUpTo,
                      (unsigned long long)s.grantedUpTo,
                      (unsigned long long)s.capacityElems,
-                     s.outOfOrder.size(), s.waiters.size());
+                     s.outOfOrder.size(), s.waiters.size(), s.acked,
+                     s.retries, (unsigned long long)s.lastProgress);
     }
     std::fprintf(f, "  %s head=%u tail=%u grants=%zu\n", name().c_str(),
                  _headSeq, _tailSeq, _grants.size());
+}
+
+void
+SEL2::forEachFloated(
+    const std::function<void(const FloatedView &)> &fn) const
+{
+    for (const auto &[sid, s] : _floated) {
+        FloatedView v;
+        v.sid = sid;
+        v.gen = s.gen;
+        v.isChild = s.baseSid != invalidStream;
+        v.aliased = s.aliasRoot != invalidStream;
+        v.grantedUpTo = s.grantedUpTo;
+        v.consumedUpTo = s.consumedUpTo;
+        v.capacityElems = s.capacityElems;
+        v.waiters = s.waiters.size();
+        fn(v);
+    }
 }
 
 void

@@ -46,6 +46,23 @@ struct SEL2Config
      * leading stream's data.
      */
     bool enableStencilReuse = true;
+
+    // --- robustness: graceful degradation under lost control msgs ---
+    /**
+     * Master switch for the retry/fallback machinery below. Off, a
+     * lost float request or credit grant wedges the stream (the
+     * forward-progress watchdog then catches the hang) — used by the
+     * `noretry` fault spec to prove the watchdog works.
+     */
+    bool retryEnabled = true;
+    /** Resend an unacked float config after this many cycles. */
+    Cycles floatAckTimeout = 8192;
+    /** Config resends (ack timeouts + stall recoveries) before the
+     *  stream is sunk back to core-fetch for good. */
+    int maxFloatRetries = 3;
+    /** A floated stream with waiters and no arrivals/acks for this
+     *  long is considered stuck and enters recovery. */
+    Cycles progressTimeout = 100'000;
 };
 
 struct SEL2Stats
@@ -58,6 +75,9 @@ struct SEL2Stats
     stats::Scalar evictionPressureSinks;
     /** §IV-B constant-offset merges and element serves. */
     stats::Scalar stencilMerges, stencilServes;
+    /** Robustness: acks/NACKs received and the recovery paths taken. */
+    stats::Scalar acksReceived, floatNacks;
+    stats::Scalar floatRetries, floatFallbacks;
 
     /** Register every counter with @p g for report dumping. */
     void
@@ -76,6 +96,10 @@ struct SEL2Stats
         g.regScalar("evictionPressureSinks", &evictionPressureSinks);
         g.regScalar("stencilMerges", &stencilMerges);
         g.regScalar("stencilServes", &stencilServes);
+        g.regScalar("acksReceived", &acksReceived);
+        g.regScalar("floatNacks", &floatNacks);
+        g.regScalar("floatRetries", &floatRetries);
+        g.regScalar("floatFallbacks", &floatFallbacks);
     }
 };
 
@@ -105,6 +129,9 @@ class SEL2 : public SimObject,
                              uint64_t elem_idx) override;
     void recvDataU(const mem::MemMsgPtr &msg) override;
     void onDirtyEviction(Addr line_paddr) override;
+
+    /** Float ack / NACK from an SE_L3 bank (via the mesh). */
+    void recvFloatAck(const std::shared_ptr<StreamAckMsg> &msg);
     uint16_t currentCreditHead() override;
     bool mustDelayEviction(uint16_t seq_num) override;
     void onEvictionPressure() override;
@@ -113,6 +140,31 @@ class SEL2 : public SimObject,
 
     /** Dump buffered stream state (debugging aid). */
     void debugDump(std::FILE *f) const;
+
+    // --- introspection for the invariant checker / drain checks ---
+    /** A read-only view of one floated stream's protocol state. */
+    struct FloatedView
+    {
+        StreamId sid;
+        uint32_t gen;
+        bool isChild;  //!< indirect child (shares the base's credits)
+        bool aliased;  //!< served from a leading stream (§IV-B)
+        uint64_t grantedUpTo;
+        uint64_t consumedUpTo;
+        uint64_t capacityElems;
+        size_t waiters;
+    };
+
+    size_t numFloated() const { return _floated.size(); }
+    void forEachFloated(
+        const std::function<void(const FloatedView &)> &fn) const;
+    /** Latest generation ever issued for @p sid (0 = never floated). */
+    uint32_t
+    latestGen(StreamId sid) const
+    {
+        auto it = _genCounter.find(sid);
+        return it == _genCounter.end() ? 0 : it->second;
+    }
 
   private:
     struct Waiter
@@ -150,6 +202,14 @@ class SEL2 : public SimObject,
         std::vector<StreamId> aliasedBy;
 
         std::vector<Waiter> waiters;
+
+        // --- robustness bookkeeping ---
+        /** Some bank acknowledged our config/migration. */
+        bool acked = false;
+        /** Config resends so far (ack timeout + stall recovery). */
+        int retries = 0;
+        /** Last arrival/ack/serve for this stream. */
+        Tick lastProgress = 0;
     };
 
     /** Outstanding credit grant for the §IV-E seq window. */
@@ -190,6 +250,18 @@ class SEL2 : public SimObject,
 
     TileId bankOfElem(const FloatedStream &s, uint64_t idx);
 
+    // --- robustness: ack timeout, stall recovery, fallback ---
+    /** Resend the config for @p sid from its arrival frontier. */
+    void resendConfig(StreamId sid, FloatedStream &base);
+    /** Ack-timeout check for (sid, gen); retries or falls back. */
+    void checkAck(StreamId sid, uint32_t gen);
+    void armAckCheck(StreamId sid, uint32_t gen);
+    /** Periodic stuck-stream scan; self-stops when nothing floats. */
+    void scheduleProgressScan();
+    void progressScan();
+    /** True when the stream group is blocking the core right now. */
+    bool groupHasWaiters(const FloatedStream &base) const;
+
     SEL2Config _cfg;
     TileId _tile;
     noc::Mesh &_mesh;
@@ -205,6 +277,7 @@ class SEL2 : public SimObject,
     std::deque<Grant> _grants;
     uint16_t _headSeq = 0;
     uint16_t _tailSeq = 0;
+    bool _scanScheduled = false;
 
     SEL2Stats _stats;
 };

@@ -80,15 +80,58 @@ SEL3::recvConfig(const std::shared_ptr<StreamFloatMsg> &msg)
                         trace::StreamPhase::Arrive, _tile,
                         msg->isMigration ? "migration" : "config");
 
-    // An end packet may have raced ahead of this (re)configuration.
-    auto pend = _pendingEnds.find(msg->gsid);
-    if (pend != _pendingEnds.end() && pend->second >= msg->gen) {
-        _pendingEnds.erase(pend);
+    // Stale replay? A duplicated or long-delayed config/migration
+    // that arrives at or behind the point where this stream already
+    // left this bank would install a ghost copy chasing the live one;
+    // drop it silently (see _departed).
+    auto dep = _departed.find(msg->gsid);
+    if (dep != _departed.end() &&
+        (msg->gen < dep->second.first ||
+         (msg->gen == dep->second.first &&
+          msg->nextElem < dep->second.second))) {
+        ++_stats.staleConfigsDropped;
+        SF_DPRINTF(SEL3,
+                   "drop stale %s c%d.s%d gen=%u elem=%llu "
+                   "(departed gen=%u elem=%llu)",
+                   msg->isMigration ? "migration" : "config",
+                   msg->gsid.core, msg->gsid.sid, msg->gen,
+                   (unsigned long long)msg->nextElem,
+                   dep->second.first,
+                   (unsigned long long)dep->second.second);
         return;
     }
 
-    // Replace a stale same-stream entry (refloat with a newer gen).
+    // An end packet may have raced ahead of this (re)configuration.
+    // Still ack: the config was received, the stream just no longer
+    // exists — the SE_L2 side ignores acks for unknown streams.
+    auto pend = _pendingEnds.find(msg->gsid);
+    if (pend != _pendingEnds.end() && pend->second >= msg->gen) {
+        recordDeparture(msg->gsid, pend->second, ~0ULL);
+        _pendingEnds.erase(pend);
+        sendAck(msg->gsid, msg->gen, false);
+        return;
+    }
+
+    // Already resident at the same gen? A duplicate (or a retry that
+    // raced with the live stream migrating back here). Replacing the
+    // entry would roll issuePos and creditLimit backwards — absorb it
+    // instead: widen the credit window if the replay carries more,
+    // re-ack (the original ack may be the thing that was lost), done.
     auto old = findEntry(msg->gsid);
+    if (old != _entries.end()) {
+        for (auto &m : old->members) {
+            if (m.gsid == msg->gsid && m.gen == msg->gen) {
+                m.creditLimit =
+                    std::max(m.creditLimit, msg->creditLimit);
+                ++_stats.staleConfigsDropped;
+                sendAck(msg->gsid, msg->gen, false);
+                kick();
+                return;
+            }
+        }
+    }
+
+    // Replace a stale same-stream entry (refloat with a newer gen).
     if (old != _entries.end()) {
         auto &members = old->members;
         members.erase(std::remove_if(members.begin(), members.end(),
@@ -122,23 +165,44 @@ SEL3::recvConfig(const std::shared_ptr<StreamFloatMsg> &msg)
     }
     e.members.push_back(m);
 
-    addStream(std::move(e));
+    bool accepted = addStream(std::move(e));
+    sendAck(msg->gsid, msg->gen, !accepted);
 }
 
-void
+bool
 SEL3::addStream(Entry &&e)
 {
     if (tryMerge(e)) {
         kick();
-        return;
+        return true;
     }
     if (static_cast<int>(_entries.size()) >= _cfg.maxStreams) {
-        warn_once("%s: stream table full, dropping stream",
+        warn_once("%s: stream table full, NACKing stream back to core",
                   name().c_str());
-        return;
+        return false;
     }
     _entries.push_back(std::move(e));
     kick();
+    return true;
+}
+
+void
+SEL3::sendAck(const GlobalStreamId &gsid, uint32_t gen, bool nack)
+{
+    auto msg = StreamAckMsg::make(_tile, gsid.core);
+    msg->gsid = gsid;
+    msg->gen = gen;
+    msg->nack = nack;
+    _mesh.send(msg);
+    if (nack) {
+        ++_stats.floatNacksSent;
+        SF_DPRINTF(SEL3, "NACK c%d.s%d gen=%u (table full)", gsid.core,
+                   gsid.sid, gen);
+        trace::recordStream(curTick(), gsid, trace::StreamPhase::Arrive,
+                            _tile, "nack");
+    } else {
+        ++_stats.acksSent;
+    }
 }
 
 bool
@@ -190,9 +254,9 @@ SEL3::recvCredit(const std::shared_ptr<StreamCreditMsg> &msg)
     auto it = findEntry(msg->gsid);
     if (it == _entries.end()) {
         auto &slot = _pendingCredits[msg->gsid];
-        if (slot.first != msg->gen)
+        if (msg->gen > slot.first)
             slot = {msg->gen, msg->creditLimit};
-        else
+        else if (msg->gen == slot.first)
             slot.second = std::max(slot.second, msg->creditLimit);
         return;
     }
@@ -215,6 +279,10 @@ void
 SEL3::recvEnd(const std::shared_ptr<StreamEndMsg> &msg)
 {
     ++_stats.endsReceived;
+    // Ended for good at this gen: no config/migration at gen or older
+    // may re-install the stream here (a duplicated migration could
+    // otherwise arrive after this end and leave a ghost behind).
+    recordDeparture(msg->gsid, msg->gen, ~0ULL);
     auto it = findEntry(msg->gsid);
     if (it == _entries.end()) {
         uint32_t &g = _pendingEnds[msg->gsid];
@@ -230,6 +298,23 @@ SEL3::recvEnd(const std::shared_ptr<StreamEndMsg> &msg)
                   members.end());
     if (members.empty())
         _entries.erase(it);
+}
+
+void
+SEL3::recordDeparture(const GlobalStreamId &gsid, uint32_t gen,
+                      uint64_t frontier)
+{
+    auto [it, fresh] =
+        _departed.try_emplace(gsid, std::make_pair(gen, frontier));
+    if (fresh)
+        return;
+    auto &[dgen, dpos] = it->second;
+    if (gen > dgen) {
+        dgen = gen;
+        dpos = frontier;
+    } else if (gen == dgen) {
+        dpos = std::max(dpos, frontier);
+    }
 }
 
 void
@@ -283,6 +368,10 @@ SEL3::issueOne(Entry &e)
         const GlobalStreamId &gsid = e.members.front().gsid;
         SF_DPRINTF(SEL3, "stream complete c%d.s%d at elem %llu",
                    gsid.core, gsid.sid, (unsigned long long)horizon);
+        // A trailing duplicated migration must not re-install the
+        // finished stream: mark every member as departed for good.
+        for (const auto &m : e.members)
+            recordDeparture(m.gsid, m.gen, ~0ULL);
         _entries.remove_if(
             [&](const Entry &x) { return &x == &e; });
         return true;
@@ -478,6 +567,18 @@ SEL3::debugDump(std::FILE *f) const
 }
 
 void
+SEL3::forEachResident(
+    const std::function<void(const GlobalStreamId &gsid, uint32_t gen,
+                             uint64_t issue_pos,
+                             uint64_t credit_limit)> &fn) const
+{
+    for (const auto &e : _entries) {
+        for (const auto &m : e.members)
+            fn(m.gsid, m.gen, e.issuePos, m.creditLimit);
+    }
+}
+
+void
 SEL3::migrate(Entry &e, TileId next_bank)
 {
     for (const auto &m : e.members) {
@@ -495,6 +596,7 @@ SEL3::migrate(Entry &e, TileId next_bank)
         msg->nextElem = e.issuePos;
         msg->creditLimit = m.creditLimit;
         msg->finalizeSize();
+        recordDeparture(m.gsid, m.gen, e.issuePos);
         _mesh.send(msg);
         ++_stats.migrationsOut;
         SF_DPRINTF(SEL3, "migrate c%d.s%d -> bank %d at elem %llu",

@@ -57,11 +57,13 @@ struct SEL3Stats
 {
     stats::Scalar configsReceived, migrationsIn, migrationsOut;
     stats::Scalar endsReceived, creditsReceived;
+    stats::Scalar acksSent, floatNacksSent;
     stats::Scalar lineRequestsIssued, indirectRequestsIssued;
     stats::Scalar confluenceMerges, confluenceRequests;
     stats::Scalar streamsCompleted;
     stats::Scalar tlbHits, tlbMisses;
     stats::Scalar creditStalls;
+    stats::Scalar staleConfigsDropped;
 
     /** Register every counter with @p g for report dumping. */
     void
@@ -72,6 +74,8 @@ struct SEL3Stats
         g.regScalar("migrationsOut", &migrationsOut);
         g.regScalar("endsReceived", &endsReceived);
         g.regScalar("creditsReceived", &creditsReceived);
+        g.regScalar("acksSent", &acksSent);
+        g.regScalar("floatNacksSent", &floatNacksSent);
         g.regScalar("lineRequestsIssued", &lineRequestsIssued);
         g.regScalar("indirectRequestsIssued", &indirectRequestsIssued);
         g.regScalar("confluenceMerges", &confluenceMerges);
@@ -80,6 +84,7 @@ struct SEL3Stats
         g.regScalar("tlbHits", &tlbHits);
         g.regScalar("tlbMisses", &tlbMisses);
         g.regScalar("creditStalls", &creditStalls);
+        g.regScalar("staleConfigsDropped", &staleConfigsDropped);
     }
 };
 
@@ -102,9 +107,19 @@ class SEL3 : public SimObject
 
     SEL3Stats &stats() { return _stats; }
     size_t numStreams() const { return _entries.size(); }
+    TileId tile() const { return _tile; }
 
     /** Dump resident stream contexts (debugging aid). */
     void debugDump(std::FILE *f) const;
+
+    /**
+     * Introspection for the invariant checker: visit every resident
+     * confluence-group member with its group's shared issue cursor.
+     */
+    void forEachResident(
+        const std::function<void(const GlobalStreamId &gsid,
+                                 uint32_t gen, uint64_t issue_pos,
+                                 uint64_t credit_limit)> &fn) const;
 
   private:
     /** One confluence-group member (the leader is members[0]). */
@@ -136,9 +151,15 @@ class SEL3 : public SimObject
 
     EntryList::iterator findEntry(const GlobalStreamId &gsid);
 
-    /** Add a stream (config or migration); tries confluence merge. */
-    void addStream(Entry &&e);
+    /**
+     * Add a stream (config or migration); tries confluence merge.
+     * @return false when the stream table is full (caller NACKs).
+     */
+    bool addStream(Entry &&e);
     bool tryMerge(const Entry &incoming);
+
+    /** Ack (or NACK on overflow) a config back to the owning core. */
+    void sendAck(const GlobalStreamId &gsid, uint32_t gen, bool nack);
 
     /** Schedule the issue pump if idle. */
     void kick();
@@ -176,6 +197,22 @@ class SEL3 : public SimObject
     std::unordered_map<GlobalStreamId, std::pair<uint32_t, uint64_t>>
         _pendingCredits;
     std::unordered_map<GlobalStreamId, uint32_t> _pendingEnds;
+
+    /**
+     * Replay filter: the (gen, frontier) at which each stream last
+     * left this bank, recorded on migration-out and on end. A config
+     * or migration that arrives at or behind this point is a stale
+     * replay (duplicated/delayed in the network) and must be dropped,
+     * or it would resurrect a ghost copy of the stream that the end
+     * packet can never catch. Dropped replays are NOT acked: a
+     * genuinely lost config that lands here retries later with an
+     * advanced frontier and reaches the right bank. Bounded by
+     * cores x stream ids.
+     */
+    std::unordered_map<GlobalStreamId, std::pair<uint32_t, uint64_t>>
+        _departed;
+    void recordDeparture(const GlobalStreamId &gsid, uint32_t gen,
+                         uint64_t frontier);
 
     SEL3Stats _stats;
 };

@@ -111,6 +111,31 @@ struct StreamEndMsg : noc::Message
     }
 };
 
+/**
+ * Acknowledgement for a StreamFloatMsg: sent by the SE_L3 bank that
+ * received the configuration / migration, back to the requesting
+ * core's SE_L2. `nack` means the bank rejected the stream (table
+ * overflow) and the core side must fall back to core-fetch.
+ */
+struct StreamAckMsg : noc::Message
+{
+    GlobalStreamId gsid;
+    uint32_t gen = 0;
+    bool nack = false;
+
+    static std::shared_ptr<StreamAckMsg>
+    make(TileId src, TileId dest)
+    {
+        auto m = std::make_shared<StreamAckMsg>();
+        m->src = src;
+        m->dests = {dest};
+        m->payloadBytes = 4;
+        m->cls = noc::FlitClass::StreamMgmt;
+        m->vnet = noc::VNet::Control;
+        return m;
+    }
+};
+
 } // namespace flt
 } // namespace sf
 

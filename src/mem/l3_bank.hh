@@ -123,6 +123,17 @@ class L3Bank : public SimObject
     /** Dump blocked-line transactions (debugging aid). */
     void debugDump(std::FILE *f) const;
 
+    // --- introspection for the invariant checker / drain checks ---
+    /** Directory/tag array (read-only MESI walks; do not mutate). */
+    CacheArray &array() { return _array; }
+    /** Outstanding blocking transactions. */
+    size_t numTxns() const { return _txns.size(); }
+    /** A transaction currently blocks this line (state in flux). */
+    bool isLineBlocked(Addr line_addr) const
+    {
+        return _txns.count(line_addr) != 0;
+    }
+
   private:
     /** A pending transaction blocks its line. */
     struct Txn

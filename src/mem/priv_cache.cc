@@ -170,6 +170,8 @@ void
 PrivCache::accessL2(Access a, bool l1_was_miss)
 {
     bool is_demand = a.kind == AccessKind::Demand;
+    if (!_delayedEvictions.empty() && !_l2.probe(a.paddr))
+        resurrectParkedLine(lineAlign(a.paddr));
     CacheLine *l2_line = _l2.access(a.paddr);
 
     bool can_complete = false;
@@ -402,6 +404,10 @@ PrivCache::evictL2Line(const CacheLine &victim)
 
     if (dirty) {
         ++_stats.writebacks;
+        // The directory considers us owner until the PutM is
+        // processed; remember the outstanding put so racing forwards
+        // are answered FwdMiss rather than deferred (see handleFwd).
+        ++_pendingPuts[victim.tag];
         if (_streamBuf)
             _streamBuf->onDirtyEviction(victim.tag);
         if (_streamBuf && _streamBuf->mustDelayEviction(seq)) {
@@ -415,8 +421,43 @@ PrivCache::evictL2Line(const CacheLine &victim)
         }
         sendRequest(MemMsgType::PutM, victim.tag);
     } else {
+        ++_pendingPuts[victim.tag];
         sendRequest(MemMsgType::PutS, victim.tag);
     }
+}
+
+bool
+PrivCache::resurrectParkedLine(Addr line_addr)
+{
+    for (auto it = _delayedEvictions.begin();
+         it != _delayedEvictions.end(); ++it) {
+        if (it->tag != line_addr)
+            continue;
+        CacheLine held = *it;
+        _delayedEvictions.erase(it);
+        auto put = _pendingPuts.find(line_addr);
+        sf_assert(put != _pendingPuts.end(),
+                  "parked line %llx without pending put",
+                  (unsigned long long)line_addr);
+        if (--put->second == 0)
+            _pendingPuts.erase(put);
+        Eviction ev;
+        CacheLine &nl = _l2.fill(line_addr, ev);
+        if (ev.valid)
+            evictL2Line(ev.line);
+        nl.state = LineState::Modified;
+        nl.dirty = true;
+        nl.seqNum = held.seqNum;
+        nl.fillStream = held.fillStream;
+        nl.streamEligible = held.streamEligible;
+        nl.prefetched = false;
+        nl.reused = true;
+        ++_stats.writebacksResurrected;
+        SF_DPRINTF(Cache, "resurrect parked dirty line %llx",
+                   (unsigned long long)line_addr);
+        return true;
+    }
+    return false;
 }
 
 void
@@ -446,6 +487,17 @@ PrivCache::drainDelayedEvictions()
         const CacheLine &held = _delayedEvictions.front();
         if (_streamBuf && _streamBuf->mustDelayEviction(held.seqNum))
             break;
+        if (_l2.probe(held.tag)) {
+            // The line was re-installed while parked (defense in
+            // depth; misses resurrect parked lines before this can
+            // happen). Sending the stale PutM now would clear the
+            // directory's owner field for our live copy.
+            auto put = _pendingPuts.find(held.tag);
+            if (put != _pendingPuts.end() && --put->second == 0)
+                _pendingPuts.erase(put);
+            _delayedEvictions.pop_front();
+            continue;
+        }
         sendRequest(MemMsgType::PutM, held.tag);
         _delayedEvictions.pop_front();
     }
@@ -520,6 +572,20 @@ PrivCache::handleData(const MemMsgPtr &msg)
         m.pendingM = true;
         m.needsM = false;
         sendRequest(MemMsgType::GetM, m.lineAddr);
+        // Deferred invalidations must not wait for the DataM: the
+        // directory may be holding a txn open for our InvAck, with our
+        // GetM queued behind it. The line is filled Shared now, so
+        // answer them (the MSHR survives; DataM carries a full line).
+        if (!m.deferredFwds.empty()) {
+            std::vector<MemMsgPtr> deferred = std::move(m.deferredFwds);
+            m.deferredFwds.clear();
+            for (const auto &f : deferred) {
+                if (f->type == MemMsgType::Inv)
+                    handleInv(f);
+                else
+                    handleFwd(f);
+            }
+        }
         return;
     }
 
@@ -550,7 +616,17 @@ PrivCache::handleData(const MemMsgPtr &msg)
         finishWaiter(w);
     }
 
+    // Replay forwards that raced the fill, now that the line (and our
+    // waiters' writes) are in place: the handover proceeds as if the
+    // forward had arrived just after the data.
+    std::vector<MemMsgPtr> deferred = std::move(m.deferredFwds);
     _mshrs.erase(it);
+    for (const auto &f : deferred) {
+        if (f->type == MemMsgType::Inv)
+            handleInv(f);
+        else
+            handleFwd(f);
+    }
     retryMshrWaiters();
 }
 
@@ -562,8 +638,24 @@ PrivCache::handleInv(const MemMsgPtr &msg)
     // MSHR because DataM always carries the full line) or a recall of
     // an owned line, whose ack must carry data if our copy is dirty.
     bool dirty = false;
-    if (CacheLine *l2_line = _l2.probe(msg->lineAddr))
+    CacheLine *l2_line = _l2.probe(msg->lineAddr);
+    if (!l2_line) {
+        // Same early-forward race as handleFwd: an open MSHR with no
+        // put outstanding means a grant to us is in flight (we are the
+        // sharer/owner the directory is invalidating). Acking now
+        // would let the directory move on while our data lands later,
+        // leaving a stale copy. Hold the Inv until the fill.
+        auto it = _mshrs.find(msg->lineAddr);
+        if (it != _mshrs.end() && !_pendingPuts.count(msg->lineAddr)) {
+            it->second.deferredFwds.push_back(msg);
+            ++_stats.fwdsDeferred;
+            SF_DPRINTF(Cache, "defer Inv %llx (fill in flight)",
+                       (unsigned long long)msg->lineAddr);
+            return;
+        }
+    } else {
         dirty = l2_line->dirty;
+    }
     if (CacheLine *l1_line = _l1.probe(msg->lineAddr))
         dirty = dirty || l1_line->dirty;
     _l1.invalidate(msg->lineAddr);
@@ -586,6 +678,24 @@ PrivCache::handleFwd(const MemMsgPtr &msg)
     TileId bank = msg->src;
 
     if (!line) {
+        // Two distinct races land here. With a put outstanding for the
+        // line, the directory forwarded to us off a stale owner field
+        // (our PutS/PutM is still in flight or parked): answer FwdMiss
+        // so the directory re-serves once the put is ordered. With an
+        // open MSHR and NO put outstanding, the directory granted US
+        // the line and forwarded a later request before our data
+        // arrived (early forward): answering FwdMiss would let the
+        // directory hand ownership elsewhere while our DataM/DataE is
+        // in flight, creating two owners. Defer until the fill.
+        auto it = _mshrs.find(msg->lineAddr);
+        if (it != _mshrs.end() && !_pendingPuts.count(msg->lineAddr)) {
+            it->second.deferredFwds.push_back(msg);
+            ++_stats.fwdsDeferred;
+            SF_DPRINTF(Cache, "defer %s %llx (fill in flight)",
+                       memMsgName(msg->type),
+                       (unsigned long long)msg->lineAddr);
+            return;
+        }
         auto miss = makeMemMsg(MemMsgType::FwdMiss, msg->lineAddr, _tile,
                                bank, msg->requester);
         _mesh.send(miss);
@@ -675,8 +785,12 @@ PrivCache::recvMsg(const MemMsgPtr &msg)
       case MemMsgType::FwdGetU:
         handleFwd(msg);
         break;
-      case MemMsgType::PutAck:
+      case MemMsgType::PutAck: {
+        auto put = _pendingPuts.find(msg->lineAddr);
+        if (put != _pendingPuts.end() && --put->second == 0)
+            _pendingPuts.erase(put);
         break;
+      }
       default:
         panic("PrivCache %s got unexpected %s", name().c_str(),
               memMsgName(msg->type));
@@ -689,10 +803,12 @@ PrivCache::debugDump(std::FILE *f) const
     for (const auto &[addr, m] : _mshrs) {
         std::fprintf(f,
                      "  %s mshr line=%llx pendingM=%d needsM=%d "
-                     "waiters=%zu demand=%d stream=%d pf=%d\n",
+                     "waiters=%zu demand=%d stream=%d pf=%d "
+                     "deferredFwds=%zu\n",
                      name().c_str(), (unsigned long long)addr,
                      m.pendingM, m.needsM, m.waiters.size(),
-                     m.demandSeen, m.streamFetchSeen, m.prefetched);
+                     m.demandSeen, m.streamFetchSeen, m.prefetched,
+                     m.deferredFwds.size());
     }
     if (!_mshrWaiters.empty())
         std::fprintf(f, "  %s mshrWaiters=%zu\n", name().c_str(),

@@ -173,6 +173,10 @@ struct PrivCacheStats
     stats::Scalar prefetchesIssued, prefetchesUseful;
     stats::Scalar floatedHitsInCache;
     stats::Scalar writebacks;
+    /** Forwards held until an in-flight fill arrived (early-fwd race). */
+    stats::Scalar fwdsDeferred;
+    /** Parked dirty evictions re-installed by a subsequent miss. */
+    stats::Scalar writebacksResurrected;
 
     /** Register every counter with @p g for report dumping. */
     void
@@ -190,6 +194,8 @@ struct PrivCacheStats
         g.regScalar("prefetchesUseful", &prefetchesUseful);
         g.regScalar("floatedHitsInCache", &floatedHitsInCache);
         g.regScalar("writebacks", &writebacks);
+        g.regScalar("fwdsDeferred", &fwdsDeferred);
+        g.regScalar("writebacksResurrected", &writebacksResurrected);
     }
 };
 
@@ -243,6 +249,17 @@ class PrivCache : public SimObject
     size_t mshrsInUse() const { return _mshrs.size(); }
     bool mshrAvailable() const { return _mshrs.size() < _cfg.numMshrs; }
 
+    // --- introspection for the invariant checker / drain checks ---
+    /** Tag arrays (read-only MESI walks; do not mutate lines). */
+    CacheArray &l1Array() { return _l1; }
+    CacheArray &l2Array() { return _l2; }
+    /** Residual work that must be empty once the system drains. */
+    size_t delayedEvictions() const { return _delayedEvictions.size(); }
+    size_t mshrWaiters() const
+    {
+        return _mshrWaiters.size() + _l1MissWaiters.size();
+    }
+
     /** Dump outstanding transactions (debugging aid). */
     void debugDump(std::FILE *f) const;
 
@@ -259,6 +276,12 @@ class PrivCache : public SimObject
         StreamId fillStream = invalidStream;
         bool streamEligible = false;
         std::vector<Access> waiters;
+        /**
+         * Forwards that arrived while the fill was still in flight
+         * (the directory granted us ownership and then forwarded a
+         * later request before our data landed). Replayed on fill.
+         */
+        std::vector<MemMsgPtr> deferredFwds;
     };
 
     /** Second phase of access() after the L1 lookup latency. */
@@ -282,6 +305,13 @@ class PrivCache : public SimObject
 
     /** Evict an L2 victim: telemetry + PutS/PutM. */
     void evictL2Line(const CacheLine &victim);
+    /**
+     * Re-install a parked dirty eviction on a miss to the same line.
+     * The directory still records this tile as owner, so re-requesting
+     * would race the stale parked PutM; the parked copy IS the line.
+     * @return true when the line was resurrected (the miss now hits).
+     */
+    bool resurrectParkedLine(Addr line_addr);
     /** Evict an L1 victim: fold dirty data into the L2 line. */
     void evictL1Line(const CacheLine &victim);
 
@@ -322,6 +352,14 @@ class PrivCache : public SimObject
     bool _l1PumpScheduled = false;
     /** Dirty evictions held back by in-flight credit windows. */
     std::deque<CacheLine> _delayedEvictions;
+    /**
+     * Lines with a PutS/PutM sent (or parked) but not yet PutAck'd.
+     * While a put is outstanding the directory's owner field may be
+     * stale, so a Fwd for a missing line must answer FwdMiss; with no
+     * put outstanding, an open MSHR means a grant is in flight and the
+     * Fwd is deferred until the data arrives.
+     */
+    std::unordered_map<Addr, uint32_t> _pendingPuts;
 
     StreamBufferIf *_streamBuf = nullptr;
     PrefetchObserverIf *_l1Prefetcher = nullptr;

@@ -67,8 +67,70 @@ Mesh::linkUtilization() const
            (static_cast<double>(live_links) * elapsed);
 }
 
+Tick
+Mesh::oldestInFlightTick() const
+{
+    Tick oldest = maxTick;
+    for (const auto &[msg, info] : _inFlight)
+        oldest = std::min(oldest, info.injectTick);
+    return oldest;
+}
+
+void
+Mesh::forEachInFlight(
+    const std::function<void(const MsgPtr &, Tick)> &fn) const
+{
+    for (const auto &[msg, info] : _inFlight)
+        fn(msg, info.injectTick);
+}
+
+void
+Mesh::debugDumpInFlight(std::FILE *out) const
+{
+    std::fprintf(out, "mesh: %zu packet(s) in flight\n", _inFlight.size());
+    for (const auto &[msg, info] : _inFlight) {
+        std::fprintf(out,
+                     "  %d -> %d (+%zu) cls=%d bytes=%u injected@%llu "
+                     "remaining=%d\n",
+                     (int)msg->src, (int)msg->dests.front(),
+                     msg->dests.size() - 1, (int)msg->cls,
+                     msg->payloadBytes, (unsigned long long)info.injectTick,
+                     info.remaining);
+    }
+}
+
 void
 Mesh::send(const MsgPtr &msg)
+{
+    if (_interceptor) {
+        Cycles delay = 0;
+        switch (_interceptor(msg, delay)) {
+          case SendAction::Deliver:
+            break;
+          case SendAction::Drop:
+            SF_DPRINTF(NoC, "fault: dropped %d -> %d cls=%d",
+                       (int)msg->src, (int)msg->dests.front(),
+                       (int)msg->cls);
+            return;
+          case SendAction::Delay:
+            SF_DPRINTF(NoC, "fault: delaying %d -> %d by %llu",
+                       (int)msg->src, (int)msg->dests.front(),
+                       (unsigned long long)delay);
+            scheduleIn(delay, [this, msg] { inject(msg); },
+                       EventPriority::Delivery);
+            return;
+          case SendAction::Duplicate:
+            SF_DPRINTF(NoC, "fault: duplicating %d -> %d",
+                       (int)msg->src, (int)msg->dests.front());
+            inject(msg);
+            break;
+        }
+    }
+    inject(msg);
+}
+
+void
+Mesh::inject(const MsgPtr &msg)
 {
     sf_assert(!msg->dests.empty(), "message with no destination");
     uint32_t flits = flitsOf(msg->payloadBytes);
@@ -82,6 +144,12 @@ Mesh::send(const MsgPtr &msg)
     SF_DPRINTF(NoC, "inject %d -> %d (+%zu) cls=%d flits=%u hops=%d",
                (int)msg->src, (int)msg->dests.front(),
                msg->dests.size() - 1, (int)msg->cls, flits, max_hops);
+    if (_trackInFlight) {
+        auto &info = _inFlight[msg];
+        if (info.remaining == 0)
+            info.injectTick = curTick();
+        info.remaining += static_cast<int>(msg->dests.size());
+    }
     // Injection passes through the local router pipeline once.
     hop(msg, msg->src, msg->dests, flits);
 }
@@ -143,6 +211,16 @@ Mesh::hop(const MsgPtr &msg, TileId at, std::vector<TileId> dests,
                        auto &sink = _sinks[static_cast<size_t>(at)];
                        sf_assert(static_cast<bool>(sink),
                                  "no sink bound on tile %d", at);
+                       // Settle the conservation account before the
+                       // sink runs: the receiver may legally re-send
+                       // the same message object (forwarding).
+                       if (_trackInFlight) {
+                           auto it = _inFlight.find(msg);
+                           if (it != _inFlight.end() &&
+                               --it->second.remaining <= 0) {
+                               _inFlight.erase(it);
+                           }
+                       }
                        sink(msg);
                    },
                    EventPriority::Delivery);

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <vector>
@@ -74,6 +75,25 @@ class Mesh : public SimObject
   public:
     using Sink = std::function<void(const MsgPtr &)>;
 
+    /** What a send interceptor decided to do with one injection. */
+    enum class SendAction
+    {
+        Deliver,
+        Drop,
+        Delay,
+        Duplicate,
+    };
+
+    /**
+     * Consulted once per send(); may reroute the message's fate (fault
+     * injection). Installed by the system layer, which is the only
+     * place that can classify protocol message types — the mesh stays
+     * protocol-agnostic. On Delay the hook sets @p delay to the added
+     * injection latency.
+     */
+    using SendInterceptor =
+        std::function<SendAction(const MsgPtr &, Cycles &delay)>;
+
     Mesh(EventQueue &eq, const MeshConfig &config);
 
     /** Register the receiver for tile @p tile. */
@@ -81,6 +101,33 @@ class Mesh : public SimObject
 
     /** Inject a message; it is delivered to every tile in msg->dests. */
     void send(const MsgPtr &msg);
+
+    void
+    setSendInterceptor(SendInterceptor fn)
+    {
+        _interceptor = std::move(fn);
+    }
+
+    /**
+     * Conservation tracking (checker, Full level): account every
+     * injected packet until its last destination ejects, so "every
+     * message is eventually delivered" becomes checkable. Off by
+     * default (zero cost).
+     */
+    void setTrackInFlight(bool on) { _trackInFlight = on; }
+    bool trackInFlight() const { return _trackInFlight; }
+
+    /** Live tracked packets (deliveries still owed). */
+    size_t inFlightCount() const { return _inFlight.size(); }
+
+    /** Injection tick of the oldest tracked packet; maxTick if none. */
+    Tick oldestInFlightTick() const;
+
+    /** Visit every tracked packet with its injection tick. */
+    void forEachInFlight(
+        const std::function<void(const MsgPtr &, Tick)> &fn) const;
+
+    void debugDumpInFlight(std::FILE *out) const;
 
     int numTiles() const { return _cfg.nx * _cfg.ny; }
     const MeshConfig &config() const { return _cfg; }
@@ -125,6 +172,16 @@ class Mesh : public SimObject
 
     enum Dir : int { East = 0, West = 1, North = 2, South = 3 };
 
+    /** One tracked packet: injection tick + deliveries still owed. */
+    struct InFlightInfo
+    {
+        Tick injectTick = 0;
+        int remaining = 0;
+    };
+
+    /** Inject bypassing the interceptor (delayed/duplicated copies). */
+    void inject(const MsgPtr &msg);
+
     /** Deliver one (possibly multicast) packet one hop further. */
     void hop(const MsgPtr &msg, TileId at, std::vector<TileId> dests,
              uint32_t flits);
@@ -144,6 +201,9 @@ class Mesh : public SimObject
     TrafficStats _traffic;
     stats::Histogram _packetHops{1, 16};
     Tick _startTick;
+    SendInterceptor _interceptor;
+    bool _trackInFlight = false;
+    std::map<MsgPtr, InFlightInfo> _inFlight;
 };
 
 } // namespace noc

@@ -1,9 +1,76 @@
 #include "sim/logging.hh"
 
 #include <cstdarg>
+#include <utility>
 #include <vector>
 
 namespace sf {
+
+namespace {
+
+struct HookEntry
+{
+    int id;
+    std::string name;
+    DiagnosticHook fn;
+};
+
+std::vector<HookEntry> &
+hookRegistry()
+{
+    static std::vector<HookEntry> hooks;
+    return hooks;
+}
+
+int nextHookId = 1;
+
+} // namespace
+
+int
+addDiagnosticHook(const std::string &name, DiagnosticHook fn)
+{
+    int id = nextHookId++;
+    hookRegistry().push_back({id, name, std::move(fn)});
+    return id;
+}
+
+void
+removeDiagnosticHook(int id)
+{
+    auto &hooks = hookRegistry();
+    for (auto it = hooks.begin(); it != hooks.end(); ++it) {
+        if (it->id == id) {
+            hooks.erase(it);
+            return;
+        }
+    }
+}
+
+void
+emitDiagnostics(std::FILE *out)
+{
+    // A hook that itself fatal()s/panic()s must not recurse into a
+    // second dump; the guard also keeps a hook exception from masking
+    // the error that triggered the snapshot.
+    static bool emitting = false;
+    if (emitting || hookRegistry().empty())
+        return;
+    emitting = true;
+    std::fprintf(out, "=== diagnostic snapshot ===\n");
+    for (const auto &h : hookRegistry()) {
+        std::fprintf(out, "--- %s ---\n", h.name.c_str());
+        try {
+            h.fn(out);
+        } catch (const std::exception &e) {
+            std::fprintf(out, "(diagnostic hook '%s' failed: %s)\n",
+                         h.name.c_str(), e.what());
+        }
+    }
+    std::fprintf(out, "=== end diagnostic snapshot ===\n");
+    std::fflush(out);
+    emitting = false;
+}
+
 namespace detail {
 
 std::string

@@ -14,18 +14,44 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
 namespace sf {
 
+/**
+ * Process exit codes carried by FatalError so drivers (quickstart,
+ * benches) can translate distinct failure classes into distinct shell
+ * exit statuses. Values below 64 are left to conventional use.
+ */
+enum class ExitCode : int
+{
+    Success = 0,
+    /** Generic fatal(): bad configuration or invalid arguments. */
+    ConfigError = 1,
+    /** Forward-progress watchdog fired: no component made progress. */
+    WatchdogTimeout = 64,
+    /** Invariant checker found a protocol violation. */
+    InvariantViolation = 65,
+    /** End-of-sim drain left residual state (MSHRs, packets, streams). */
+    DrainFailure = 66,
+};
+
 /** Thrown by fatal() so tests can assert on bad-config handling. */
 class FatalError : public std::runtime_error
 {
   public:
-    explicit FatalError(const std::string &what)
-        : std::runtime_error(what)
+    explicit FatalError(const std::string &what,
+                        ExitCode code = ExitCode::ConfigError)
+        : std::runtime_error(what), _code(code)
     {}
+
+    ExitCode code() const { return _code; }
+    int exitStatus() const { return static_cast<int>(_code); }
+
+  private:
+    ExitCode _code;
 };
 
 /** Thrown by panic() so tests can assert on invariant violations. */
@@ -45,6 +71,29 @@ std::string formatMessage(const char *fmt, ...)
 } // namespace detail
 
 /**
+ * Diagnostic-snapshot hooks: components (TiledSystem, watchdog,
+ * checker, test fabrics) register callbacks that dump their state —
+ * stat registries, stream tables, MSHR maps, event-queue heads — and
+ * every fatal()/panic() replays them to stderr before throwing, so a
+ * watchdog or invariant trip always leaves a usable post-mortem.
+ */
+using DiagnosticHook = std::function<void(std::FILE *)>;
+
+/** Register a named hook; returns an id for removeDiagnosticHook(). */
+int addDiagnosticHook(const std::string &name, DiagnosticHook fn);
+
+/** Unregister a hook (no-op for unknown ids). */
+void removeDiagnosticHook(int id);
+
+/**
+ * Replay all registered hooks to @p out. Re-entrancy safe: a hook that
+ * itself panics cannot recurse into another diagnostic dump, and
+ * hook exceptions are swallowed so the original error still reaches
+ * the caller.
+ */
+void emitDiagnostics(std::FILE *out);
+
+/**
  * Report an internal simulator bug and abort via exception.
  * Use for conditions that must never happen regardless of user input.
  */
@@ -54,6 +103,7 @@ panic(const char *fmt, Args... args)
 {
     std::string msg = detail::formatMessage(fmt, args...);
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emitDiagnostics(stderr);
     throw PanicError(msg);
 }
 
@@ -67,7 +117,24 @@ fatal(const char *fmt, Args... args)
 {
     std::string msg = detail::formatMessage(fmt, args...);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emitDiagnostics(stderr);
     throw FatalError(msg);
+}
+
+/**
+ * fatal() with an explicit exit code, for failure classes a driver
+ * needs to distinguish (watchdog timeout, invariant violation, drain
+ * failure). Emits the diagnostic snapshot like fatal().
+ */
+template <typename... Args>
+[[noreturn]] void
+fatalCode(ExitCode code, const char *fmt, Args... args)
+{
+    std::string msg = detail::formatMessage(fmt, args...);
+    std::fprintf(stderr, "fatal[%d]: %s\n", static_cast<int>(code),
+                 msg.c_str());
+    emitDiagnostics(stderr);
+    throw FatalError(msg, code);
 }
 
 /** Report a suspicious but survivable condition. */

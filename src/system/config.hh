@@ -11,6 +11,8 @@
 #include <string>
 
 #include "cpu/core_config.hh"
+#include "sim/checker.hh"
+#include "sim/fault.hh"
 #include "flt/se_l2.hh"
 #include "flt/se_l3.hh"
 #include "mem/dram.hh"
@@ -94,6 +96,23 @@ struct SystemConfig
      * section of the JSON stat dump; 0 disables sampling.
      */
     Cycles samplingInterval = 0;
+
+    // --- robustness layer ---
+    /**
+     * Invariant-checker level (off/basic/full); the SF_CHECK env var
+     * overrides whatever the driver configured.
+     */
+    CheckLevel checkLevel = CheckLevel::Off;
+    /** Cycles between periodic invariant sweeps. */
+    Cycles checkInterval = 50'000;
+    /**
+     * Forward-progress watchdog: fatal(WatchdogTimeout) when no core
+     * retires, no stream element is served, and no NoC flit moves for
+     * this many cycles. 0 disables the watchdog.
+     */
+    Cycles watchdogCycles = 2'000'000;
+    /** Deterministic fault-injection schedule (off by default). */
+    FaultConfig faults;
 
     int numTiles() const { return nx * ny; }
 

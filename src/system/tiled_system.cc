@@ -1,7 +1,11 @@
 #include "system/tiled_system.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
 
+#include "flt/stream_msg.hh"
 #include "sim/logging.hh"
 
 namespace sf {
@@ -9,6 +13,17 @@ namespace sys {
 
 TiledSystem::TiledSystem(const SystemConfig &cfg) : _cfg(cfg)
 {
+    _checkLevel = checkLevelFromEnv(_cfg.checkLevel);
+
+    // Structural faults reshape the machine itself, so they apply
+    // before any tile is built.
+    if (_cfg.faults.overflowEntries > 0) {
+        _cfg.sel3.maxStreams =
+            std::min(_cfg.sel3.maxStreams, _cfg.faults.overflowEntries);
+    }
+    if (_cfg.faults.noRetry)
+        _cfg.sel2.retryEnabled = false;
+
     _as = std::make_unique<mem::AddressSpace>(0, _physMem);
     noc::MeshConfig ncfg = _cfg.noc;
     ncfg.nx = _cfg.nx;
@@ -19,9 +34,14 @@ TiledSystem::TiledSystem(const SystemConfig &cfg) : _cfg(cfg)
     _barrier = std::make_unique<cpu::BarrierController>(
         _eq, _cfg.numTiles());
     buildTiles();
+    setupRobustness();
 }
 
-TiledSystem::~TiledSystem() = default;
+TiledSystem::~TiledSystem()
+{
+    for (int id : _diagHooks)
+        removeDiagnosticHook(id);
+}
 
 void
 TiledSystem::buildTiles()
@@ -163,6 +183,11 @@ TiledSystem::dispatch(TileId tile, const noc::MsgPtr &msg)
         _seL3[tile]->recvEnd(end);
         return;
     }
+    if (auto ack = std::dynamic_pointer_cast<flt::StreamAckMsg>(msg)) {
+        sf_assert(_seL2[tile], "stream ack at non-SF tile");
+        _seL2[tile]->recvFloatAck(ack);
+        return;
+    }
     panic("unroutable message on tile %d", tile);
 }
 
@@ -192,6 +217,10 @@ TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
 
     if (_cfg.samplingInterval > 0)
         startSampler();
+    if (_checker)
+        _checker->start();
+    if (_watchdog)
+        _watchdog->start();
 
     bool hit_limit = false;
     while (_coresDone < _cfg.numTiles()) {
@@ -208,10 +237,386 @@ TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
         _eq.step();
     }
 
+    if (_watchdog)
+        _watchdog->stop();
+    if (_checker)
+        _checker->stop();
     if (_sampler)
         _sampler->stop();
 
+    if (!hit_limit && _checkLevel > CheckLevel::Off)
+        drainAndCheck();
+
     return collect(hit_limit);
+}
+
+void
+TiledSystem::setupRobustness()
+{
+    // Message-level fault injection: classify stream control messages
+    // at the mesh injection point. The mesh itself stays protocol-
+    // agnostic; only this layer knows the message types.
+    if (_cfg.faults.messageFaults()) {
+        _faults = std::make_unique<FaultInjector>(_cfg.faults);
+        _mesh->setSendInterceptor(
+            [this](const noc::MsgPtr &msg, Cycles &delay) {
+                using noc::Mesh;
+                FaultClass cls;
+                if (std::dynamic_pointer_cast<flt::StreamFloatMsg>(msg))
+                    cls = FaultClass::FloatRequest;
+                else if (std::dynamic_pointer_cast<flt::StreamCreditMsg>(
+                             msg))
+                    cls = FaultClass::CreditGrant;
+                else if (std::dynamic_pointer_cast<flt::StreamEndMsg>(
+                             msg))
+                    cls = FaultClass::StreamEnd;
+                else if (std::dynamic_pointer_cast<flt::StreamAckMsg>(
+                             msg))
+                    cls = FaultClass::StreamAck;
+                else
+                    return Mesh::SendAction::Deliver;
+                switch (_faults->decide(cls)) {
+                  case FaultAction::Drop:
+                    return Mesh::SendAction::Drop;
+                  case FaultAction::Delay:
+                    delay = _faults->delayCycles();
+                    return Mesh::SendAction::Delay;
+                  case FaultAction::Duplicate:
+                    return Mesh::SendAction::Duplicate;
+                  case FaultAction::None:
+                    break;
+                }
+                return Mesh::SendAction::Deliver;
+            });
+        warn("fault injection active: %s", _cfg.faults.describe().c_str());
+    }
+
+    if (_checkLevel > CheckLevel::Off) {
+        _checker = std::make_unique<Checker>(_eq, _checkLevel,
+                                             _cfg.checkInterval);
+        if (_checkLevel >= CheckLevel::Full)
+            _mesh->setTrackInFlight(true);
+        registerInvariantChecks();
+    }
+
+    if (_cfg.watchdogCycles > 0) {
+        _watchdog = std::make_unique<Watchdog>(_eq, _cfg.watchdogCycles);
+        _watchdog->addProbe("committedOps", [this] {
+            uint64_t s = 0;
+            for (auto &c : _cores) {
+                if (c)
+                    s += c->stats().committedOps.value();
+            }
+            return s;
+        });
+        _watchdog->addProbe("nocFlitsInjected", [this] {
+            const auto &t = _mesh->traffic();
+            return t.flitsInjected[0] + t.flitsInjected[1] +
+                   t.flitsInjected[2];
+        });
+        _watchdog->addProbe("streamElements", [this] {
+            uint64_t s = 0;
+            for (auto &se : _seCores) {
+                if (se)
+                    s += se->stats().elementsConsumed.value();
+            }
+            for (auto &s2 : _seL2) {
+                if (s2)
+                    s += s2->stats().dataArrived.value();
+            }
+            for (auto &s3 : _seL3) {
+                if (s3) {
+                    s += s3->stats().lineRequestsIssued.value() +
+                         s3->stats().indirectRequestsIssued.value();
+                }
+            }
+            return s;
+        });
+    }
+
+    registerDiagnostics();
+}
+
+void
+TiledSystem::registerInvariantChecks()
+{
+    bool floats = machineFloats(_cfg.machine);
+
+    // A floated stream generation lives at exactly one L3 bank (it is
+    // either resident or in a migration message, never in two tables).
+    // This holds even under message-level fault injection: the SE_L3
+    // replay filter (_departed) refuses configs/migrations at or
+    // behind the stream's departure frontier, so a duplicated or
+    // retried config can be absorbed or dropped but never plant a
+    // second residence.
+    if (floats) {
+        _checker->addCheck(
+            "stream-residence", CheckLevel::Basic,
+            [this](std::vector<std::string> &out) {
+                std::unordered_map<GlobalStreamId,
+                                   std::pair<uint32_t, int>> seen;
+                for (auto &s3 : _seL3) {
+                    if (!s3)
+                        continue;
+                    TileId bank = s3->tile();
+                    s3->forEachResident(
+                        [&](const GlobalStreamId &gsid, uint32_t gen,
+                            uint64_t, uint64_t) {
+                            auto it = seen.find(gsid);
+                            if (it != seen.end() &&
+                                it->second.first == gen) {
+                                out.push_back(
+                                    "stream (core " +
+                                    std::to_string(gsid.core) + ", sid " +
+                                    std::to_string(gsid.sid) + ") gen " +
+                                    std::to_string(gen) +
+                                    " resident at banks " +
+                                    std::to_string(it->second.second) +
+                                    " and " + std::to_string(bank));
+                            }
+                            seen[gsid] = {gen, bank};
+                        });
+                }
+            });
+    }
+
+    // SE_L2 credit window: the granted horizon never runs more than
+    // one buffer capacity ahead of consumption. Children share the
+    // base's credits and aliased streams ride a leader's window, so
+    // only independent base streams are bounded this way.
+    if (floats) {
+        _checker->addCheck(
+            "sel2-credit-window", CheckLevel::Basic,
+            [this](std::vector<std::string> &out) {
+                for (auto &s2 : _seL2) {
+                    if (!s2)
+                        continue;
+                    s2->forEachFloated([&](const flt::SEL2::FloatedView
+                                               &v) {
+                        if (v.isChild || v.aliased)
+                            return;
+                        if (v.grantedUpTo >
+                            v.consumedUpTo + v.capacityElems) {
+                            out.push_back(
+                                "sid " + std::to_string(v.sid) +
+                                " gen " + std::to_string(v.gen) +
+                                ": grantedUpTo " +
+                                std::to_string(v.grantedUpTo) +
+                                " > consumedUpTo " +
+                                std::to_string(v.consumedUpTo) +
+                                " + capacity " +
+                                std::to_string(v.capacityElems));
+                        }
+                    });
+                }
+            });
+
+        // SE_L3 never issues past a member's credit horizon.
+        _checker->addCheck(
+            "sel3-issue-credit", CheckLevel::Basic,
+            [this](std::vector<std::string> &out) {
+                for (auto &s3 : _seL3) {
+                    if (!s3)
+                        continue;
+                    s3->forEachResident(
+                        [&](const GlobalStreamId &gsid, uint32_t gen,
+                            uint64_t issue_pos, uint64_t credit_limit) {
+                            if (issue_pos > credit_limit) {
+                                out.push_back(
+                                    "bank " + std::to_string(s3->tile()) +
+                                    " stream (core " +
+                                    std::to_string(gsid.core) + ", sid " +
+                                    std::to_string(gsid.sid) + ") gen " +
+                                    std::to_string(gen) + ": issuePos " +
+                                    std::to_string(issue_pos) +
+                                    " > creditLimit " +
+                                    std::to_string(credit_limit));
+                            }
+                        });
+                }
+            });
+    }
+
+    // MESI: at most one private cache holds a line M/E, and any M/E
+    // holder is the registered directory owner (unless a transaction
+    // currently blocks the line, i.e. ownership is mid-transfer).
+    _checker->addCheck(
+        "mesi-single-owner", CheckLevel::Full,
+        [this](std::vector<std::string> &out) {
+            std::unordered_map<Addr, TileId> owners;
+            for (TileId t = 0; t < _cfg.numTiles(); ++t) {
+                _priv[t]->l2Array().forEachValid([&](mem::CacheLine &l) {
+                    if (l.state != mem::LineState::Exclusive &&
+                        l.state != mem::LineState::Modified)
+                        return;
+                    auto it = owners.find(l.tag);
+                    if (it != owners.end()) {
+                        char buf[96];
+                        std::snprintf(buf, sizeof(buf),
+                                      "line %llx owned M/E by tiles "
+                                      "%d and %d",
+                                      (unsigned long long)l.tag,
+                                      it->second, t);
+                        out.push_back(buf);
+                    }
+                    owners[l.tag] = t;
+                    TileId home = _nuca->bankOf(l.tag);
+                    if (_l3[home]->isLineBlocked(l.tag))
+                        return;
+                    mem::CacheLine *dir =
+                        _l3[home]->array().probe(l.tag);
+                    if (!dir || dir->owner != t) {
+                        char buf[112];
+                        std::snprintf(
+                            buf, sizeof(buf),
+                            "line %llx M/E at tile %d but directory "
+                            "owner is %d",
+                            (unsigned long long)l.tag, t,
+                            dir ? dir->owner : invalidTile);
+                        out.push_back(buf);
+                    }
+                });
+            }
+        });
+
+    // NoC conservation: every injected packet is ejected at all its
+    // destinations in bounded time. A packet older than this bound
+    // means a sink lost it or a router wedged.
+    _checker->addCheck(
+        "noc-packet-age", CheckLevel::Full,
+        [this](std::vector<std::string> &out) {
+            if (!_mesh->trackInFlight())
+                return;
+            Tick oldest = _mesh->oldestInFlightTick();
+            Tick now = _eq.curTick();
+            const Tick maxAge = 500'000;
+            if (oldest < now && now - oldest > maxAge) {
+                char buf[96];
+                std::snprintf(buf, sizeof(buf),
+                              "packet in flight for %llu cycles "
+                              "(injected at %llu)",
+                              (unsigned long long)(now - oldest),
+                              (unsigned long long)oldest);
+                out.push_back(buf);
+            }
+        });
+}
+
+void
+TiledSystem::registerDiagnostics()
+{
+    _diagHooks.push_back(addDiagnosticHook(
+        "event-queue", [this](std::FILE *f) {
+            std::fprintf(f,
+                         "tick=%llu pending=%llu executed=%llu "
+                         "coresDone=%d/%d\n",
+                         (unsigned long long)_eq.curTick(),
+                         (unsigned long long)_eq.numPending(),
+                         (unsigned long long)_eq.numExecuted(),
+                         _coresDone, _cfg.numTiles());
+        }));
+    if (_watchdog) {
+        _diagHooks.push_back(addDiagnosticHook(
+            "watchdog",
+            [this](std::FILE *f) { _watchdog->debugDump(f); }));
+    }
+    if (_checker) {
+        _diagHooks.push_back(addDiagnosticHook(
+            "checker",
+            [this](std::FILE *f) { _checker->debugDump(f); }));
+    }
+    if (_faults) {
+        _diagHooks.push_back(addDiagnosticHook(
+            "fault-injector",
+            [this](std::FILE *f) { _faults->debugDump(f); }));
+    }
+    _diagHooks.push_back(addDiagnosticHook(
+        "noc-in-flight", [this](std::FILE *f) {
+            if (_mesh->trackInFlight())
+                _mesh->debugDumpInFlight(f);
+            else
+                std::fprintf(f, "(tracking off)\n");
+        }));
+    _diagHooks.push_back(addDiagnosticHook(
+        "tiles", [this](std::FILE *f) {
+            for (TileId t = 0; t < _cfg.numTiles(); ++t) {
+                std::fprintf(f, "[tile %d]\n", t);
+                _priv[t]->debugDump(f);
+                _l3[t]->debugDump(f);
+                if (_seCores[t])
+                    _seCores[t]->debugDump(f);
+                if (_seL2[t])
+                    _seL2[t]->debugDump(f);
+                if (_seL3[t])
+                    _seL3[t]->debugDump(f);
+            }
+        }));
+}
+
+void
+TiledSystem::drainAndCheck()
+{
+    // Let in-flight evictions, stream ends and the sampler's final
+    // no-op event complete. Residual streams re-arm their own scans,
+    // so bound the drain instead of insisting on an empty queue.
+    Tick limit = _eq.curTick() + 1'000'000 + _cfg.samplingInterval;
+    while (!_eq.empty() && _eq.curTick() < limit)
+        _eq.step();
+
+    std::vector<std::string> residue;
+    if (!_eq.empty()) {
+        residue.push_back(
+            "event queue not empty after drain (" +
+            std::to_string(_eq.numPending()) + " pending)");
+    }
+    for (TileId t = 0; t < _cfg.numTiles(); ++t) {
+        std::string tn = "tile" + std::to_string(t);
+        if (_priv[t]->mshrsInUse() > 0) {
+            residue.push_back(tn + ": " +
+                              std::to_string(_priv[t]->mshrsInUse()) +
+                              " MSHR(s) still in use");
+        }
+        if (_priv[t]->mshrWaiters() > 0) {
+            residue.push_back(tn + ": " +
+                              std::to_string(_priv[t]->mshrWaiters()) +
+                              " access(es) waiting on MSHRs");
+        }
+        if (_priv[t]->delayedEvictions() > 0) {
+            residue.push_back(
+                tn + ": " + std::to_string(_priv[t]->delayedEvictions()) +
+                " delayed eviction(s) never released");
+        }
+        if (_l3[t]->numTxns() > 0) {
+            residue.push_back(tn + ": " +
+                              std::to_string(_l3[t]->numTxns()) +
+                              " open directory transaction(s)");
+        }
+        if (_seL2[t] && _seL2[t]->numFloated() > 0) {
+            residue.push_back(tn + ": " +
+                              std::to_string(_seL2[t]->numFloated()) +
+                              " stream(s) still floated at SE_L2");
+        }
+        if (_seL3[t] && _seL3[t]->numStreams() > 0) {
+            residue.push_back(tn + ": " +
+                              std::to_string(_seL3[t]->numStreams()) +
+                              " stream context(s) resident at SE_L3");
+        }
+    }
+    if (_mesh->trackInFlight() && _mesh->inFlightCount() > 0) {
+        residue.push_back(std::to_string(_mesh->inFlightCount()) +
+                          " packet(s) still in flight on the NoC");
+    }
+    if (!residue.empty()) {
+        for (const auto &r : residue)
+            std::fprintf(stderr, "drain residue: %s\n", r.c_str());
+        fatalCode(ExitCode::DrainFailure,
+                  "simulation finished but %zu component(s) failed to "
+                  "drain, first: %s",
+                  residue.size(), residue.front().c_str());
+    }
+
+    // With the system quiesced the invariants must hold exactly.
+    _checker->runAll("drain", ExitCode::DrainFailure);
 }
 
 void
@@ -314,6 +719,11 @@ TiledSystem::buildStatRegistry(stats::StatRegistry &reg) const
             _seL3[t]->stats().regStats(reg.group(tn + ".seL3"));
     }
 
+    if (_faults)
+        _faults->regStats(reg.group("faults"));
+    if (_checker)
+        _checker->regStats(reg.group("checker"));
+
     stats::StatGroup &mg = reg.group("mesh");
     const noc::Mesh *mesh = _mesh.get();
     mg.regFormula("flitHops.control", [mesh]() {
@@ -356,6 +766,10 @@ TiledSystem::dumpStatsJson(std::ostream &os, const SimResults &r) const
     w.kv("ny", _cfg.ny);
     w.kv("samplingInterval", uint64_t(_cfg.samplingInterval));
     w.kv("maxCycles", uint64_t(_cfg.maxCycles));
+    w.kv("checkLevel", checkLevelName(_checkLevel));
+    w.kv("watchdogCycles", uint64_t(_cfg.watchdogCycles));
+    w.kv("faults", _cfg.faults.enabled() ? _cfg.faults.describe()
+                                         : std::string("none"));
     w.endObject();
 
     w.beginObject("results");

@@ -27,8 +27,11 @@
 #include "noc/mesh.hh"
 #include "prefetch/bingo.hh"
 #include "prefetch/stride.hh"
+#include "sim/checker.hh"
+#include "sim/fault.hh"
 #include "sim/interval_sampler.hh"
 #include "sim/stat_registry.hh"
+#include "sim/watchdog.hh"
 #include "system/config.hh"
 #include "system/results.hh"
 
@@ -86,12 +89,38 @@ class TiledSystem
     flt::SEL2 *seL2(TileId t) { return _seL2[t].get(); }
     flt::SEL3 *seL3(TileId t) { return _seL3[t].get(); }
 
+    /** Effective check level (SF_CHECK overrides the config). */
+    CheckLevel checkLevel() const { return _checkLevel; }
+    Checker *checker() { return _checker.get(); }
+    Watchdog *watchdog() { return _watchdog.get(); }
+    /** Null unless message-level fault injection is configured. */
+    FaultInjector *faultInjector() { return _faults.get(); }
+
   private:
     void buildTiles();
     void dispatch(TileId tile, const noc::MsgPtr &msg);
     /** Create the interval sampler and register its standard probes. */
     void startSampler();
     SimResults collect(bool hit_limit);
+
+    /**
+     * Assemble the robustness layer: fault-injecting mesh send
+     * interceptor, invariant checker with the protocol checks,
+     * forward-progress watchdog, and the diagnostic hooks fatal()
+     * replays.
+     */
+    void setupRobustness();
+    void registerInvariantChecks();
+    void registerDiagnostics();
+    /**
+     * After the cores finish, pump the remaining events so in-flight
+     * writebacks / stream ends complete, then verify nothing is stuck:
+     * MSHRs, delayed evictions, directory transactions, resident
+     * stream contexts and tracked NoC packets must all be gone, and
+     * every registered invariant must still hold. Only runs when
+     * checking is enabled, so default runs stay cycle-identical.
+     */
+    void drainAndCheck();
 
     SystemConfig _cfg;
     EventQueue _eq;
@@ -113,6 +142,13 @@ class TiledSystem
     std::vector<std::unique_ptr<cpu::Core>> _cores;
     std::vector<std::shared_ptr<isa::OpSource>> _threads;
     std::unique_ptr<stats::IntervalSampler> _sampler;
+
+    CheckLevel _checkLevel = CheckLevel::Off;
+    std::unique_ptr<FaultInjector> _faults;
+    std::unique_ptr<Checker> _checker;
+    std::unique_ptr<Watchdog> _watchdog;
+    /** Diagnostic-hook ids to unregister on destruction. */
+    std::vector<int> _diagHooks;
 
     int _coresDone = 0;
 };

@@ -166,6 +166,11 @@ class TestFabric
             _seL3[tile]->recvEnd(c);
             return;
         }
+        if (auto c = std::dynamic_pointer_cast<flt::StreamAckMsg>(msg)) {
+            if (_seL2[tile])
+                _seL2[tile]->recvFloatAck(c);
+            return;
+        }
     }
 
     Options _opt;

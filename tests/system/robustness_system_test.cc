@@ -1,0 +1,168 @@
+/**
+ * @file
+ * System-level hardening tests: byte-identical determinism of the
+ * stats dump across repeated runs, fault-injected runs completing with
+ * results identical to fault-free ones (the protocol absorbs the
+ * faults), structural overflow NACKs at full scale, watchdog-visible
+ * wedges when retries are disabled, and invariant-checked clean runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "system/tiled_system.hh"
+#include "workload/workload.hh"
+
+using namespace sf;
+using namespace sf::sys;
+
+namespace {
+
+SystemConfig
+makeCfg(const std::string &faults = "", CheckLevel check = CheckLevel::Off)
+{
+    SystemConfig cfg =
+        SystemConfig::make(Machine::SF, cpu::CoreConfig::ooo4(), 2, 2);
+    cfg.maxCycles = 30'000'000;
+    cfg.checkLevel = check;
+    if (!faults.empty())
+        cfg.faults = FaultConfig::parse(faults);
+    return cfg;
+}
+
+struct RunOut
+{
+    SimResults results;
+    std::string json;
+};
+
+RunOut
+runOnce(const SystemConfig &cfg, const std::string &wl_name = "pathfinder")
+{
+    TiledSystem sys(cfg);
+    workload::WorkloadParams wp;
+    wp.numThreads = cfg.numTiles();
+    wp.scale = 0.02;
+    wp.useStreams = machineUsesStreams(cfg.machine);
+    auto wl = workload::makeWorkload(wl_name, wp);
+    wl->init(sys.addressSpace());
+    SimResults r = sys.run(wl->makeAllThreads());
+    EXPECT_FALSE(r.hitCycleLimit);
+    std::ostringstream os;
+    sys.dumpStatsJson(os, r);
+    return {r, os.str()};
+}
+
+} // namespace
+
+TEST(Determinism, RepeatedRunsAreByteIdentical)
+{
+    // Two fresh systems, same workload: every component stat section
+    // must match byte for byte. (The dump has no wall-clock content.)
+    RunOut a = runOnce(makeCfg());
+    RunOut b = runOnce(makeCfg());
+    EXPECT_EQ(a.results.cycles, b.results.cycles);
+    EXPECT_EQ(a.results.committedOps, b.results.committedOps);
+    EXPECT_EQ(a.json, b.json);
+}
+
+TEST(Determinism, SameFaultSeedSameSchedule)
+{
+    SystemConfig cfg = makeCfg("seed:5,dropcredit:0.05,delay:0.05");
+    RunOut a = runOnce(cfg);
+    RunOut b = runOnce(cfg);
+    EXPECT_EQ(a.results.cycles, b.results.cycles);
+    EXPECT_EQ(a.json, b.json);
+}
+
+TEST(Faults, DroppedFloatRequestsDegradeGracefully)
+{
+    // Retry/fallback must absorb lost float requests: the run
+    // completes with the same committed work as the fault-free run
+    // (performance may differ; correctness may not).
+    RunOut clean = runOnce(makeCfg());
+    RunOut faulted = runOnce(makeCfg("seed:3,dropfloat:0.5"));
+    EXPECT_EQ(faulted.results.committedOps, clean.results.committedOps);
+}
+
+TEST(Faults, DroppedCreditsAndAcksDegradeGracefully)
+{
+    RunOut clean = runOnce(makeCfg());
+    RunOut faulted =
+        runOnce(makeCfg("seed:9,dropcredit:0.3,dropack:0.3"));
+    EXPECT_EQ(faulted.results.committedOps, clean.results.committedOps);
+}
+
+TEST(Faults, DuplicatedControlMessagesAreHarmless)
+{
+    RunOut clean = runOnce(makeCfg());
+    RunOut faulted = runOnce(
+        makeCfg("seed:4,dupfloat:0.5,dupcredit:0.5,dupend:0.5,dupack:0.5"));
+    EXPECT_EQ(faulted.results.committedOps, clean.results.committedOps);
+}
+
+TEST(Faults, ForcedOverflowNacksAndCompletes)
+{
+    RunOut clean = runOnce(makeCfg());
+    // Every SE_L3 table clamped to one entry: most floats NACK.
+    RunOut faulted = runOnce(makeCfg("overflow:1"));
+    EXPECT_EQ(faulted.results.committedOps, clean.results.committedOps);
+}
+
+TEST(Faults, CleanRunPassesFullChecksWithFaultsActive)
+{
+    // Message faults + the strictest checker level: the invariants
+    // that still apply (MESI, credits, conservation) must hold even
+    // while the control plane is being bombarded.
+    SystemConfig cfg =
+        makeCfg("seed:2,dropfloat:0.25,delay:0.1", CheckLevel::Full);
+    RunOut r = runOnce(cfg);
+    EXPECT_GT(r.results.committedOps, 0u);
+}
+
+TEST(Checker, FullLevelCleanRunHasZeroViolations)
+{
+    SystemConfig cfg = makeCfg("", CheckLevel::Full);
+    RunOut r = runOnce(cfg);
+    EXPECT_GT(r.results.committedOps, 0u);
+    // The JSON dump carries the checker group with zero violations.
+    EXPECT_NE(r.json.find("\"checker\""), std::string::npos);
+    EXPECT_NE(r.json.find("\"violations\": 0"), std::string::npos);
+}
+
+TEST(Watchdog, NoRetryPlusTotalLossTripsWithDistinctExit)
+{
+    // Drop every float request AND disable the retry machinery: the
+    // cores wait forever on floated elements. The system-level
+    // watchdog must fatal with the WatchdogTimeout exit code rather
+    // than hang.
+    SystemConfig cfg = makeCfg("dropfloat:1,noretry");
+    cfg.watchdogCycles = 50'000;
+    TiledSystem sys(cfg);
+    workload::WorkloadParams wp;
+    wp.numThreads = cfg.numTiles();
+    wp.scale = 0.02;
+    wp.useStreams = true;
+    auto wl = workload::makeWorkload("pathfinder", wp);
+    wl->init(sys.addressSpace());
+    try {
+        sys.run(wl->makeAllThreads());
+        FAIL() << "wedged system did not trip the watchdog";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(e.code(), ExitCode::WatchdogTimeout);
+        EXPECT_EQ(e.exitStatus(), 64);
+    }
+}
+
+TEST(StatsJson, ConfigSectionRecordsRobustnessKnobs)
+{
+    SystemConfig cfg = makeCfg("seed:7,dropfloat:0.1", CheckLevel::Basic);
+    RunOut r = runOnce(cfg);
+    EXPECT_NE(r.json.find("\"checkLevel\": \"basic\""),
+              std::string::npos);
+    EXPECT_NE(r.json.find("dropfloat"), std::string::npos);
+    // The faults group reports what was actually injected.
+    EXPECT_NE(r.json.find("\"faults\""), std::string::npos);
+}
