@@ -35,6 +35,23 @@
 namespace sf {
 namespace bench {
 
+/** Split a comma-separated flag value into its items. */
+inline std::vector<std::string>
+splitList(const char *v)
+{
+    std::vector<std::string> out;
+    std::string s = v;
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
 struct BenchOptions
 {
     int nx = 4;
@@ -69,16 +86,7 @@ struct BenchOptions
             } else if (const char *v = val("--scale=")) {
                 o.scale = std::atof(v);
             } else if (const char *v = val("--workloads=")) {
-                o.workloads.clear();
-                std::string s = v;
-                size_t pos = 0;
-                while (pos < s.size()) {
-                    size_t comma = s.find(',', pos);
-                    if (comma == std::string::npos)
-                        comma = s.size();
-                    o.workloads.push_back(s.substr(pos, comma - pos));
-                    pos = comma + 1;
-                }
+                o.workloads = splitList(v);
             } else if (const char *v = val("--stats-json=")) {
                 o.statsJsonDir = v;
             } else if (arg == "--stats-json" && i + 1 < argc) {

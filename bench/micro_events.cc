@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Microbenchmark of the event kernel itself: raw schedule/dispatch
+ * throughput for the event patterns that dominate real simulations.
+ * Reports events/s so kernel changes are a measured number, not a
+ * claim. Patterns:
+ *
+ *  - short-delay self-rescheduling ticks (cache / NoC / SE pipelines),
+ *    the overwhelming majority of events in a run;
+ *  - same-tick fan-out bursts (multicast delivery, barrier release);
+ *  - mixed-horizon traffic (mostly near-future with a far-future tail:
+ *    DRAM latencies, watchdog / checker / sampler periods);
+ *  - schedule/deschedule churn (timeout events that almost never fire);
+ *  - recurring periodic events (watchdog / checker / sampler ticks).
+ *
+ * Handlers are small function objects (a context pointer plus an
+ * index) so they fit std::function's inline buffer: the numbers
+ * measure the kernel, not the allocator behind oversized closures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace sf;
+
+namespace {
+
+/** Deterministic xorshift so every run measures identical schedules. */
+struct Rng
+{
+    uint64_t s = 0x9e3779b97f4a7c15ull;
+
+    uint64_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+};
+
+constexpr uint64_t eventsPerIter = 1'000'000;
+
+struct Noop
+{
+    void operator()() const {}
+};
+
+struct Ctx
+{
+    EventQueue *eq = nullptr;
+    uint64_t budget = 0;
+    int fanout = 0;
+    Rng rng;
+};
+
+/** One self-rescheduling tick chain with a fixed delay of 1..8. */
+struct ChainTick
+{
+    Ctx *ctx;
+    uint32_t chain;
+
+    void
+    operator()() const
+    {
+        if (ctx->budget == 0)
+            return;
+        --ctx->budget;
+        ctx->eq->scheduleIn(1 + static_cast<Cycles>(chain % 8), *this,
+                            EventPriority::ClockTick);
+    }
+};
+
+/** Burst of `fanout` same-tick events at mixed priorities. */
+struct Burst
+{
+    Ctx *ctx;
+
+    void
+    operator()() const
+    {
+        if (ctx->budget < static_cast<uint64_t>(ctx->fanout))
+            return;
+        ctx->budget -= static_cast<uint64_t>(ctx->fanout);
+        for (int i = 0; i < ctx->fanout - 1; ++i) {
+            ctx->eq->scheduleIn(1, Noop{},
+                                i % 2 ? EventPriority::Delivery
+                                      : EventPriority::ClockTick);
+        }
+        ctx->eq->scheduleIn(1, *this, EventPriority::Stat);
+    }
+};
+
+/** Mostly short delays with an occasional far-future reschedule. */
+struct MixedTick
+{
+    Ctx *ctx;
+
+    void
+    operator()() const
+    {
+        if (ctx->budget == 0)
+            return;
+        --ctx->budget;
+        uint64_t r = ctx->rng.next();
+        Cycles delay =
+            (r & 7) ? (1 + (r & 31)) : (1000 + (r % 127'000));
+        ctx->eq->scheduleIn(delay, *this);
+    }
+};
+
+/** Three descheduled timeouts per real tick. */
+struct ChurnTick
+{
+    Ctx *ctx;
+
+    void
+    operator()() const
+    {
+        if (ctx->budget < 4)
+            return;
+        ctx->budget -= 4;
+        for (int i = 0; i < 3; ++i) {
+            auto id = ctx->eq->scheduleIn(
+                500 + static_cast<Cycles>(i), Noop{});
+            ctx->eq->deschedule(id);
+        }
+        ctx->eq->scheduleIn(2, *this);
+    }
+};
+
+} // namespace
+
+/**
+ * N independent chains of self-rescheduling ticks with delays 1..8:
+ * the calendar-wheel fast path.
+ */
+static void
+BM_ShortDelayTicks(benchmark::State &state)
+{
+    const int chains = static_cast<int>(state.range(0));
+    uint64_t executed = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        Ctx ctx{&eq, eventsPerIter, 0, {}};
+        for (int c = 0; c < chains; ++c) {
+            eq.schedule(static_cast<Tick>(c % 4),
+                        ChainTick{&ctx, static_cast<uint32_t>(c)},
+                        EventPriority::ClockTick);
+        }
+        eq.run();
+        executed += eq.numExecuted();
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(executed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShortDelayTicks)->Arg(4)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+/** Bursts of F same-tick events at mixed priorities, tick by tick. */
+static void
+BM_SameTickFanout(benchmark::State &state)
+{
+    const int fanout = static_cast<int>(state.range(0));
+    uint64_t executed = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        Ctx ctx{&eq, eventsPerIter, fanout, {}};
+        eq.schedule(0, Burst{&ctx}, EventPriority::Stat);
+        eq.run();
+        executed += eq.numExecuted();
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(executed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SameTickFanout)->Arg(8)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+/**
+ * 7/8 short delays (1..32) with a 1/8 far-future tail (up to ~128k
+ * cycles): exercises the wheel/heap boundary both ways.
+ */
+static void
+BM_MixedHorizon(benchmark::State &state)
+{
+    uint64_t executed = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        Ctx ctx{&eq, eventsPerIter, 0, {}};
+        for (int c = 0; c < 16; ++c)
+            eq.schedule(static_cast<Tick>(c), MixedTick{&ctx});
+        eq.run();
+        executed += eq.numExecuted();
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(executed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MixedHorizon)->Unit(benchmark::kMillisecond);
+
+/**
+ * Timeout churn: most scheduled events are descheduled before firing
+ * (the float-ack / progress-timeout pattern). Counts live + cancelled
+ * slots pushed through the queue.
+ */
+static void
+BM_ScheduleDescheduleChurn(benchmark::State &state)
+{
+    uint64_t slots = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        Ctx ctx{&eq, eventsPerIter, 0, {}};
+        eq.schedule(0, ChurnTick{&ctx});
+        eq.run();
+        slots += eventsPerIter;
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(slots), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScheduleDescheduleChurn)->Unit(benchmark::kMillisecond);
+
+#ifdef SF_EVENTQ_HAS_RECURRING
+/**
+ * Fixed-period recurring events (watchdog / checker / sampler / issue
+ * pumps): the intrusive requeue path that re-allocates nothing.
+ */
+static void
+BM_RecurringTicks(benchmark::State &state)
+{
+    const int timers = static_cast<int>(state.range(0));
+    uint64_t executed = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        uint64_t budget = eventsPerIter;
+        std::vector<std::unique_ptr<RecurringEvent>> recs;
+        for (int t = 0; t < timers; ++t) {
+            recs.push_back(std::make_unique<RecurringEvent>(eq));
+            auto *rec = recs.back().get();
+            rec->start(1 + static_cast<Cycles>(t % 8),
+                       [&budget, rec]() {
+                           if (budget == 0) {
+                               rec->stop();
+                               return;
+                           }
+                           --budget;
+                       },
+                       EventPriority::ClockTick);
+        }
+        eq.run();
+        executed += eq.numExecuted();
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(executed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RecurringTicks)->Arg(4)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+#endif // SF_EVENTQ_HAS_RECURRING
+
+BENCHMARK_MAIN();

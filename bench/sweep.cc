@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Parallel sweep runner: fans the fig13 grid (core config x machine
+ * variant x workload) across `-j N` worker processes and merges the
+ * per-point stats.json dumps into one sweep report.
+ *
+ * Determinism contract: every point runs in its own forked child (even
+ * at -j 1), each child writes its stats.json under a deterministic
+ * per-point filename, and the parent merges the files in fixed grid
+ * order. The merged `BENCH_sweep.det.json` is therefore byte-identical
+ * no matter how many jobs ran or in what order they finished; host
+ * wall-clock numbers only appear in the companion `BENCH_sweep.json`.
+ *
+ * Extra options on top of the common bench flags:
+ *   -j N / --jobs=N      worker processes (default 1)
+ *   --out=DIR            output directory (default sweep_out)
+ *   --cpus=a,b           core-config subset: io4,ooo4,ooo8 (default all)
+ *   --machines=a,b       machine subset: Base,Stride,Bingo,SS,SF
+ *                        (default all five)
+ */
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "bench/bench_util.hh"
+
+using namespace sf;
+using namespace sf::bench;
+
+namespace {
+
+struct SweepOptions
+{
+    BenchOptions bench;
+    int jobs = 1;
+    std::string outDir = "sweep_out";
+    std::vector<std::string> cpus = {"io4", "ooo4", "ooo8"};
+    std::vector<std::string> machines = {"Base", "Stride", "Bingo", "SS",
+                                         "SF"};
+};
+
+SweepOptions
+parseSweep(int argc, char **argv)
+{
+    SweepOptions o;
+    o.bench = BenchOptions::parse(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto val = [&](const char *key) -> const char * {
+            size_t n = std::strlen(key);
+            if (arg.compare(0, n, key) == 0)
+                return arg.c_str() + n;
+            return nullptr;
+        };
+        if (arg == "-j" && i + 1 < argc) {
+            o.jobs = std::atoi(argv[++i]);
+        } else if (const char *v = val("--jobs=")) {
+            o.jobs = std::atoi(v);
+        } else if (const char *v = val("-j")) {
+            if (*v)
+                o.jobs = std::atoi(v);
+        } else if (const char *v = val("--out=")) {
+            o.outDir = v;
+        } else if (const char *v = val("--cpus=")) {
+            o.cpus = splitList(v);
+        } else if (const char *v = val("--machines=")) {
+            o.machines = splitList(v);
+        }
+    }
+    if (o.jobs < 1)
+        o.jobs = 1;
+    return o;
+}
+
+cpu::CoreConfig
+coreByName(const std::string &name)
+{
+    if (name == "io4")
+        return cpu::CoreConfig::io4();
+    if (name == "ooo4")
+        return cpu::CoreConfig::ooo4();
+    if (name == "ooo8")
+        return cpu::CoreConfig::ooo8();
+    throw std::runtime_error("unknown core config: " + name);
+}
+
+sys::Machine
+machineByName(const std::string &name)
+{
+    if (name == "Base")
+        return sys::Machine::Base;
+    if (name == "Stride")
+        return sys::Machine::StridePf;
+    if (name == "Bingo")
+        return sys::Machine::BingoPf;
+    if (name == "SS")
+        return sys::Machine::SS;
+    if (name == "SF")
+        return sys::Machine::SF;
+    throw std::runtime_error("unknown machine: " + name);
+}
+
+/** One cell of the sweep grid, in fixed enumeration order. */
+struct Point
+{
+    cpu::CoreConfig core;
+    sys::Machine machine;
+    std::string workload;
+    /** Deterministic file stem, identical to what runSim() derives. */
+    std::string stem;
+};
+
+std::vector<Point>
+enumerateGrid(const SweepOptions &o)
+{
+    std::vector<Point> points;
+    for (const std::string &cpu_name : o.cpus) {
+        cpu::CoreConfig core = coreByName(cpu_name);
+        for (const std::string &wl : o.bench.workloads) {
+            for (const std::string &m : o.machines) {
+                Point p;
+                p.core = core;
+                p.machine = machineByName(m);
+                p.workload = wl;
+                p.stem = fileToken(core.label) + "_" +
+                         fileToken(sys::machineName(p.machine)) + "_" +
+                         fileToken(wl);
+                points.push_back(p);
+            }
+        }
+    }
+    return points;
+}
+
+/** Host-side measurements a child reports back through a side file. */
+struct HostReport
+{
+    double seconds = 0.0;
+    uint64_t events = 0;
+    uint64_t cycles = 0;
+};
+
+/** Run one point to completion; only ever called in a forked child. */
+int
+runPoint(const Point &p, const SweepOptions &o,
+         const std::string &points_dir)
+{
+    try {
+        BenchOptions bo = o.bench;
+        bo.statsJsonDir = points_dir;
+        sys::SimResults r = runSim(p.machine, p.core, p.workload, bo);
+        std::ofstream host(points_dir + "/" + p.stem + ".host");
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "seconds=%.6f events=%llu cycles=%llu\n",
+                      r.hostSeconds,
+                      static_cast<unsigned long long>(r.eventsExecuted),
+                      static_cast<unsigned long long>(r.cycles));
+        host << buf;
+        host.flush();
+        return host.good() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sweep: point %s failed: %s\n",
+                     p.stem.c_str(), e.what());
+        return 1;
+    }
+}
+
+bool
+readHostReport(const std::string &path, HostReport &h)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    std::getline(in, line);
+    unsigned long long ev = 0, cy = 0;
+    if (std::sscanf(line.c_str(), "seconds=%lf events=%llu cycles=%llu",
+                    &h.seconds, &ev, &cy) != 3)
+        return false;
+    h.events = ev;
+    h.cycles = cy;
+    return true;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("missing file: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string s = ss.str();
+    while (!s.empty() && (s.back() == '\n' || s.back() == ' '))
+        s.pop_back();
+    return s;
+}
+
+void
+writeStringArray(std::ostream &os, const std::vector<std::string> &v)
+{
+    os << "[";
+    for (size_t i = 0; i < v.size(); ++i)
+        os << (i ? ", " : "") << "\"" << v[i] << "\"";
+    os << "]";
+}
+
+/**
+ * The deterministic part of the report: grid description plus every
+ * point's raw stats.json spliced in fixed grid order. Each per-point
+ * dump is itself deterministic (the host stat group is off by
+ * default), so these bytes are independent of job count and
+ * completion order.
+ */
+void
+writeDetSections(std::ostream &os, const SweepOptions &o,
+                 const std::vector<Point> &points,
+                 const std::string &points_dir)
+{
+    char buf[96];
+    os << "{\n  \"schema\": \"sf-sweep-1\",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"grid\": {\"nx\": %d, \"ny\": %d, \"scale\": %.6f, ",
+                  o.bench.nx, o.bench.ny, o.bench.scale);
+    os << buf << "\"cpus\": ";
+    writeStringArray(os, o.cpus);
+    os << ", \"machines\": ";
+    writeStringArray(os, o.machines);
+    os << ", \"workloads\": ";
+    writeStringArray(os, o.bench.workloads);
+    os << "},\n  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        os << "    {\"id\": \"" << p.stem << "\", \"core\": \""
+           << p.core.label << "\", \"machine\": \""
+           << sys::machineName(p.machine) << "\", \"workload\": \""
+           << p.workload << "\",\n     \"stats\": "
+           << slurp(points_dir + "/" + p.stem + ".stats.json") << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+}
+
+void
+writeHostSection(std::ostream &os, const SweepOptions &o,
+                 const std::vector<Point> &points,
+                 const std::map<std::string, HostReport> &hosts,
+                 double wall_seconds)
+{
+    char buf[192];
+    double total_sec = 0.0;
+    uint64_t total_events = 0;
+    os << ",\n  \"host\": {\n";
+    std::snprintf(buf, sizeof(buf), "    \"jobs\": %d,\n", o.jobs);
+    os << buf << "    \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        const HostReport &h = hosts.at(points[i].stem);
+        total_sec += h.seconds;
+        total_events += h.events;
+        std::snprintf(buf, sizeof(buf),
+                      "      {\"id\": \"%s\", \"seconds\": %.6f, "
+                      "\"events\": %llu, \"eventsPerSec\": %.0f}%s\n",
+                      points[i].stem.c_str(), h.seconds,
+                      static_cast<unsigned long long>(h.events),
+                      h.seconds > 0 ? double(h.events) / h.seconds : 0.0,
+                      i + 1 < points.size() ? "," : "");
+        os << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "    ],\n    \"wallSeconds\": %.6f,\n"
+                  "    \"cpuSeconds\": %.6f,\n"
+                  "    \"totalEvents\": %llu,\n"
+                  "    \"eventsPerWallSec\": %.0f\n  }",
+                  wall_seconds, total_sec,
+                  static_cast<unsigned long long>(total_events),
+                  wall_seconds > 0 ? double(total_events) / wall_seconds
+                                   : 0.0);
+    os << buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepOptions opt = parseSweep(argc, argv);
+    std::vector<Point> points = enumerateGrid(opt);
+    std::string points_dir = opt.outDir + "/points";
+    std::filesystem::create_directories(points_dir);
+
+    std::printf("sweep: %zu points (%zu cpus x %zu machines x %zu "
+                "workloads), %d job(s)\n",
+                points.size(), opt.cpus.size(), opt.machines.size(),
+                opt.bench.workloads.size(), opt.jobs);
+
+    auto wall_start = std::chrono::steady_clock::now();
+
+    // Fork one child per point; up to `jobs` run concurrently. Every
+    // point forks (even -j 1) so serial and parallel runs execute
+    // byte-identical code paths.
+    std::map<pid_t, size_t> running;
+    size_t next = 0;
+    int failures = 0;
+    while (next < points.size() || !running.empty()) {
+        while (running.size() < size_t(opt.jobs) &&
+               next < points.size()) {
+            std::fflush(stdout);
+            std::fflush(stderr);
+            pid_t pid = fork();
+            if (pid < 0) {
+                std::perror("sweep: fork");
+                return 1;
+            }
+            if (pid == 0) {
+                // In the child: run the point and leave immediately
+                // without flushing inherited stdio buffers twice.
+                std::_Exit(runPoint(points[next], opt, points_dir));
+            }
+            running[pid] = next;
+            ++next;
+        }
+        int status = 0;
+        pid_t done = waitpid(-1, &status, 0);
+        if (done < 0) {
+            std::perror("sweep: waitpid");
+            return 1;
+        }
+        auto it = running.find(done);
+        if (it == running.end())
+            continue;
+        const Point &p = points[it->second];
+        bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (!ok) {
+            ++failures;
+            std::printf("sweep: FAILED %s (status %d)\n",
+                        p.stem.c_str(), status);
+        } else {
+            std::printf("sweep: done %s\n", p.stem.c_str());
+        }
+        running.erase(it);
+    }
+    double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (failures) {
+        std::printf("sweep: %d point(s) failed, no merge\n", failures);
+        return 1;
+    }
+
+    // Collect the host-side reports for the companion file.
+    std::map<std::string, HostReport> hosts;
+    for (const Point &p : points) {
+        HostReport h;
+        if (!readHostReport(points_dir + "/" + p.stem + ".host", h)) {
+            std::fprintf(stderr, "sweep: missing host report for %s\n",
+                         p.stem.c_str());
+            return 1;
+        }
+        hosts[p.stem] = h;
+    }
+
+    // Deterministic merge: fixed grid order, deterministic content.
+    {
+        std::ofstream det(opt.outDir + "/BENCH_sweep.det.json");
+        writeDetSections(det, opt, points, points_dir);
+        det << "\n}\n";
+    }
+    {
+        std::ofstream full(opt.outDir + "/BENCH_sweep.json");
+        writeDetSections(full, opt, points, points_dir);
+        writeHostSection(full, opt, points, hosts, wall_seconds);
+        full << "\n}\n";
+    }
+
+    double cpu_seconds = 0.0;
+    uint64_t total_events = 0;
+    for (const auto &kv : hosts) {
+        cpu_seconds += kv.second.seconds;
+        total_events += kv.second.events;
+    }
+    std::printf("sweep: merged %zu points -> %s/BENCH_sweep{.det,}.json\n",
+                points.size(), opt.outDir.c_str());
+    std::printf("sweep: wall %.2fs, sim cpu %.2fs, %.1f M events, "
+                "%.2f M events/s wall\n",
+                wall_seconds, cpu_seconds, double(total_events) / 1e6,
+                wall_seconds > 0
+                    ? double(total_events) / wall_seconds / 1e6
+                    : 0.0);
+    return 0;
+}

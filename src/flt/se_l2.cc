@@ -15,7 +15,8 @@ SEL2::SEL2(const std::string &name, EventQueue &eq, TileId tile,
            mem::TlbHierarchy &tlb, mem::AddressSpace &as,
            stream::SECore &se_core)
     : SimObject(name, eq), _cfg(cfg), _tile(tile), _mesh(mesh),
-      _nuca(nuca), _cache(cache), _tlb(tlb), _as(as), _seCore(se_core)
+      _nuca(nuca), _cache(cache), _tlb(tlb), _as(as), _seCore(se_core),
+      _scan(eq)
 {
     _cache.setStreamBuffer(this);
 }
@@ -320,19 +321,19 @@ SEL2::groupHasWaiters(const FloatedStream &base) const
 void
 SEL2::scheduleProgressScan()
 {
-    if (_scanScheduled || !_cfg.retryEnabled)
+    if (_scan.running() || !_cfg.retryEnabled)
         return;
-    _scanScheduled = true;
-    scheduleIn(std::max<Cycles>(1, _cfg.progressTimeout / 2),
-               [this] { progressScan(); }, EventPriority::Stat);
+    _scan.start(std::max<Cycles>(1, _cfg.progressTimeout / 2),
+                [this] { progressScan(); }, EventPriority::Stat);
 }
 
 void
 SEL2::progressScan()
 {
-    _scanScheduled = false;
-    if (_floated.empty())
-        return; // self-stop; floatStream() restarts the scan
+    if (_floated.empty()) {
+        _scan.stop(); // self-stop; floatStream() restarts the scan
+        return;
+    }
     Tick now = curTick();
     std::vector<StreamId> to_recover;
     std::vector<StreamId> to_sink;
@@ -363,7 +364,7 @@ SEL2::progressScan()
                   name().c_str(), _cfg.maxFloatRetries);
         _seCore.requestSink(sid);
     }
-    scheduleProgressScan();
+    // The recurring event re-queues itself for the next scan.
 }
 
 void

@@ -277,7 +277,8 @@ class SEL2 : public SimObject,
     std::deque<Grant> _grants;
     uint16_t _headSeq = 0;
     uint16_t _tailSeq = 0;
-    bool _scanScheduled = false;
+    /** Progress scan: recurring while streams are floated. */
+    RecurringEvent _scan;
 
     SEL2Stats _stats;
 };

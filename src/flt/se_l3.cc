@@ -16,7 +16,7 @@ SEL3::SEL3(const std::string &name, EventQueue &eq, TileId tile,
            AsResolver resolve_as)
     : SimObject(name, eq), _cfg(cfg), _tile(tile), _mesh(mesh),
       _nuca(nuca), _bank(bank), _resolveAs(std::move(resolve_as)),
-      _tlb(cfg.tlbEntries, cfg.tlbWays)
+      _tlb(cfg.tlbEntries, cfg.tlbWays), _pump(eq)
 {
 }
 
@@ -320,17 +320,15 @@ SEL3::recordDeparture(const GlobalStreamId &gsid, uint32_t gen,
 void
 SEL3::kick()
 {
-    if (_pumpScheduled || _entries.empty())
+    if (_pump.running() || _entries.empty())
         return;
-    _pumpScheduled = true;
-    scheduleIn(_cfg.issueInterval, [this]() { issueTick(); },
-               EventPriority::ClockTick);
+    _pump.start(_cfg.issueInterval, [this]() { issueTick(); },
+                EventPriority::ClockTick);
 }
 
 void
 SEL3::issueTick()
 {
-    _pumpScheduled = false;
     size_t attempts = _entries.size();
     bool issued = false;
     for (size_t i = 0; i < attempts && !_entries.empty(); ++i) {
@@ -347,8 +345,10 @@ SEL3::issueTick()
             _entries.splice(_entries.end(), _entries, _entries.begin());
         }
     }
-    if (issued)
-        kick();
+    // The recurring pump keeps ticking while it makes progress; stop
+    // when idle (no issue, or table drained) until the next kick().
+    if (!issued || _entries.empty())
+        _pump.stop();
 }
 
 bool
@@ -557,7 +557,7 @@ SEL3::debugDump(std::FILE *f) const
                          m.gsid.sid, m.gen,
                          (unsigned long long)m.creditLimit);
         }
-        std::fprintf(f, "] pump=%d\n", _pumpScheduled);
+        std::fprintf(f, "] pump=%d\n", _pump.running());
     }
     for (const auto &[gsid, pc] : _pendingCredits) {
         std::fprintf(f, "  %s pendingCredit c%d s%d gen=%u lim=%llu\n",

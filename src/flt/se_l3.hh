@@ -191,7 +191,8 @@ class SEL3 : public SimObject
 
     /** Round-robin via rotation: the front entry is serviced next. */
     EntryList _entries;
-    bool _pumpScheduled = false;
+    /** Issue pump: recurring while busy, stopped when idle. */
+    RecurringEvent _pump;
 
     /** Credits/ends that arrived before their stream (migration race). */
     std::unordered_map<GlobalStreamId, std::pair<uint32_t, uint64_t>>

@@ -80,7 +80,8 @@ class Checker
     using CheckFn = std::function<void(std::vector<std::string> &)>;
 
     Checker(EventQueue &eq, CheckLevel level, Cycles interval = 50'000)
-        : _eq(eq), _level(level), _interval(interval ? interval : 1)
+        : _eq(eq), _level(level), _interval(interval ? interval : 1),
+          _tick(eq)
     {}
 
     ~Checker() { stop(); }
@@ -102,17 +103,15 @@ class Checker
         if (!enabled() || _running)
             return;
         _running = true;
-        arm();
+        _tick.start(_interval, [this] { periodic(); },
+                    EventPriority::Stat);
     }
 
     void
     stop()
     {
         _running = false;
-        if (_armed) {
-            _armed = false;
-            _eq.deschedule(_pending);
-        }
+        _tick.stop();
     }
 
     /**
@@ -177,22 +176,12 @@ class Checker
     };
 
     void
-    arm()
-    {
-        _pending = _eq.schedule(_eq.curTick() + _interval,
-                                [this] { periodic(); },
-                                EventPriority::Stat);
-        _armed = true;
-    }
-
-    void
     periodic()
     {
-        _armed = false;
         if (!_running)
             return;
+        // The recurring event re-queues itself for the next sweep.
         runAll("periodic");
-        arm();
     }
 
     EventQueue &_eq;
@@ -200,8 +189,8 @@ class Checker
     Cycles _interval;
     std::vector<CheckEntry> _checks;
     bool _running = false;
-    bool _armed = false;
-    EventQueue::EventId _pending = 0;
+    /** Fixed-period sweep; requeues its own node, no closure rebuild. */
+    RecurringEvent _tick;
     stats::Scalar _checksRun;
     stats::Scalar _violations;
 };

@@ -6,20 +6,49 @@
  * future tick. Events scheduled at the same tick execute in ascending
  * (priority, insertion-sequence) order, which makes every simulation
  * fully deterministic and reproducible.
+ *
+ * The kernel is a two-level scheme tuned for the simulator's event
+ * mix, where almost every event is a short-delay tick:
+ *
+ *  - a calendar wheel of `wheelBuckets` single-tick buckets covering
+ *    (curTick, curTick + wheelBuckets): O(1) insert, O(1) amortized
+ *    advance via an occupancy bitmap;
+ *  - a far-future binary heap for everything beyond the wheel horizon
+ *    (DRAM round trips never reach it; watchdog / checker / sampler
+ *    periods do);
+ *  - a small "now" heap holding the events of the tick being drained,
+ *    ordered by (when, priority, sequence) so same-tick scheduling
+ *    during execution stays exact.
+ *
+ * Event nodes come from a slab arena with an intrusive free list, so
+ * steady-state scheduling performs zero allocations. Fixed-period
+ * work (watchdog, checker, sampler, issue pumps) uses RecurringEvent,
+ * which re-queues its own node each period instead of re-building a
+ * closure.
+ *
+ * deschedule() stays lazy (cancelled ids are skipped when popped),
+ * but the tombstone set is compacted once it passes
+ * `tombstoneCompactionThreshold`, so long runs that deschedule ids
+ * which already fired can no longer grow it without bound.
  */
 
 #ifndef SF_SIM_EVENT_QUEUE_HH
 #define SF_SIM_EVENT_QUEUE_HH
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
+
+/** The kernel supports intrusive fixed-period events (RecurringEvent). */
+#define SF_EVENTQ_HAS_RECURRING 1
 
 namespace sf {
 
@@ -36,6 +65,8 @@ enum class EventPriority : int32_t
     Stat = 30,
 };
 
+class RecurringEvent;
+
 /**
  * The global event queue. One instance drives an entire simulated system.
  */
@@ -44,6 +75,11 @@ class EventQueue
   public:
     using Handler = std::function<void()>;
     using EventId = uint64_t;
+
+    /** Buckets in the near-future calendar wheel (power of two). */
+    static constexpr size_t wheelBuckets = 8192;
+    /** Cancelled-id set size that triggers a physical compaction. */
+    static constexpr size_t tombstoneCompactionThreshold = 1024;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -63,11 +99,14 @@ class EventQueue
         sf_assert(when >= _curTick,
                   "scheduling in the past: %llu < %llu",
                   (unsigned long long)when, (unsigned long long)_curTick);
-        EventId id = _nextSeq++;
-        _heap.push(Entry{when, static_cast<int32_t>(prio), id,
-                         std::move(fn)});
+        Event *e = allocEvent();
+        e->when = when;
+        e->prio = static_cast<int32_t>(prio);
+        e->seq = _nextSeq++;
+        e->fn = std::move(fn);
+        enqueue(e);
         ++_numPending;
-        return id;
+        return e->seq;
     }
 
     /** Schedule @p fn to run @p delay ticks from now. */
@@ -79,8 +118,10 @@ class EventQueue
     }
 
     /**
-     * Cancel a previously scheduled event. Lazy: the entry stays in the
-     * heap but is skipped when popped.
+     * Cancel a previously scheduled event. Lazy: the node stays queued
+     * but is skipped (and recycled) when popped; once the tombstone
+     * set passes the compaction threshold, cancelled nodes are removed
+     * physically and stale ids dropped.
      */
     void
     deschedule(EventId id)
@@ -88,6 +129,8 @@ class EventQueue
         _cancelled.insert(id);
         sf_assert(_numPending > 0, "descheduling with no pending events");
         --_numPending;
+        if (_cancelled.size() >= tombstoneCompactionThreshold)
+            compact();
     }
 
     /** True when no live events remain. */
@@ -103,23 +146,23 @@ class EventQueue
     Tick
     run(Tick limit = maxTick)
     {
-        while (!_heap.empty()) {
-            const Entry &top = _heap.top();
-            if (isCancelled(top.id)) {
-                popCancelled(top.id);
-                _heap.pop();
+        for (;;) {
+            Event *e = next();
+            if (!e)
+                break;
+            if (isDead(e)) {
+                popNow();
+                discard(e);
                 continue;
             }
-            if (top.when > limit) {
+            if (e->when > limit)
                 break;
-            }
-            sf_assert(top.when >= _curTick, "event queue went backwards");
-            _curTick = top.when;
-            Handler fn = std::move(_heap.top().fn);
-            _heap.pop();
+            popNow();
+            sf_assert(e->when >= _curTick, "event queue went backwards");
+            _curTick = e->when;
             --_numPending;
             ++_numExecuted;
-            fn();
+            execute(e);
         }
         return _curTick;
     }
@@ -128,63 +171,455 @@ class EventQueue
     bool
     step()
     {
-        while (!_heap.empty()) {
-            const Entry &top = _heap.top();
-            if (isCancelled(top.id)) {
-                popCancelled(top.id);
-                _heap.pop();
+        for (;;) {
+            Event *e = next();
+            if (!e)
+                return false;
+            popNow();
+            if (isDead(e)) {
+                discard(e);
                 continue;
             }
-            _curTick = top.when;
-            Handler fn = std::move(_heap.top().fn);
-            _heap.pop();
+            _curTick = e->when;
             --_numPending;
             ++_numExecuted;
-            fn();
+            execute(e);
             return true;
         }
-        return false;
     }
 
     /** Total events executed so far (for reporting / debugging). */
     uint64_t numExecuted() const { return _numExecuted; }
 
-  private:
-    struct Entry
-    {
-        Tick when;
-        int32_t prio;
-        EventId id;
-        mutable Handler fn;
+    /** Cancelled ids awaiting skip-on-pop or compaction. */
+    uint64_t tombstones() const { return _cancelled.size(); }
 
-        bool
-        operator>(const Entry &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            if (prio != o.prio)
-                return prio > o.prio;
-            return id > o.id;
-        }
+    /** Physical tombstone compactions performed so far. */
+    uint64_t compactions() const { return _compactions; }
+
+    /** Event nodes the slab arena has ever carved out. */
+    uint64_t arenaCapacity() const { return _arenaCapacity; }
+
+    /** Nodes currently queued (live + tombstoned). */
+    uint64_t arenaInUse() const { return _numNodes; }
+
+  private:
+    friend class RecurringEvent;
+
+    struct Event
+    {
+        Tick when = 0;
+        int32_t prio = 0;
+        EventId seq = 0;
+        /** Intrusive link: wheel bucket chain or arena free list. */
+        Event *next = nullptr;
+        /** Non-null for fixed-period events; re-queued, not re-built. */
+        RecurringEvent *rec = nullptr;
+        /** Direct tombstone (O(1) RecurringEvent::stop()). */
+        bool cancelled = false;
+        /** One-shot payload; unused when rec is set. */
+        Handler fn;
     };
 
-    bool
-    isCancelled(EventId id) const
+    struct Bucket
     {
-        return _cancelled.find(id) != _cancelled.end();
+        Event *head = nullptr;
+        Event *tail = nullptr;
+    };
+
+    /** Min-first comparison by (when, priority, sequence). */
+    static bool
+    later(const Event *a, const Event *b)
+    {
+        if (a->when != b->when)
+            return a->when > b->when;
+        if (a->prio != b->prio)
+            return a->prio > b->prio;
+        return a->seq > b->seq;
     }
 
-    void popCancelled(EventId id) { _cancelled.erase(id); }
+    // --- slab arena ---
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-        _heap;
-    /** Ids of descheduled events, skipped when they reach the top. */
+    Event *
+    allocEvent()
+    {
+        if (!_freeList)
+            growArena();
+        Event *e = _freeList;
+        _freeList = e->next;
+        e->next = nullptr;
+        e->rec = nullptr;
+        e->cancelled = false;
+        return e;
+    }
+
+    void
+    freeEvent(Event *e)
+    {
+        e->fn = nullptr; // release captured state eagerly
+        e->rec = nullptr;
+        e->next = _freeList;
+        _freeList = e;
+    }
+
+    void
+    growArena()
+    {
+        constexpr size_t slabEvents = 512;
+        _slabs.push_back(std::make_unique<Event[]>(slabEvents));
+        Event *slab = _slabs.back().get();
+        for (size_t i = slabEvents; i-- > 0;) {
+            slab[i].next = _freeList;
+            _freeList = &slab[i];
+        }
+        _arenaCapacity += slabEvents;
+    }
+
+    // --- structure maintenance ---
+
+    void
+    enqueue(Event *e)
+    {
+        ++_numNodes;
+        if (e->when == _curTick)
+            pushNow(e);
+        else if (e->when - _curTick < wheelBuckets)
+            pushWheel(e);
+        else
+            pushFar(e);
+    }
+
+    void
+    pushNow(Event *e)
+    {
+        _now.push_back(e);
+        std::push_heap(_now.begin(), _now.end(), later);
+    }
+
+    void
+    popNow()
+    {
+        std::pop_heap(_now.begin(), _now.end(), later);
+        _now.pop_back();
+        --_numNodes;
+    }
+
+    void
+    pushWheel(Event *e)
+    {
+        size_t idx = static_cast<size_t>(e->when) & (wheelBuckets - 1);
+        Bucket &b = _wheel[idx];
+        sf_assert(!b.head || b.head->when == e->when,
+                  "calendar bucket tick clash");
+        if (!b.head) {
+            b.head = b.tail = e;
+            _occupied[idx >> 6] |= 1ull << (idx & 63);
+        } else {
+            b.tail->next = e;
+            b.tail = e;
+        }
+        ++_wheelCount;
+    }
+
+    void
+    pushFar(Event *e)
+    {
+        _far.push_back(e);
+        std::push_heap(_far.begin(), _far.end(), later);
+    }
+
+    /** Earliest tick queued outside the now-heap; maxTick when none. */
+    Tick
+    peekOutsideTick() const
+    {
+        Tick t = _far.empty() ? maxTick : _far.front()->when;
+        if (_wheelCount > 0)
+            t = std::min(t, wheelFrontTick());
+        return t;
+    }
+
+    /**
+     * Earliest occupied wheel tick. All wheel events lie in
+     * (curTick, curTick + wheelBuckets), so circular bucket order
+     * starting after curTick IS tick order; the occupancy bitmap
+     * skips 64 empty buckets per word.
+     */
+    Tick
+    wheelFrontTick() const
+    {
+        constexpr size_t words = wheelBuckets >> 6;
+        size_t start =
+            (static_cast<size_t>(_curTick) + 1) & (wheelBuckets - 1);
+        size_t w = start >> 6;
+        uint64_t word = _occupied[w] & (~0ull << (start & 63));
+        for (size_t i = 0; i <= words; ++i) {
+            if (word) {
+                size_t idx = (w << 6) +
+                             static_cast<size_t>(__builtin_ctzll(word));
+                return _wheel[idx].head->when;
+            }
+            w = (w + 1) & (words - 1);
+            word = _occupied[w];
+        }
+        sf_assert(false, "wheel count nonzero but no occupied bucket");
+        return maxTick;
+    }
+
+    /** Move every event queued for tick @p t into the now-heap. */
+    void
+    collectTick(Tick t)
+    {
+        if (_wheelCount > 0) {
+            size_t idx = static_cast<size_t>(t) & (wheelBuckets - 1);
+            Bucket &b = _wheel[idx];
+            if (b.head && b.head->when == t) {
+                Event *e = b.head;
+                b.head = b.tail = nullptr;
+                _occupied[idx >> 6] &= ~(1ull << (idx & 63));
+                while (e) {
+                    Event *nxt = e->next;
+                    e->next = nullptr;
+                    --_wheelCount;
+                    _now.push_back(e);
+                    std::push_heap(_now.begin(), _now.end(), later);
+                    e = nxt;
+                }
+            }
+        }
+        while (!_far.empty() && _far.front()->when == t) {
+            Event *e = _far.front();
+            std::pop_heap(_far.begin(), _far.end(), later);
+            _far.pop_back();
+            pushNow(e);
+        }
+    }
+
+    /**
+     * The globally next event (still queued in the now-heap), or null.
+     * Hot path: while draining the current tick this is one compare;
+     * the bitmap scan only runs on tick advancement.
+     */
+    Event *
+    next()
+    {
+        Tick now_tick = _now.empty() ? maxTick : _now.front()->when;
+        if (now_tick == _curTick)
+            return _now.front();
+        Tick out_tick = peekOutsideTick();
+        if (now_tick <= out_tick)
+            return now_tick == maxTick ? nullptr : _now.front();
+        // out_tick was minimal, so after collecting it the now-heap
+        // front is the global minimum: no rescan needed.
+        collectTick(out_tick);
+        return _now.front();
+    }
+
+    bool
+    isDead(const Event *e) const
+    {
+        return e->cancelled ||
+               (!_cancelled.empty() &&
+                _cancelled.find(e->seq) != _cancelled.end());
+    }
+
+    /** Recycle a popped tombstone (accounting already settled). */
+    void
+    discard(Event *e)
+    {
+        if (!e->cancelled)
+            _cancelled.erase(e->seq);
+        freeEvent(e);
+    }
+
+    /** Run a popped live event. */
+    void
+    execute(Event *e)
+    {
+        if (e->rec) {
+            runRecurring(e);
+        } else {
+            // Free the node before the callback so the handler's own
+            // schedules can reuse it, and so a throwing handler (fatal
+            // paths) leaves the queue consistent.
+            Handler fn = std::move(e->fn);
+            freeEvent(e);
+            fn();
+        }
+    }
+
+    void runRecurring(Event *e); // defined after RecurringEvent
+
+    /**
+     * Physically remove every cancelled node and drop the whole
+     * tombstone set — including ids that matched no queued node
+     * (descheduled after their event already fired), which previously
+     * accumulated forever in long runs.
+     */
+    void
+    compact()
+    {
+        ++_compactions;
+        auto dead = [this](Event *e) {
+            return e->cancelled ||
+                   _cancelled.find(e->seq) != _cancelled.end();
+        };
+        for (auto *vp : {&_now, &_far}) {
+            auto &v = *vp;
+            size_t kept = 0;
+            for (Event *e : v) {
+                if (dead(e)) {
+                    freeEvent(e);
+                    --_numNodes;
+                } else {
+                    v[kept++] = e;
+                }
+            }
+            v.resize(kept);
+            std::make_heap(v.begin(), v.end(), later);
+        }
+        if (_wheelCount > 0) {
+            for (size_t idx = 0; idx < wheelBuckets; ++idx) {
+                Bucket &b = _wheel[idx];
+                if (!b.head)
+                    continue;
+                Event *e = b.head;
+                b.head = b.tail = nullptr;
+                _occupied[idx >> 6] &= ~(1ull << (idx & 63));
+                while (e) {
+                    Event *nxt = e->next;
+                    e->next = nullptr;
+                    --_wheelCount;
+                    --_numNodes;
+                    if (dead(e)) {
+                        freeEvent(e);
+                    } else {
+                        ++_numNodes;
+                        pushWheel(e);
+                    }
+                    e = nxt;
+                }
+            }
+        }
+        _cancelled.clear();
+    }
+
+    std::array<Bucket, wheelBuckets> _wheel;
+    std::array<uint64_t, wheelBuckets / 64> _occupied{};
+    uint64_t _wheelCount = 0;
+    /** Far-future events, min-heap by (when, prio, seq). */
+    std::vector<Event *> _far;
+    /** Events of the tick being drained, same ordering. */
+    std::vector<Event *> _now;
+    /** Ids of descheduled one-shot events, skipped when popped. */
     std::unordered_set<EventId> _cancelled;
+
+    std::vector<std::unique_ptr<Event[]>> _slabs;
+    Event *_freeList = nullptr;
+    uint64_t _arenaCapacity = 0;
+
     Tick _curTick = 0;
     EventId _nextSeq = 0;
     uint64_t _numPending = 0;
+    /** Queued nodes including tombstones (arena accounting). */
+    uint64_t _numNodes = 0;
     uint64_t _numExecuted = 0;
+    uint64_t _compactions = 0;
 };
+
+/**
+ * A fixed-period event that owns its callback once and re-queues its
+ * arena node every period — the watchdog / checker / sampler / issue-
+ * pump pattern, with no per-period closure rebuild and an O(1) stop().
+ *
+ * start()/stop() may be called freely, including from inside the
+ * callback itself; stop() tombstones the queued node in place.
+ */
+class RecurringEvent
+{
+  public:
+    explicit RecurringEvent(EventQueue &eq) : _eq(eq) {}
+
+    ~RecurringEvent() { stop(); }
+
+    RecurringEvent(const RecurringEvent &) = delete;
+    RecurringEvent &operator=(const RecurringEvent &) = delete;
+
+    /**
+     * Arm with @p period; the first firing happens @p firstDelay
+     * ticks from now (one period when 0).
+     */
+    void
+    start(Cycles period, EventQueue::Handler fn,
+          EventPriority prio = EventPriority::Default,
+          Cycles firstDelay = 0)
+    {
+        sf_assert(!_running, "recurring event started twice");
+        sf_assert(period > 0, "recurring event needs a nonzero period");
+        _period = period;
+        _prio = static_cast<int32_t>(prio);
+        _fn = std::move(fn);
+        _running = true;
+        EventQueue::Event *e = _eq.allocEvent();
+        e->when = _eq._curTick + (firstDelay ? firstDelay : period);
+        e->prio = _prio;
+        e->seq = _eq._nextSeq++;
+        e->rec = this;
+        _eq.enqueue(e);
+        ++_eq._numPending;
+        _node = e;
+    }
+
+    /** Cancel the queued firing; safe to call repeatedly. */
+    void
+    stop()
+    {
+        if (!_running)
+            return;
+        _running = false;
+        if (_node) {
+            _node->cancelled = true;
+            _node->rec = nullptr;
+            _node = nullptr;
+            sf_assert(_eq._numPending > 0,
+                      "stopping recurring event with no pending events");
+            --_eq._numPending;
+        }
+        // else: stopped from inside the callback; the queue frees the
+        // node when the callback returns.
+    }
+
+    bool running() const { return _running; }
+    Cycles period() const { return _period; }
+
+  private:
+    friend class EventQueue;
+
+    EventQueue &_eq;
+    EventQueue::Handler _fn;
+    Cycles _period = 0;
+    int32_t _prio = 0;
+    /** Owned by the queue while scheduled; null while executing. */
+    EventQueue::Event *_node = nullptr;
+    bool _running = false;
+};
+
+inline void
+EventQueue::runRecurring(Event *e)
+{
+    RecurringEvent *rec = e->rec;
+    rec->_node = nullptr; // in flight: stop() must not touch the node
+    rec->_fn();
+    if (rec->_running) {
+        e->when = _curTick + rec->_period;
+        e->seq = _nextSeq++;
+        e->next = nullptr;
+        enqueue(e);
+        ++_numPending;
+        rec->_node = e;
+    } else {
+        freeEvent(e);
+    }
+}
 
 } // namespace sf
 

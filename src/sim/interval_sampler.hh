@@ -38,7 +38,8 @@ class IntervalSampler : public SimObject
     IntervalSampler(const std::string &name, EventQueue &eq,
                     Cycles interval)
         : SimObject(name, eq),
-          _interval(interval ? interval : 1)
+          _interval(interval ? interval : 1),
+          _tick(eq)
     {}
 
     /** Sample fn() directly every interval. */
@@ -72,11 +73,16 @@ class IntervalSampler : public SimObject
             p.prevNumer = p.numer();
             p.prevDenom = p.denom ? p.denom() : 0.0;
         }
-        scheduleNext();
+        _tick.start(_interval, [this]() { sampleOnce(); });
     }
 
-    /** Stop sampling; the pending event becomes a no-op. */
-    void stop() { _running = false; }
+    /** Stop sampling; the pending snapshot is cancelled in place. */
+    void
+    stop()
+    {
+        _running = false;
+        _tick.stop();
+    }
 
     Cycles interval() const { return _interval; }
     const std::vector<Tick> &ticks() const { return _ticks; }
@@ -91,12 +97,6 @@ class IntervalSampler : public SimObject
         double prevDenom;
         bool isRatio;
     };
-
-    void
-    scheduleNext()
-    {
-        scheduleIn(_interval, [this]() { sampleOnce(); });
-    }
 
     void
     sampleOnce()
@@ -120,7 +120,7 @@ class IntervalSampler : public SimObject
             }
             _series[i].values.push_back(v);
         }
-        scheduleNext();
+        // The recurring event re-queues itself for the next snapshot.
     }
 
     Cycles _interval;
@@ -128,6 +128,8 @@ class IntervalSampler : public SimObject
     std::vector<Probe> _probes;
     std::vector<Tick> _ticks;
     std::vector<Series> _series;
+    /** Fixed-period snapshot; requeues its own node each interval. */
+    RecurringEvent _tick;
 };
 
 } // namespace stats

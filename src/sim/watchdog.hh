@@ -39,7 +39,7 @@ class Watchdog
     using Probe = std::function<uint64_t()>;
 
     Watchdog(EventQueue &eq, Cycles interval)
-        : _eq(eq), _interval(interval ? interval : 1)
+        : _eq(eq), _interval(interval ? interval : 1), _tick(eq)
     {}
 
     ~Watchdog() { stop(); }
@@ -60,7 +60,9 @@ class Watchdog
         _lastProgress = _eq.curTick();
         for (auto &p : _probes)
             p.last = p.fn();
-        arm();
+        // Low priority (Stat) so a check at tick T observes everything
+        // that happened at T first.
+        _tick.start(_interval, [this] { check(); }, EventPriority::Stat);
     }
 
     /** Cancel the pending check; safe to call repeatedly. */
@@ -68,10 +70,7 @@ class Watchdog
     stop()
     {
         _running = false;
-        if (_armed) {
-            _armed = false;
-            _eq.deschedule(_pending);
-        }
+        _tick.stop();
     }
 
     bool running() const { return _running; }
@@ -103,19 +102,8 @@ class Watchdog
     };
 
     void
-    arm()
-    {
-        // Low priority (Stat) so a check at tick T observes everything
-        // that happened at T first.
-        _pending = _eq.schedule(_eq.curTick() + _interval,
-                                [this] { check(); }, EventPriority::Stat);
-        _armed = true;
-    }
-
-    void
     check()
     {
-        _armed = false;
         if (!_running)
             return;
         bool progressed = false;
@@ -127,8 +115,8 @@ class Watchdog
             }
         }
         if (progressed) {
+            // The recurring event re-queues itself for the next check.
             _lastProgress = _eq.curTick();
-            arm();
             return;
         }
         fatalCode(ExitCode::WatchdogTimeout,
@@ -144,10 +132,9 @@ class Watchdog
     Cycles _interval;
     std::vector<ProbeEntry> _probes;
     bool _running = false;
-    /** True while a check event is scheduled and not yet fired. */
-    bool _armed = false;
     Tick _lastProgress = 0;
-    EventQueue::EventId _pending = 0;
+    /** Fixed-period check; requeues its own node, no closure rebuild. */
+    RecurringEvent _tick;
 };
 
 } // namespace sf

@@ -58,10 +58,22 @@ struct SimResults
     energy::EnergyBreakdown energy;
     double energyNj = 0.0;
 
+    // Host-side throughput (simulator speed, not simulated speed;
+    // nondeterministic — never part of byte-compared outputs).
+    double hostSeconds = 0.0;
+    uint64_t eventsExecuted = 0;
+
     double
     ipc() const
     {
         return cycles ? double(committedOps) / double(cycles) : 0.0;
+    }
+
+    double
+    eventsPerHostSec() const
+    {
+        return hostSeconds > 0.0 ? double(eventsExecuted) / hostSeconds
+                                 : 0.0;
     }
 };
 

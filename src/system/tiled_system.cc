@@ -1,6 +1,7 @@
 #include "system/tiled_system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <unordered_map>
@@ -223,6 +224,7 @@ TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
         _watchdog->start();
 
     bool hit_limit = false;
+    auto host_start = std::chrono::steady_clock::now();
     while (_coresDone < _cfg.numTiles()) {
         if (_eq.empty()) {
             panic("deadlock: %d/%d cores done, no pending events",
@@ -236,6 +238,9 @@ TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
         }
         _eq.step();
     }
+    _hostSeconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - host_start)
+                       .count();
 
     if (_watchdog)
         _watchdog->stop();
@@ -556,9 +561,9 @@ TiledSystem::registerDiagnostics()
 void
 TiledSystem::drainAndCheck()
 {
-    // Let in-flight evictions, stream ends and the sampler's final
-    // no-op event complete. Residual streams re-arm their own scans,
-    // so bound the drain instead of insisting on an empty queue.
+    // Let in-flight evictions and stream ends complete. Residual
+    // streams re-arm their own scans, so bound the drain instead of
+    // insisting on an empty queue.
     Tick limit = _eq.curTick() + 1'000'000 + _cfg.samplingInterval;
     while (!_eq.empty() && _eq.curTick() < limit)
         _eq.step();
@@ -723,6 +728,31 @@ TiledSystem::buildStatRegistry(stats::StatRegistry &reg) const
         _faults->regStats(reg.group("faults"));
     if (_checker)
         _checker->regStats(reg.group("checker"));
+
+    stats::StatGroup &eg = reg.group("sim.eventq");
+    const EventQueue *eq = &_eq;
+    eg.regFormula("executed",
+                  [eq]() { return double(eq->numExecuted()); });
+    eg.regFormula("pending", [eq]() { return double(eq->numPending()); });
+    eg.regFormula("tombstones",
+                  [eq]() { return double(eq->tombstones()); });
+    eg.regFormula("compactions",
+                  [eq]() { return double(eq->compactions()); });
+    eg.regFormula("arenaCapacity",
+                  [eq]() { return double(eq->arenaCapacity()); });
+
+    // Host throughput is wall-clock, hence nondeterministic; off by
+    // default so stat dumps stay byte-comparable (opt in via
+    // includeHostStats).
+    if (_hostStatsInJson) {
+        stats::StatGroup &hg = reg.group("host");
+        hg.regFormula("seconds", [this]() { return _hostSeconds; });
+        hg.regFormula("eventsPerSec", [this, eq]() {
+            return _hostSeconds > 0.0
+                       ? double(eq->numExecuted()) / _hostSeconds
+                       : 0.0;
+        });
+    }
 
     stats::StatGroup &mg = reg.group("mesh");
     const noc::Mesh *mesh = _mesh.get();
@@ -936,6 +966,9 @@ TiledSystem::collect(bool hit_limit)
     ev.streamHardware = machineUsesStreams(_cfg.machine);
     r.energy = energy::computeEnergy(ev);
     r.energyNj = r.energy.total();
+
+    r.hostSeconds = _hostSeconds;
+    r.eventsExecuted = _eq.numExecuted();
     return r;
 }
 

@@ -96,6 +96,18 @@ class TiledSystem
     /** Null unless message-level fault injection is configured. */
     FaultInjector *faultInjector() { return _faults.get(); }
 
+    /** Host wall-clock seconds spent in the last run()'s event loop. */
+    double hostSeconds() const { return _hostSeconds; }
+
+    /**
+     * Include the nondeterministic `host` stat group (wall-clock and
+     * events/sec) in dumps. Off by default: stats.json is part of the
+     * determinism contract (repeated runs byte-compare, the sweep
+     * merges per-point dumps), so wall-clock numbers only appear when
+     * a consumer opts in (SimResults always carries them regardless).
+     */
+    void includeHostStats(bool on) { _hostStatsInJson = on; }
+
   private:
     void buildTiles();
     void dispatch(TileId tile, const noc::MsgPtr &msg);
@@ -151,6 +163,8 @@ class TiledSystem
     std::vector<int> _diagHooks;
 
     int _coresDone = 0;
+    double _hostSeconds = 0.0;
+    bool _hostStatsInJson = false;
 };
 
 } // namespace sys

@@ -135,6 +135,237 @@ TEST(EventQueue, NumExecutedCounts)
     EXPECT_EQ(eq.numExecuted(), 7u);
 }
 
+// --- two-level kernel: calendar wheel / far-heap interaction ---
+
+/** Delays straddling the wheel horizon still execute in time order. */
+TEST(EventQueue, WheelFarBoundaryKeepsTimeOrder)
+{
+    EventQueue eq;
+    std::vector<Tick> order;
+    auto note = [&]() { order.push_back(eq.curTick()); };
+    // Around the horizon: last wheel bucket, first far tick, and both
+    // neighbours, scheduled out of order.
+    const Tick h = EventQueue::wheelBuckets;
+    for (Tick t : {h + 1, h - 1, h, h + 7, Tick(1), h - 2})
+        eq.schedule(t, note);
+    eq.run();
+    EXPECT_EQ(order,
+              (std::vector<Tick>{1, h - 2, h - 1, h, h + 1, h + 7}));
+}
+
+/**
+ * The same tick can be queued in the wheel AND the far heap at once
+ * (a far-scheduled event whose tick later re-enters the wheel window):
+ * both must drain at that tick in (priority, insertion) order.
+ */
+TEST(EventQueue, SameTickInWheelAndFarHeap)
+{
+    EventQueue eq;
+    const Tick target = EventQueue::wheelBuckets + 2000;
+    std::vector<int> order;
+    // Beyond the horizon at schedule time: goes to the far heap.
+    eq.schedule(target, [&]() { order.push_back(0); });
+    // By tick 5000 the target is inside the wheel window, so this
+    // second event for the same tick lands in a wheel bucket.
+    eq.schedule(5000, [&]() {
+        eq.schedule(target, [&]() { order.push_back(1); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eq.curTick(), target);
+}
+
+/** Far-future events many wheel revolutions out stay ordered. */
+TEST(EventQueue, FarEventsAcrossManyWheelTurns)
+{
+    EventQueue eq;
+    std::vector<Tick> order;
+    auto note = [&]() { order.push_back(eq.curTick()); };
+    const Tick h = EventQueue::wheelBuckets;
+    std::vector<Tick> when = {7 * h + 3, 2 * h, 5 * h + 1, h / 2};
+    for (Tick t : when)
+        eq.schedule(t, note);
+    eq.run();
+    std::sort(when.begin(), when.end());
+    EXPECT_EQ(order, when);
+}
+
+// --- slab arena ---
+
+/**
+ * A million schedule/execute cycles must recycle nodes instead of
+ * growing the arena: with a handful of events in flight the arena
+ * never needs more than its first slab.
+ */
+TEST(EventQueue, ArenaReusesNodesOverMillionEvents)
+{
+    EventQueue eq;
+    uint64_t remaining = 1'000'000;
+    std::function<void()> tick = [&]() {
+        if (--remaining > 0)
+            eq.scheduleIn(1, tick);
+    };
+    eq.schedule(1, tick);
+    eq.run();
+    EXPECT_EQ(remaining, 0u);
+    EXPECT_EQ(eq.numExecuted(), 1'000'000u);
+    EXPECT_LE(eq.arenaCapacity(), 512u);
+    EXPECT_EQ(eq.arenaInUse(), 0u);
+}
+
+/** Deschedule/reschedule churn recycles nodes through the free list. */
+TEST(EventQueue, ArenaReusesCancelledNodes)
+{
+    EventQueue eq;
+    for (int round = 0; round < 100'000; ++round) {
+        auto id = eq.schedule(Tick(round + 10), []() {});
+        eq.deschedule(id);
+    }
+    EXPECT_TRUE(eq.empty());
+    EXPECT_LE(eq.arenaCapacity(), 1024u);
+    eq.run();
+    EXPECT_EQ(eq.numExecuted(), 0u);
+}
+
+// --- tombstone compaction ---
+
+TEST(EventQueue, TombstonesCompactPastThreshold)
+{
+    EventQueue eq;
+    const size_t n = EventQueue::tombstoneCompactionThreshold + 100;
+    std::vector<EventQueue::EventId> ids;
+    int ran = 0;
+    for (size_t i = 0; i < n; ++i)
+        ids.push_back(
+            eq.schedule(Tick(1000 + i), [&]() { ++ran; }));
+    // A survivor among the tombstones, plus one beyond the horizon so
+    // the compaction walks the far heap too.
+    eq.schedule(1500, [&]() { ++ran; });
+    eq.schedule(Tick(EventQueue::wheelBuckets + 5000), [&]() { ++ran; });
+    for (auto id : ids)
+        eq.deschedule(id);
+    // Crossing the threshold compacted once: the first 1024 dead
+    // nodes are physically gone; the 100 descheduled afterwards are
+    // lazy tombstones still queued.
+    EXPECT_EQ(eq.compactions(), 1u);
+    EXPECT_EQ(eq.tombstones(),
+              n - EventQueue::tombstoneCompactionThreshold);
+    EXPECT_EQ(eq.numPending(), 2u);
+    EXPECT_EQ(eq.arenaInUse(),
+              2u + n - EventQueue::tombstoneCompactionThreshold);
+    eq.run();
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(eq.arenaInUse(), 0u);
+}
+
+TEST(EventQueue, CancelledEventsDiscardedBeyondRunLimit)
+{
+    EventQueue eq;
+    auto id = eq.schedule(100, []() {});
+    eq.deschedule(id);
+    eq.run(50);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.arenaInUse(), 0u);
+    EXPECT_EQ(eq.curTick(), 0u);
+}
+
+// --- recurring events ---
+
+TEST(RecurringEvent, FiresEveryPeriodUntilStopped)
+{
+    EventQueue eq;
+    RecurringEvent rec(eq);
+    std::vector<Tick> fired;
+    rec.start(10, [&]() {
+        fired.push_back(eq.curTick());
+        if (fired.size() == 4)
+            rec.stop();
+    });
+    EXPECT_TRUE(rec.running());
+    eq.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20, 30, 40}));
+    EXPECT_FALSE(rec.running());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(RecurringEvent, FirstDelayOverridesFirstPeriod)
+{
+    EventQueue eq;
+    RecurringEvent rec(eq);
+    std::vector<Tick> fired;
+    rec.start(100, [&]() {
+        fired.push_back(eq.curTick());
+        if (fired.size() == 2)
+            rec.stop();
+    }, EventPriority::Default, /*firstDelay=*/3);
+    eq.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{3, 103}));
+}
+
+/** stop() while queued cancels in place and empties the queue. */
+TEST(RecurringEvent, StopWhileQueuedCancelsCleanly)
+{
+    EventQueue eq;
+    RecurringEvent rec(eq);
+    int fired = 0;
+    rec.start(10, [&]() { ++fired; });
+    EXPECT_EQ(eq.numPending(), 1u);
+    rec.stop();
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.curTick(), 0u);
+}
+
+TEST(RecurringEvent, RestartAfterStop)
+{
+    EventQueue eq;
+    RecurringEvent rec(eq);
+    std::vector<Tick> fired;
+    rec.start(5, [&]() {
+        fired.push_back(eq.curTick());
+        rec.stop();
+    });
+    eq.run();
+    rec.start(7, [&]() {
+        fired.push_back(eq.curTick());
+        rec.stop();
+    });
+    eq.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{5, 12}));
+}
+
+/** Same-tick ordering applies to recurring firings too. */
+TEST(RecurringEvent, HonorsPriorityAgainstOneShots)
+{
+    EventQueue eq;
+    RecurringEvent rec(eq);
+    std::vector<int> order;
+    rec.start(10, [&]() {
+        order.push_back(1);
+        rec.stop();
+    }, EventPriority::ClockTick);
+    eq.schedule(10, [&]() { order.push_back(0); },
+                EventPriority::Delivery);
+    eq.schedule(10, [&]() { order.push_back(2); }, EventPriority::Stat);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+/** A destructor while queued must not leave a pending count behind. */
+TEST(RecurringEvent, DestructorCancelsQueuedFiring)
+{
+    EventQueue eq;
+    int fired = 0;
+    {
+        RecurringEvent rec(eq);
+        rec.start(10, [&]() { ++fired; });
+    }
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
 /** Determinism: two identical schedules produce identical traces. */
 TEST(EventQueue, DeterministicAcrossInstances)
 {

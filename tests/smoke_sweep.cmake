@@ -1,0 +1,68 @@
+# Smoke test for the parallel sweep runner: the merged deterministic
+# report must be byte-identical between a serial (-j 1) and a parallel
+# (-j 4) run of the same grid, proving the merge is independent of job
+# count and completion order.
+#
+# Invoked by ctest as:
+#   cmake -DSWEEP=<exe> -DOUT_DIR=<dir> -P smoke_sweep.cmake
+
+if(NOT SWEEP OR NOT OUT_DIR)
+    message(FATAL_ERROR "SWEEP and OUT_DIR must be set")
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+set(grid
+    --cores=2x2 --scale=0.01 --workloads=mv,pathfinder
+    --cpus=io4 --machines=Base,SF)
+
+foreach(jobs 1 4)
+    execute_process(
+        COMMAND "${SWEEP}" ${grid} -j ${jobs}
+                "--out=${OUT_DIR}/j${jobs}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "sweep -j ${jobs} failed (rc=${rc}): "
+                            "${out}\n${err}")
+    endif()
+endforeach()
+
+foreach(f "BENCH_sweep.det.json" "BENCH_sweep.json")
+    foreach(jobs 1 4)
+        if(NOT EXISTS "${OUT_DIR}/j${jobs}/${f}")
+            message(FATAL_ERROR "missing artifact: ${OUT_DIR}/j${jobs}/${f}")
+        endif()
+    endforeach()
+endforeach()
+
+# The determinism contract: byte identity, not structural similarity.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/j1/BENCH_sweep.det.json"
+            "${OUT_DIR}/j4/BENCH_sweep.det.json"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "BENCH_sweep.det.json differs between -j 1 and "
+                        "-j 4: the merge is order-dependent")
+endif()
+
+# Sanity on the companion file: host section present and well formed.
+file(READ "${OUT_DIR}/j4/BENCH_sweep.json" full)
+string(JSON jobs GET "${full}" host jobs)
+if(NOT jobs EQUAL 4)
+    message(FATAL_ERROR "host.jobs is ${jobs}, expected 4")
+endif()
+string(JSON wall GET "${full}" host wallSeconds)
+if(wall LESS_EQUAL 0)
+    message(FATAL_ERROR "host.wallSeconds not positive: ${wall}")
+endif()
+# ...and absent from the deterministic file.
+file(READ "${OUT_DIR}/j1/BENCH_sweep.det.json" det)
+if(det MATCHES "wallSeconds")
+    message(FATAL_ERROR "deterministic report leaked host timing")
+endif()
+
+message(STATUS "sweep smoke test passed: -j 1 and -j 4 byte-identical")

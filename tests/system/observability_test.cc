@@ -71,6 +71,43 @@ TEST(StatsJson, SchemaAndResultsMatchSimResults)
     EXPECT_EQ(res.at("l3RequestsByClass").array.size(), 5u);
 }
 
+TEST(StatsJson, EventQueueGroupAndHostStatsOptIn)
+{
+    SystemConfig cfg =
+        SystemConfig::make(Machine::Base, cpu::CoreConfig::io4(), 2, 2);
+    TiledSystem sys(cfg);
+    workload::WorkloadParams wp;
+    wp.numThreads = cfg.numTiles();
+    wp.scale = 0.01;
+    auto wl = workload::makeWorkload("mv", wp);
+    wl->init(sys.addressSpace());
+    SimResults r = sys.run(wl->makeAllThreads());
+
+    // The kernel's counters ride along in every dump.
+    std::ostringstream off;
+    sys.dumpStatsJson(off, r);
+    auto j = test_json::parse(off.str());
+    const auto &eq = j.at("groups").at("sim.eventq");
+    EXPECT_GE(eq.at("executed").number, double(r.eventsExecuted));
+    EXPECT_GT(eq.at("executed").number, 0.0);
+    EXPECT_GE(eq.at("arenaCapacity").number, 512.0);
+    EXPECT_GE(eq.at("compactions").number, 0.0);
+
+    // Host timing is measured on every run but, being wall-clock and
+    // hence nondeterministic, only enters the dump on opt-in.
+    EXPECT_GT(r.hostSeconds, 0.0);
+    EXPECT_GT(r.eventsPerHostSec(), 0.0);
+    EXPECT_EQ(off.str().find("\"host\""), std::string::npos);
+
+    sys.includeHostStats(true);
+    std::ostringstream on;
+    sys.dumpStatsJson(on, r);
+    auto j2 = test_json::parse(on.str());
+    EXPECT_NEAR(j2.at("groups").at("host").at("seconds").number,
+                r.hostSeconds, 1e-9);
+    EXPECT_GT(j2.at("groups").at("host").at("eventsPerSec").number, 0.0);
+}
+
 TEST(StatsJson, GroupTotalsMatchAggregates)
 {
     RunOutput out = runWithJson(Machine::SF, "pathfinder", 0);
