@@ -22,6 +22,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +31,7 @@
 
 #include "sim/stream_trace.hh"
 #include "system/tiled_system.hh"
+#include "verify/oracle.hh"
 #include "workload/workload.hh"
 
 namespace sf {
@@ -68,6 +70,13 @@ struct BenchOptions
     FaultConfig faults;
     /** Watchdog interval override; ~0 keeps the config default. */
     Tick watchdogCycles = ~0ULL;
+    /**
+     * Run the functional reference executor alongside every sim and
+     * diff the final memory image + stream trip counts (exit 67 on
+     * divergence). SF_VERIFY_BUG selects a protocol-bug injection for
+     * the oracle's own negative tests.
+     */
+    bool verify = false;
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -102,12 +111,14 @@ struct BenchOptions
             } else if (arg == "--full") {
                 o.nx = o.ny = 8;
                 o.scale = 0.25;
+            } else if (arg == "--verify") {
+                o.verify = true;
             } else if (arg == "--help") {
                 std::printf(
                     "options: --cores=NxN --scale=S "
                     "--workloads=a,b,c --full --stats-json=DIR "
                     "--sample-interval=N --check=off|basic|full "
-                    "--faults=SPEC --watchdog-cycles=N\n");
+                    "--faults=SPEC --watchdog-cycles=N --verify\n");
                 std::exit(0);
             }
         }
@@ -148,6 +159,9 @@ runSim(sys::Machine machine, const cpu::CoreConfig &core,
     cfg.faults = opt.faults;
     if (opt.watchdogCycles != ~0ULL)
         cfg.watchdogCycles = opt.watchdogCycles;
+    cfg.verify = opt.verify;
+    if (const char *bug = std::getenv("SF_VERIFY_BUG"))
+        cfg.verifyBug = bug;
     sys::TiledSystem system(cfg);
 
     auto &tracer = trace::StreamLifecycleTracer::instance();
@@ -160,6 +174,21 @@ runSim(sys::Machine machine, const cpu::CoreConfig &core,
     auto wl = workload::makeWorkload(wl_name, wp);
     wl->init(system.addressSpace());
     sys::SimResults r = system.run(wl->makeAllThreads());
+
+    if (opt.verify) {
+        // Replay the same program functionally on fresh op sources and
+        // diff the end-of-run architectural state.
+        auto ref_threads = wl->makeAllThreads();
+        std::vector<isa::OpSource *> srcs;
+        for (auto &t : ref_threads)
+            srcs.push_back(t.get());
+        verify::RefResult golden =
+            verify::runReference(system.addressSpace(), srcs);
+        verify::checkOrDie(*system.verifyPlane(), golden,
+                           system.addressSpace(), wl->verifyRegions(),
+                           wl_name + " on " +
+                               sys::machineName(machine));
+    }
 
     if (!opt.statsJsonDir.empty()) {
         std::filesystem::create_directories(opt.statsJsonDir);

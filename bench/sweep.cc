@@ -11,20 +11,39 @@
  * no matter how many jobs ran or in what order they finished; host
  * wall-clock numbers only appear in the companion `BENCH_sweep.json`.
  *
+ * Crash resilience: every child runs under a wall-clock deadline
+ * (`--point-timeout`, SIGKILL on expiry) and gets one bounded retry
+ * after a crash or timeout. Points that still fail are recorded as
+ * `"status": "failed"` entries in the merged report instead of
+ * aborting the whole sweep; when nothing fails the report bytes are
+ * unchanged. `--resume` skips any grid point whose per-point
+ * stats.json and host report already exist and parse, so an
+ * interrupted sweep finishes only the missing points.
+ *
  * Extra options on top of the common bench flags:
  *   -j N / --jobs=N      worker processes (default 1)
  *   --out=DIR            output directory (default sweep_out)
  *   --cpus=a,b           core-config subset: io4,ooo4,ooo8 (default all)
  *   --machines=a,b       machine subset: Base,Stride,Bingo,SS,SF
  *                        (default all five)
+ *   --point-timeout=S    per-point wall-clock limit in seconds
+ *                        (default 300; SIGKILL + retry on expiry)
+ *   --resume             skip points with valid existing results
+ *
+ * Test hooks (used by tests/smoke_sweep.cmake): a child whose point
+ * stem equals $SF_SWEEP_TEST_CRASH aborts, $SF_SWEEP_TEST_HANG spins
+ * forever, and $SF_SWEEP_TEST_FLAKY aborts on the first attempt only.
  */
 
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -41,6 +60,11 @@ struct SweepOptions
     BenchOptions bench;
     int jobs = 1;
     std::string outDir = "sweep_out";
+    /** Per-point wall-clock limit in seconds; expired children are
+     *  SIGKILLed and retried once. */
+    double pointTimeout = 300.0;
+    /** Skip points whose stats.json + host report already parse. */
+    bool resume = false;
     std::vector<std::string> cpus = {"io4", "ooo4", "ooo8"};
     std::vector<std::string> machines = {"Base", "Stride", "Bingo", "SS",
                                          "SF"};
@@ -72,10 +96,16 @@ parseSweep(int argc, char **argv)
             o.cpus = splitList(v);
         } else if (const char *v = val("--machines=")) {
             o.machines = splitList(v);
+        } else if (const char *v = val("--point-timeout=")) {
+            o.pointTimeout = std::atof(v);
+        } else if (arg == "--resume") {
+            o.resume = true;
         }
     }
     if (o.jobs < 1)
         o.jobs = 1;
+    if (o.pointTimeout <= 0)
+        o.pointTimeout = 300.0;
     return o;
 }
 
@@ -150,8 +180,20 @@ struct HostReport
 /** Run one point to completion; only ever called in a forked child. */
 int
 runPoint(const Point &p, const SweepOptions &o,
-         const std::string &points_dir)
+         const std::string &points_dir, int attempt)
 {
+    // Deterministic failure hooks so the sweep's own tests can force a
+    // crash, a hang, or a first-attempt-only crash on a chosen point.
+    if (const char *v = std::getenv("SF_SWEEP_TEST_CRASH"))
+        if (p.stem == v)
+            std::abort();
+    if (const char *v = std::getenv("SF_SWEEP_TEST_HANG"))
+        if (p.stem == v)
+            for (;;)
+                pause();
+    if (const char *v = std::getenv("SF_SWEEP_TEST_FLAKY"))
+        if (p.stem == v && attempt == 1)
+            std::abort();
     try {
         BenchOptions bo = o.bench;
         bo.statsJsonDir = points_dir;
@@ -190,6 +232,28 @@ readHostReport(const std::string &path, HostReport &h)
     return true;
 }
 
+/**
+ * A point's results are reusable under --resume when its stats.json
+ * looks like a complete JSON object (a SIGKILLed child leaves a
+ * truncated one) and its host report parses.
+ */
+bool
+pointComplete(const std::string &points_dir, const std::string &stem)
+{
+    std::ifstream in(points_dir + "/" + stem + ".stats.json");
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string s = ss.str();
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.pop_back();
+    if (s.empty() || s.front() != '{' || s.back() != '}')
+        return false;
+    HostReport h;
+    return readHostReport(points_dir + "/" + stem + ".host", h);
+}
+
 std::string
 slurp(const std::string &path)
 {
@@ -223,7 +287,8 @@ writeStringArray(std::ostream &os, const std::vector<std::string> &v)
 void
 writeDetSections(std::ostream &os, const SweepOptions &o,
                  const std::vector<Point> &points,
-                 const std::string &points_dir)
+                 const std::string &points_dir,
+                 const std::vector<char> &failed)
 {
     char buf[96];
     os << "{\n  \"schema\": \"sf-sweep-1\",\n";
@@ -242,9 +307,15 @@ writeDetSections(std::ostream &os, const SweepOptions &o,
         os << "    {\"id\": \"" << p.stem << "\", \"core\": \""
            << p.core.label << "\", \"machine\": \""
            << sys::machineName(p.machine) << "\", \"workload\": \""
-           << p.workload << "\",\n     \"stats\": "
-           << slurp(points_dir + "/" + p.stem + ".stats.json") << "}"
-           << (i + 1 < points.size() ? "," : "") << "\n";
+           << p.workload << "\",\n     ";
+        // Failed points carry a status marker instead of stats so the
+        // report stays byte-identical whenever nothing failed.
+        if (failed[i])
+            os << "\"status\": \"failed\"}";
+        else
+            os << "\"stats\": "
+               << slurp(points_dir + "/" + p.stem + ".stats.json") << "}";
+        os << (i + 1 < points.size() ? "," : "") << "\n";
     }
     os << "  ]";
 }
@@ -262,7 +333,17 @@ writeHostSection(std::ostream &os, const SweepOptions &o,
     std::snprintf(buf, sizeof(buf), "    \"jobs\": %d,\n", o.jobs);
     os << buf << "    \"points\": [\n";
     for (size_t i = 0; i < points.size(); ++i) {
-        const HostReport &h = hosts.at(points[i].stem);
+        auto it = hosts.find(points[i].stem);
+        if (it == hosts.end()) {
+            std::snprintf(buf, sizeof(buf),
+                          "      {\"id\": \"%s\", \"status\": "
+                          "\"failed\"}%s\n",
+                          points[i].stem.c_str(),
+                          i + 1 < points.size() ? "," : "");
+            os << buf;
+            continue;
+        }
+        const HostReport &h = it->second;
         total_sec += h.seconds;
         total_events += h.events;
         std::snprintf(buf, sizeof(buf),
@@ -286,6 +367,29 @@ writeHostSection(std::ostream &os, const SweepOptions &o,
     os << buf;
 }
 
+/** State of one forked worker, keyed by pid in the scheduler. */
+struct Child
+{
+    size_t idx;
+    int attempt;
+    std::chrono::steady_clock::time_point deadline;
+    bool killed = false;
+};
+
+/** SIGKILL and reap every remaining child before the parent exits. */
+void
+killAll(std::map<pid_t, Child> &running)
+{
+    for (const auto &kv : running)
+        kill(kv.first, SIGKILL);
+    for (const auto &kv : running) {
+        int status = 0;
+        while (waitpid(kv.first, &status, 0) < 0 && errno == EINTR) {
+        }
+    }
+    running.clear();
+}
+
 } // namespace
 
 int
@@ -303,80 +407,138 @@ main(int argc, char **argv)
 
     auto wall_start = std::chrono::steady_clock::now();
 
+    // Work queue in fixed grid order; crashed/timed-out points requeue
+    // once at the tail. --resume drops points whose results already
+    // parse, so an interrupted sweep only runs what is missing.
+    std::deque<size_t> queue;
+    std::vector<int> attempts(points.size(), 0);
+    std::vector<char> failed(points.size(), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (opt.resume && pointComplete(points_dir, points[i].stem)) {
+            std::printf("sweep: resume skip %s\n",
+                        points[i].stem.c_str());
+            continue;
+        }
+        queue.push_back(i);
+    }
+
     // Fork one child per point; up to `jobs` run concurrently. Every
     // point forks (even -j 1) so serial and parallel runs execute
-    // byte-identical code paths.
-    std::map<pid_t, size_t> running;
-    size_t next = 0;
+    // byte-identical code paths. Reaping polls with WNOHANG so the
+    // parent can enforce each child's wall-clock deadline.
+    std::map<pid_t, Child> running;
     int failures = 0;
-    while (next < points.size() || !running.empty()) {
-        while (running.size() < size_t(opt.jobs) &&
-               next < points.size()) {
+    const auto timeout = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(opt.pointTimeout));
+    while (!queue.empty() || !running.empty()) {
+        while (running.size() < size_t(opt.jobs) && !queue.empty()) {
+            size_t idx = queue.front();
+            queue.pop_front();
+            ++attempts[idx];
             std::fflush(stdout);
             std::fflush(stderr);
             pid_t pid = fork();
             if (pid < 0) {
                 std::perror("sweep: fork");
+                killAll(running);
                 return 1;
             }
             if (pid == 0) {
                 // In the child: run the point and leave immediately
                 // without flushing inherited stdio buffers twice.
-                std::_Exit(runPoint(points[next], opt, points_dir));
+                std::_Exit(runPoint(points[idx], opt, points_dir,
+                                    attempts[idx]));
             }
-            running[pid] = next;
-            ++next;
+            running[pid] = Child{idx, attempts[idx],
+                                 std::chrono::steady_clock::now() +
+                                     timeout,
+                                 false};
         }
         int status = 0;
-        pid_t done = waitpid(-1, &status, 0);
+        pid_t done = waitpid(-1, &status, WNOHANG);
         if (done < 0) {
+            if (errno == EINTR)
+                continue;
             std::perror("sweep: waitpid");
+            killAll(running);
             return 1;
+        }
+        if (done == 0) {
+            // Nothing exited: enforce deadlines, then poll again.
+            auto now = std::chrono::steady_clock::now();
+            for (auto &kv : running) {
+                if (!kv.second.killed && now >= kv.second.deadline) {
+                    kv.second.killed = true;
+                    kill(kv.first, SIGKILL);
+                    std::printf("sweep: timeout %s after %.0fs, "
+                                "killing\n",
+                                points[kv.second.idx].stem.c_str(),
+                                opt.pointTimeout);
+                }
+            }
+            usleep(20'000);
+            continue;
         }
         auto it = running.find(done);
         if (it == running.end())
             continue;
-        const Point &p = points[it->second];
-        bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
-        if (!ok) {
-            ++failures;
-            std::printf("sweep: FAILED %s (status %d)\n",
-                        p.stem.c_str(), status);
-        } else {
-            std::printf("sweep: done %s\n", p.stem.c_str());
-        }
+        Child c = it->second;
         running.erase(it);
+        const Point &p = points[c.idx];
+        bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (ok) {
+            std::printf("sweep: done %s\n", p.stem.c_str());
+            continue;
+        }
+        const char *why = c.killed             ? "timed out"
+                          : WIFSIGNALED(status) ? "crashed"
+                                                : "failed";
+        if (c.attempt < 2) {
+            std::printf("sweep: %s %s (status %d), retrying\n", why,
+                        p.stem.c_str(), status);
+            queue.push_back(c.idx);
+        } else {
+            ++failures;
+            failed[c.idx] = 1;
+            std::printf("sweep: FAILED %s (%s, status %d, "
+                        "%d attempts)\n",
+                        p.stem.c_str(), why, status, c.attempt);
+        }
     }
     double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
-    if (failures) {
-        std::printf("sweep: %d point(s) failed, no merge\n", failures);
-        return 1;
-    }
+    if (failures)
+        std::printf("sweep: %d point(s) failed after retry, recording "
+                    "in report\n", failures);
 
-    // Collect the host-side reports for the companion file.
+    // Collect the host-side reports for the companion file; failed
+    // points have none and get a status marker instead.
     std::map<std::string, HostReport> hosts;
-    for (const Point &p : points) {
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (failed[i])
+            continue;
         HostReport h;
-        if (!readHostReport(points_dir + "/" + p.stem + ".host", h)) {
+        if (!readHostReport(points_dir + "/" + points[i].stem + ".host",
+                            h)) {
             std::fprintf(stderr, "sweep: missing host report for %s\n",
-                         p.stem.c_str());
+                         points[i].stem.c_str());
             return 1;
         }
-        hosts[p.stem] = h;
+        hosts[points[i].stem] = h;
     }
 
     // Deterministic merge: fixed grid order, deterministic content.
     {
         std::ofstream det(opt.outDir + "/BENCH_sweep.det.json");
-        writeDetSections(det, opt, points, points_dir);
+        writeDetSections(det, opt, points, points_dir, failed);
         det << "\n}\n";
     }
     {
         std::ofstream full(opt.outDir + "/BENCH_sweep.json");
-        writeDetSections(full, opt, points, points_dir);
+        writeDetSections(full, opt, points, points_dir, failed);
         writeHostSection(full, opt, points, hosts, wall_seconds);
         full << "\n}\n";
     }

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Oracle acceptance suite: run every workload under the functional
+ * reference executor across the {in-order, out-of-order} x
+ * {no-float (SS), float (SF)} config matrix and diff the final
+ * architectural state against golden.
+ *
+ *   ./bench/verify_suite --cores=2x2 --scale=0.01
+ *
+ * Exits 0 when every point matches the reference; exits 67 with a
+ * first-divergence diagnostic on the first mismatch.
+ */
+
+#include "bench_util.hh"
+
+using namespace sf;
+
+int
+main(int argc, char **argv)
+try {
+    bench::BenchOptions opt = bench::BenchOptions::parse(argc, argv);
+    opt.verify = true;
+
+    const struct {
+        const char *name;
+        cpu::CoreConfig core;
+    } cpus[] = {
+        { "io4", cpu::CoreConfig::io4() },
+        { "ooo4", cpu::CoreConfig::ooo4() },
+    };
+    const sys::Machine machines[] = { sys::Machine::SS, sys::Machine::SF };
+
+    int points = 0;
+    for (const auto &wl : opt.workloads) {
+        for (const auto &cpu : cpus) {
+            for (sys::Machine m : machines) {
+                bench::runSim(m, cpu.core, wl, opt);
+                std::printf("verify ok: %-12s %-5s %s\n", wl.c_str(),
+                            cpu.name, sys::machineName(m));
+                std::fflush(stdout);
+                ++points;
+            }
+        }
+    }
+    std::printf("verify suite passed: %d points matched the "
+                "reference executor\n", points);
+    return 0;
+} catch (const FatalError &e) {
+    // The divergence diagnostic already went to stderr via fatal();
+    // surface the distinct exit code (verify divergence 67).
+    return e.exitStatus();
+}

@@ -7,6 +7,7 @@
  *
  * Usage: quickstart [workload] [scale] [--stats-json=DIR] [--trace=FILE]
  *                   [--check=LVL] [--faults=SPEC] [--watchdog-cycles=N]
+ *                   [--verify]
  *
  *   --stats-json=DIR  write one schema-versioned stats.json per machine
  *                     (with interval time series) into DIR
@@ -17,9 +18,13 @@
  *   --faults=SPEC     deterministic fault injection, e.g.
  *                     "seed:7,dropfloat:0.2,delay:0.1" (see fault.hh)
  *   --watchdog-cycles=N  forward-progress watchdog interval (0 = off)
+ *   --verify          run the functional reference executor after each
+ *                     sim and diff the final memory image (exit 67 on
+ *                     divergence; SF_VERIFY_BUG injects protocol bugs)
  *
  * Exits with the FatalError exit code on watchdog timeouts (64),
- * invariant violations (65) and drain failures (66).
+ * invariant violations (65), drain failures (66) and verify
+ * divergences (67).
  *
  * Set SF_DEBUG_FLAGS (e.g. StreamFloat,SEL3) to watch components live.
  */
@@ -31,8 +36,11 @@
 #include <fstream>
 #include <string>
 
+#include <vector>
+
 #include "sim/stream_trace.hh"
 #include "system/tiled_system.hh"
+#include "verify/oracle.hh"
 #include "workload/workload.hh"
 
 using namespace sf;
@@ -45,6 +53,7 @@ struct RobustnessOptions
     CheckLevel check = CheckLevel::Off;
     FaultConfig faults;
     Tick watchdogCycles = ~0ULL; //!< ~0 = keep the config default
+    bool verify = false;
 };
 
 sys::SimResults
@@ -59,6 +68,9 @@ runOne(sys::Machine machine, const std::string &wl_name, double scale,
     cfg.faults = rob.faults;
     if (rob.watchdogCycles != ~0ULL)
         cfg.watchdogCycles = rob.watchdogCycles;
+    cfg.verify = rob.verify;
+    if (const char *bug = std::getenv("SF_VERIFY_BUG"))
+        cfg.verifyBug = bug;
     sys::TiledSystem system(cfg);
 
     workload::WorkloadParams wp;
@@ -69,6 +81,21 @@ runOne(sys::Machine machine, const std::string &wl_name, double scale,
     wl->init(system.addressSpace());
 
     sys::SimResults r = system.run(wl->makeAllThreads());
+
+    if (rob.verify) {
+        auto ref_threads = wl->makeAllThreads();
+        std::vector<isa::OpSource *> srcs;
+        for (auto &t : ref_threads)
+            srcs.push_back(t.get());
+        verify::RefResult golden =
+            verify::runReference(system.addressSpace(), srcs);
+        verify::checkOrDie(*system.verifyPlane(), golden,
+                           system.addressSpace(), wl->verifyRegions(),
+                           wl_name + " on " +
+                               sys::machineName(machine));
+        std::printf("verify: %s on %s OK\n", wl_name.c_str(),
+                    sys::machineName(machine));
+    }
 
     if (!stats_dir.empty()) {
         std::filesystem::create_directories(stats_dir);
@@ -113,6 +140,8 @@ try {
             rob.watchdogCycles = std::strtoull(
                 arg.c_str() + std::strlen("--watchdog-cycles="),
                 nullptr, 10);
+        } else if (arg == "--verify") {
+            rob.verify = true;
         } else if (positional == 0) {
             wl = arg;
             ++positional;

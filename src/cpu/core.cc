@@ -4,6 +4,7 @@
 
 #include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "verify/data_plane.hh"
 
 namespace sf {
 namespace cpu {
@@ -25,6 +26,55 @@ Core::Core(const std::string &name, EventQueue &eq, TileId tile,
 {
     _fu.intDivBusy.assign(static_cast<size_t>(cfg.numIntMultDiv), 0);
     _fu.fpDivBusy.assign(static_cast<size_t>(cfg.numFpDiv), 0);
+}
+
+void
+Core::setVerify(verify::DataPlane *v)
+{
+    _verify = v;
+    if (_verify && _valueRing.empty())
+        _valueRing.assign(1 << 16, 0);
+}
+
+/**
+ * Commit-order shadow interpretation: values are computed when an op
+ * commits, in program order, so older same-address stores are always
+ * either still in the tile's overlay or already performed — no
+ * issue-time memory-order hazards to reason about.
+ */
+uint64_t
+Core::verifyValueFor(const RobEntry &e)
+{
+    using isa::OpKind;
+    uint64_t srcs[isa::maxSrcs] = {0, 0, 0};
+    for (int i = 0; i < e.op.numSrcs; ++i)
+        srcs[i] = e.op.srcs[i]
+                      ? _valueRing[(e.seq - e.op.srcs[i]) & 0xffff]
+                      : 0;
+    switch (e.op.kind) {
+      case OpKind::IntAlu:
+      case OpKind::IntMult:
+      case OpKind::IntDiv:
+      case OpKind::FpAlu:
+      case OpKind::FpDiv:
+      case OpKind::Nop:
+        return verify::computeValue(e.op.kind, e.op.pc, srcs,
+                                    e.op.numSrcs);
+      case OpKind::Load: {
+        uint16_t size = e.op.size ? e.op.size : 4;
+        return _verify->loadValue(_tile, e.op.addr, size);
+      }
+      case OpKind::Store:
+      case OpKind::StreamStore:
+        return verify::storeValue(e.op.kind, e.op.pc, srcs,
+                                  e.op.numSrcs);
+      case OpKind::StreamLoad:
+        return _se ? _se->verifyFoldElems(e.op.sid, e.streamFirstElem,
+                                          e.op.elems)
+                   : 0;
+      default:
+        return 0;
+    }
 }
 
 void
@@ -348,6 +398,14 @@ Core::commitStage()
         if (!e.completed)
             break;
 
+        // Shadow value at commit (idempotent: a store stalled on a
+        // full SB recomputes the same value next cycle).
+        uint64_t vval = 0;
+        if (_verify) {
+            vval = verifyValueFor(e);
+            _valueRing[e.seq & 0xffff] = vval;
+        }
+
         switch (e.op.kind) {
           case OpKind::Store:
           case OpKind::StreamStore: {
@@ -360,9 +418,15 @@ Core::commitStage()
             uint16_t size = e.op.size ? e.op.size : 4;
             if (_se)
                 _se->storeCommitted(vaddr, size);
+            std::shared_ptr<verify::StoreRec> vrec;
+            if (_verify) {
+                vrec = _verify->storeCommitted(
+                    _tile, vaddr, size, vval, e.op.pc, e.op.sid,
+                    e.op.kind == OpKind::StreamStore);
+            }
             // The SB entry drains via drainStoreBuffer(); we record the
             // pending write and issue it from there.
-            _pendingStores.push_back({vaddr, size});
+            _pendingStores.push_back({vaddr, size, std::move(vrec)});
             --_sqInUse;
             if (e.op.kind == OpKind::Store)
                 ++_stats.committedStores;
@@ -426,17 +490,21 @@ Core::drainStoreBuffer()
     PendingStore ps = _pendingStores.front();
     _pendingStores.pop_front();
 
-    issueMemAccess(ps.vaddr, ps.size, true, 0, false, [this]() {
-        --_sbInUse;
-        wake();
-    });
+    issueMemAccess(
+        ps.vaddr, ps.size, true, 0, false,
+        [this]() {
+            --_sbInUse;
+            wake();
+        },
+        std::move(ps.vrec));
     return true;
 }
 
 void
 Core::issueMemAccess(Addr vaddr, uint16_t size, bool is_write,
                      uint32_t pc, bool stream_eligible,
-                     std::function<void()> on_done)
+                     std::function<void()> on_done,
+                     std::shared_ptr<verify::StoreRec> vrec)
 {
     // Split on virtual line boundaries: pages are scrambled in the
     // physical space, so each piece must be translated separately.
@@ -467,6 +535,7 @@ Core::issueMemAccess(Addr vaddr, uint16_t size, bool is_write,
         a.isWrite = is_write;
         a.pc = pc;
         a.streamEligible = stream_eligible;
+        a.vstore = vrec;
         if (pieces > 1) {
             a.onDone = [remaining, joined]() {
                 if (--*remaining == 0 && *joined)
@@ -547,7 +616,8 @@ Core::dispatchStage()
             switch (re_new.op.kind) {
               case OpKind::StreamLoad: {
                 uint64_t seq = re_new.seq;
-                _se->requestElems(re_new.op.sid, re_new.op.elems,
+                re_new.streamFirstElem =
+                    _se->requestElems(re_new.op.sid, re_new.op.elems,
                                   [this, seq]() {
                                       for (auto &re : _rob) {
                                           if (re.seq == seq) {

@@ -34,6 +34,12 @@
 #include "sim/stats.hh"
 
 namespace sf {
+
+namespace verify {
+class DataPlane;
+struct StoreRec;
+} // namespace verify
+
 namespace cpu {
 
 struct CoreStats
@@ -76,6 +82,14 @@ class Core : public SimObject
     /** Attach the SE_core (required when the source emits stream ops). */
     void setStreamEngine(StreamEngineIf *se) { _se = se; }
 
+    /**
+     * Attach the --verify data plane. Commit then runs an in-order
+     * shadow interpreter: every op's value is computed at commit in
+     * program order (verify/value.hh semantics), stores enter the
+     * plane's overlay, and loads observe protocol-routed bytes.
+     */
+    void setVerify(verify::DataPlane *v);
+
     /** Begin execution (schedules the first pipeline tick). */
     void start();
 
@@ -110,6 +124,8 @@ class Core : public SimObject
         bool barrierSignalled = false;
         /** StreamStore/Store resolved virtual address. */
         Addr storeVaddr = 0;
+        /** StreamLoad: first element index consumed (--verify). */
+        uint64_t streamFirstElem = 0;
     };
 
     void tick();
@@ -133,7 +149,11 @@ class Core : public SimObject
      */
     void issueMemAccess(Addr vaddr, uint16_t size, bool is_write,
                         uint32_t pc, bool stream_eligible,
-                        std::function<void()> on_done);
+                        std::function<void()> on_done,
+                        std::shared_ptr<verify::StoreRec> vrec = nullptr);
+
+    /** --verify: value of @p e under the shared value semantics. */
+    uint64_t verifyValueFor(const RobEntry &e);
     void complete(RobEntry &e, Cycles extra_latency);
     void markCompleted(uint64_t seq);
 
@@ -174,6 +194,8 @@ class Core : public SimObject
     {
         Addr vaddr;
         uint16_t size;
+        /** --verify: overlay record to apply at the write point. */
+        std::shared_ptr<verify::StoreRec> vrec;
     };
     std::deque<PendingStore> _pendingStores;
 
@@ -184,6 +206,10 @@ class Core : public SimObject
      */
     std::vector<uint8_t> _completedRing;
     uint64_t _nextSeq = 1;
+
+    /** --verify: committed value per seq (same indexing as above). */
+    verify::DataPlane *_verify = nullptr;
+    std::vector<uint64_t> _valueRing;
 
     /** In-flight load/store queue occupancy (freed at commit). */
     int _lqInUse = 0;

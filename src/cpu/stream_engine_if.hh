@@ -71,6 +71,21 @@ class StreamEngineIf
 
     /** True if the SE can accept another in-flight element use. */
     virtual bool canAcceptUse(StreamId sid) const = 0;
+
+    /**
+     * --verify: fold the observed byte values of elements
+     * [first, first+elems) of @p sid into one value (verify::foldBytes
+     * over the concatenated element bytes). Non-pure so SE mocks and
+     * non-verify builds need not implement it.
+     */
+    virtual uint64_t
+    verifyFoldElems(StreamId sid, uint64_t first, uint16_t elems)
+    {
+        (void)sid;
+        (void)first;
+        (void)elems;
+        return 0;
+    }
 };
 
 } // namespace cpu

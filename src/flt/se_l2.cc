@@ -5,6 +5,7 @@
 
 #include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "verify/data_plane.hh"
 
 namespace sf {
 namespace flt {
@@ -572,6 +573,12 @@ SEL2::advanceArrival(FloatedStream &s, uint64_t first, uint16_t count)
 void
 SEL2::recvDataU(const mem::MemMsgPtr &msg)
 {
+    // --verify: remember the serve-time image of every arriving DataU
+    // line, even for responses dropped below (uncached data is
+    // consumed by index, not kept coherent).
+    if (_verify)
+        _verify->noteUncached(_tile, msg->lineAddr, msg->vdata);
+
     // Resolve which of our streams this response belongs to: direct
     // responses carry our (core, sid); confluence multicasts carry the
     // group in mergedStreams.

@@ -30,6 +30,11 @@
 #include "stream/se_core.hh"
 
 namespace sf {
+
+namespace verify {
+class DataPlane;
+} // namespace verify
+
 namespace flt {
 
 struct SEL2Config
@@ -137,6 +142,9 @@ class SEL2 : public SimObject,
     void onEvictionPressure() override;
 
     SEL2Stats &stats() { return _stats; }
+
+    /** Attach the --verify data plane (null = verify off). */
+    void setVerify(verify::DataPlane *v) { _verify = v; }
 
     /** Dump buffered stream state (debugging aid). */
     void debugDump(std::FILE *f) const;
@@ -270,6 +278,7 @@ class SEL2 : public SimObject,
     mem::TlbHierarchy &_tlb;
     mem::AddressSpace &_as;
     stream::SECore &_seCore;
+    verify::DataPlane *_verify = nullptr;
 
     std::unordered_map<StreamId, FloatedStream> _floated;
     std::unordered_map<StreamId, uint32_t> _genCounter;

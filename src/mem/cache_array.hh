@@ -12,8 +12,10 @@
 #ifndef SF_MEM_CACHE_ARRAY_HH
 #define SF_MEM_CACHE_ARRAY_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mem/replacement.hh"
@@ -54,6 +56,14 @@ struct CacheLine
     // --- Directory info (used when the array is an L3 bank) ---
     uint64_t sharers = 0; //!< bitmask of L2s with a copy
     TileId owner = invalidTile; //!< L2 holding M/E, if any
+
+    /**
+     * --verify data plane: the line's byte image, materialized lazily
+     * on the first store (null means "equal to the level below").
+     * Shared, never mutated in place once attached to a message; the
+     * timing model ignores it entirely.
+     */
+    std::shared_ptr<std::array<uint8_t, lineBytes>> vdata;
 
     bool valid() const { return state != LineState::Invalid; }
 

@@ -5,6 +5,7 @@
 
 #include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "verify/data_plane.hh"
 
 namespace sf {
 namespace mem {
@@ -128,6 +129,14 @@ L3Bank::processStream(StreamReadReq req)
         return;
     }
 
+    if (line && _verifyBug == "stale-getu") {
+        // Injected bug: skip the owner forward and serve the L3's own
+        // (stale) copy. The oracle must catch this with exit 67.
+        ++_stats.hits;
+        serveUncached(nullptr, nullptr, &req);
+        return;
+    }
+
     if (line) {
         // Owned by a private cache: forward an uncached read.
         ++_stats.hits;
@@ -163,6 +172,20 @@ void
 L3Bank::serveUncached(const Txn *txn, const MemMsgPtr &msg,
                       const StreamReadReq *sreq)
 {
+    // --verify: DataU carries the serve-time image. Normally that is
+    // the system-wide view; under the stale-getu injection only this
+    // bank's (possibly stale) copy is consulted.
+    verify::LinePtr vp;
+    if (_verify) {
+        Addr addr = sreq ? sreq->lineAddr : msg->lineAddr;
+        if (_verifyBug == "stale-getu") {
+            CacheLine *l = _array.probe(addr);
+            vp = (l && l->vdata) ? l->vdata : _verify->dramSnapshot(addr);
+        } else {
+            vp = _verify->snapshot(addr);
+        }
+    }
+
     if (sreq) {
         auto data = std::make_shared<MemMsg>();
         data->type = MemMsgType::DataU;
@@ -180,6 +203,7 @@ L3Bank::serveUncached(const Txn *txn, const MemMsgPtr &msg,
         data->elemIdx = sreq->elemIdx;
         data->elemCount = sreq->elemCount;
         data->mergedStreams = sreq->merged;
+        data->vdata = vp;
         _mesh.send(data);
         if (sreq->onLocalData)
             sreq->onLocalData();
@@ -194,6 +218,7 @@ L3Bank::serveUncached(const Txn *txn, const MemMsgPtr &msg,
     data->streamGen = msg->streamGen;
     data->elemIdx = msg->elemIdx;
     data->elemCount = msg->elemCount;
+    data->vdata = vp;
     _mesh.send(data);
     (void)txn;
 }
@@ -206,11 +231,13 @@ L3Bank::serveShared(const MemMsgPtr &msg, CacheLine &line)
         line.owner = msg->requester;
         auto data = makeMemMsg(MemMsgType::DataE, msg->lineAddr, _tile,
                                msg->requester, msg->requester);
+        data->vdata = line.vdata;
         _mesh.send(data);
     } else {
         line.sharers |= (1ULL << msg->requester);
         auto data = makeMemMsg(MemMsgType::DataS, msg->lineAddr, _tile,
                                msg->requester, msg->requester);
+        data->vdata = line.vdata;
         _mesh.send(data);
     }
 }
@@ -305,6 +332,7 @@ L3Bank::handleGetM(const MemMsgPtr &msg)
         line->owner = msg->requester;
         auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr, _tile,
                                msg->requester, msg->requester);
+        data->vdata = line->vdata;
         _mesh.send(data);
         return;
     }
@@ -324,6 +352,14 @@ L3Bank::handleGetU(const MemMsgPtr &msg)
     CacheLine *line = _array.access(msg->lineAddr);
 
     if (line && line->owner == invalidTile) {
+        ++_stats.hits;
+        serveUncached(nullptr, msg, nullptr);
+        return;
+    }
+
+    if (line && _verifyBug == "stale-getu") {
+        // Injected bug: serve the stale local copy instead of
+        // forwarding to the owner (caught by the oracle, exit 67).
         ++_stats.hits;
         serveUncached(nullptr, msg, nullptr);
         return;
@@ -364,11 +400,28 @@ L3Bank::handlePut(const MemMsgPtr &msg)
             line->dirty = true;
             if (line->owner == msg->src)
                 line->owner = invalidTile;
+            if (_verify) {
+                if (_verifyBug == "drop-putm-data") {
+                    // Injected bug: lose the writeback's byte image.
+                    _verify->clearInFlight(msg->lineAddr);
+                } else {
+                    _verify->l3Install(line, msg->lineAddr,
+                                       msg->vdata ? msg->vdata
+                                                  : line->vdata);
+                }
+            }
         } else {
             line->sharers &= ~(1ULL << msg->src);
             if (line->owner == msg->src)
                 line->owner = invalidTile; // clean E eviction
         }
+    } else if (_verify && msg->type == MemMsgType::PutM) {
+        // Line no longer resident at the L3 (defensive): the writeback
+        // bytes fall straight through to the DRAM shadow.
+        if (_verifyBug == "drop-putm-data")
+            _verify->clearInFlight(msg->lineAddr);
+        else
+            _verify->dramWrite(msg->lineAddr, msg->vdata);
     }
     auto ack = makeMemMsg(MemMsgType::PutAck, msg->lineAddr, _tile,
                           msg->src, msg->src);
@@ -417,6 +470,11 @@ L3Bank::handleInvAck(const MemMsgPtr &msg)
             line->sharers = 0;
             if (msg->payloadBytes > 0)
                 line->dirty = true; // the owner's copy was modified
+            if (_verify) {
+                _verify->l3Install(line, msg->lineAddr,
+                                   msg->vdata ? msg->vdata
+                                              : line->vdata);
+            }
         }
         finalize(msg->lineAddr);
         return;
@@ -428,6 +486,7 @@ L3Bank::handleInvAck(const MemMsgPtr &msg)
     line->owner = txn.req->requester;
     auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr, _tile,
                            txn.req->requester, txn.req->requester);
+    data->vdata = msg->vdata ? msg->vdata : line->vdata;
     _mesh.send(data);
     finalize(msg->lineAddr);
 }
@@ -453,6 +512,8 @@ L3Bank::handleFwdAck(const MemMsgPtr &msg)
         line->sharers |= (1ULL << txn.req->requester);
         if (msg->payloadBytes > 0)
             line->dirty = true; // owner pushed fresh data to us
+        if (_verify && msg->vdata)
+            _verify->l3Install(line, msg->lineAddr, msg->vdata);
     } else if (txn.req->type == MemMsgType::GetM) {
         line->owner = txn.req->requester;
         line->sharers = 0;
@@ -484,6 +545,7 @@ L3Bank::handleFwdMiss(const MemMsgPtr &msg)
         line->owner = txn.req->requester;
         auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr, _tile,
                                txn.req->requester, txn.req->requester);
+        data->vdata = line->vdata;
         _mesh.send(data);
     }
     finalize(msg->lineAddr);
@@ -539,6 +601,10 @@ L3Bank::allocate(Addr line_addr)
             TileId ctrl = _nuca.memCtrlOf(victim.tag);
             auto wr = makeMemMsg(MemMsgType::MemWrite, victim.tag, _tile,
                                  ctrl, _tile);
+            if (_verify && victim.vdata) {
+                wr->vdata = victim.vdata;
+                _verify->noteInFlight(victim.tag, victim.vdata);
+            }
             _mesh.send(wr);
         }
     }
@@ -576,13 +642,16 @@ L3Bank::handleMemData(const MemMsgPtr &msg)
           case MemMsgType::GetS:
             serveShared(txn.req, *line);
             break;
-          case MemMsgType::GetM:
+          case MemMsgType::GetM: {
             line->sharers = 0;
             line->owner = txn.req->requester;
-            sendToTile(makeMemMsg(MemMsgType::DataM, msg->lineAddr,
-                                  _tile, txn.req->requester,
-                                  txn.req->requester));
+            auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr,
+                                   _tile, txn.req->requester,
+                                   txn.req->requester);
+            data->vdata = line->vdata;
+            sendToTile(data);
             break;
+          }
           case MemMsgType::GetU:
             serveUncached(nullptr, txn.req, nullptr);
             break;

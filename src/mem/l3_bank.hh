@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <variant>
 #include <vector>
@@ -29,6 +30,11 @@
 #include "sim/stats.hh"
 
 namespace sf {
+
+namespace verify {
+class DataPlane;
+} // namespace verify
+
 namespace mem {
 
 struct L3BankConfig
@@ -107,6 +113,17 @@ class L3Bank : public SimObject
 
     /** Local uncached read from the colocated SE_L3. */
     void streamRead(StreamReadReq req);
+
+    /** Attach the --verify data plane (null = verify off). */
+    void setVerify(verify::DataPlane *v) { _verify = v; }
+
+    /**
+     * Deterministic fault injection for the verify negative tests:
+     * "stale-getu" serves GetU from the (possibly stale) L3 copy even
+     * when a private cache owns the line; "drop-putm-data" discards
+     * PutM byte images. Only meaningful with the data plane attached.
+     */
+    void setVerifyBug(const std::string &bug) { _verifyBug = bug; }
 
     L3BankStats &stats() { return _stats; }
     const L3BankStats &stats() const { return _stats; }
@@ -203,6 +220,8 @@ class L3Bank : public SimObject
     const NucaMap &_nuca;
     CacheArray _array;
     std::unordered_map<Addr, Txn> _txns;
+    verify::DataPlane *_verify = nullptr;
+    std::string _verifyBug;
     L3BankStats _stats;
 };
 

@@ -12,6 +12,7 @@
 #include "noc/mesh.hh"
 #include "sim/debug.hh"
 #include "sim/sim_object.hh"
+#include "verify/data_plane.hh"
 
 namespace sf {
 namespace mem {
@@ -32,6 +33,8 @@ class MemCtrl : public SimObject
         if (msg->type == MemMsgType::MemWrite) {
             SF_DPRINTF(DRAM, "write %llx from tile %d",
                        (unsigned long long)msg->lineAddr, (int)msg->src);
+            if (_verify)
+                _verify->dramWrite(msg->lineAddr, msg->vdata);
             _channel.access(true, nullptr);
             return;
         }
@@ -49,10 +52,14 @@ class MemCtrl : public SimObject
 
     DramChannel &channel() { return _channel; }
 
+    /** Attach the --verify data plane (null = verify off). */
+    void setVerify(verify::DataPlane *v) { _verify = v; }
+
   private:
     TileId _tile;
     noc::Mesh &_mesh;
     DramChannel _channel;
+    verify::DataPlane *_verify = nullptr;
 };
 
 } // namespace mem

@@ -5,6 +5,7 @@
 
 #include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "verify/data_plane.hh"
 
 namespace sf {
 namespace mem {
@@ -108,6 +109,10 @@ PrivCache::accessL1(Access a)
             l2_line->state == LineState::Exclusive) {
             l2_line->state = LineState::Modified;
             l1_line->dirty = true;
+            if (_verify && a.vstore) {
+                _verify->applyStorePiece(l2_line, a.paddr, a.vaddr,
+                                         a.size, a.vstore);
+            }
             if (is_demand && _l1Prefetcher) {
                 _l1Prefetcher->observe({a.paddr, a.vaddr, a.pc,
                                         a.isWrite, false, false});
@@ -201,6 +206,10 @@ PrivCache::accessL2(Access a, bool l1_was_miss)
         if (a.isWrite) {
             l2_line->state = LineState::Modified;
             l2_line->dirty = true;
+            if (_verify && a.vstore) {
+                _verify->applyStorePiece(l2_line, a.paddr, a.vaddr,
+                                         a.size, a.vstore);
+            }
         }
         if (is_demand) {
             if (_l1Prefetcher) {
@@ -318,11 +327,13 @@ PrivCache::accessL2(Access a, bool l1_was_miss)
 }
 
 void
-PrivCache::sendRequest(MemMsgType type, Addr line_addr, uint16_t bulk_lines)
+PrivCache::sendRequest(MemMsgType type, Addr line_addr, uint16_t bulk_lines,
+                       std::shared_ptr<std::array<uint8_t, lineBytes>> vdata)
 {
     TileId bank = homeBank(line_addr);
     auto msg = makeMemMsg(type, line_addr, _tile, bank, _tile);
     msg->bulkLines = bulk_lines;
+    msg->vdata = std::move(vdata);
     auto it = _mshrs.find(line_addr);
     if (it != _mshrs.end()) {
         msg->prefetch = it->second.prefetched;
@@ -419,7 +430,10 @@ PrivCache::evictL2Line(const CacheLine &victim)
                 _streamBuf->onEvictionPressure();
             return;
         }
-        sendRequest(MemMsgType::PutM, victim.tag);
+        // --verify: the dirty image now lives only inside the PutM.
+        if (_verify && victim.vdata)
+            _verify->noteInFlight(victim.tag, victim.vdata);
+        sendRequest(MemMsgType::PutM, victim.tag, 1, victim.vdata);
     } else {
         ++_pendingPuts[victim.tag];
         sendRequest(MemMsgType::PutS, victim.tag);
@@ -452,6 +466,7 @@ PrivCache::resurrectParkedLine(Addr line_addr)
         nl.streamEligible = held.streamEligible;
         nl.prefetched = false;
         nl.reused = true;
+        nl.vdata = held.vdata;
         ++_stats.writebacksResurrected;
         SF_DPRINTF(Cache, "resurrect parked dirty line %llx",
                    (unsigned long long)line_addr);
@@ -498,7 +513,10 @@ PrivCache::drainDelayedEvictions()
             _delayedEvictions.pop_front();
             continue;
         }
-        sendRequest(MemMsgType::PutM, held.tag);
+        verify::LinePtr vp = held.vdata;
+        if (_verify && vp)
+            _verify->noteInFlight(held.tag, vp);
+        sendRequest(MemMsgType::PutM, held.tag, 1, std::move(vp));
         _delayedEvictions.pop_front();
     }
 }
@@ -559,6 +577,10 @@ PrivCache::handleData(const MemMsgPtr &msg)
         CacheLine *line = _l2.probe(m.lineAddr);
         if (!line)
             line = &fillL2(m, LineState::Shared);
+        if (_verify) {
+            _verify->privInstall(_tile, line, m.lineAddr,
+                                 msg->vdata ? msg->vdata : line->vdata);
+        }
         // Complete read-only waiters now.
         std::vector<Access> keep;
         for (auto &w : m.waiters) {
@@ -597,6 +619,10 @@ PrivCache::handleData(const MemMsgPtr &msg)
         // after a racing Inv cleared it).
         line->state = state;
     }
+    if (_verify) {
+        _verify->privInstall(_tile, line, m.lineAddr,
+                             msg->vdata ? msg->vdata : line->vdata);
+    }
     if (any_write) {
         line->state = LineState::Modified;
         line->dirty = true;
@@ -612,6 +638,10 @@ PrivCache::handleData(const MemMsgPtr &msg)
             if (l1c)
                 l1c->dirty = true;
             line->dirty = true;
+            if (_verify && w.vstore) {
+                _verify->applyStorePiece(line, w.paddr, w.vaddr, w.size,
+                                         w.vstore);
+            }
         }
         finishWaiter(w);
     }
@@ -658,6 +688,7 @@ PrivCache::handleInv(const MemMsgPtr &msg)
     }
     if (CacheLine *l1_line = _l1.probe(msg->lineAddr))
         dirty = dirty || l1_line->dirty;
+    verify::LinePtr vp = l2_line ? l2_line->vdata : nullptr;
     _l1.invalidate(msg->lineAddr);
     _l2.invalidate(msg->lineAddr);
     auto ack = makeMemMsg(MemMsgType::InvAck, msg->lineAddr, _tile,
@@ -667,6 +698,10 @@ PrivCache::handleInv(const MemMsgPtr &msg)
         ack->dataBytes = lineBytes;
         ack->cls = noc::FlitClass::Data;
         ack->vnet = noc::VNet::Response;
+        if (_verify && vp) {
+            ack->vdata = vp;
+            _verify->noteInFlight(msg->lineAddr, vp);
+        }
     }
     _mesh.send(ack);
 }
@@ -717,6 +752,10 @@ PrivCache::handleFwd(const MemMsgPtr &msg)
             for (const auto &gs : msg->mergedStreams)
                 data->dests.push_back(gs.core);
         }
+        // --verify: DataU captures the serve-time image (uncached reads
+        // are not kept coherent afterwards).
+        if (_verify)
+            data->vdata = _verify->snapshot(msg->lineAddr);
         _mesh.send(data);
         auto ack = makeMemMsg(MemMsgType::FwdAck, msg->lineAddr, _tile,
                               bank, msg->requester);
@@ -726,10 +765,15 @@ PrivCache::handleFwd(const MemMsgPtr &msg)
 
     if (msg->type == MemMsgType::FwdGetM) {
         // Hand the line (and ownership) to the requester; drop ours.
+        verify::LinePtr vp = line->vdata;
         _l1.invalidate(msg->lineAddr);
         _l2.invalidate(msg->lineAddr);
         auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr, _tile,
                                msg->requester, msg->requester);
+        if (_verify && vp) {
+            data->vdata = vp;
+            _verify->noteInFlight(msg->lineAddr, vp);
+        }
         _mesh.send(data);
         auto ack = makeMemMsg(MemMsgType::FwdAck, msg->lineAddr, _tile,
                               bank, msg->requester);
@@ -751,6 +795,7 @@ PrivCache::handleFwd(const MemMsgPtr &msg)
 
     auto data = makeMemMsg(MemMsgType::DataS, msg->lineAddr, _tile,
                            msg->requester, msg->requester);
+    data->vdata = line->vdata;
     _mesh.send(data);
     auto ack = makeMemMsg(MemMsgType::FwdAck, msg->lineAddr, _tile, bank,
                           msg->requester);
@@ -759,6 +804,9 @@ PrivCache::handleFwd(const MemMsgPtr &msg)
         ack->dataBytes = lineBytes;
         ack->cls = noc::FlitClass::Data;
         ack->vnet = noc::VNet::Response;
+        // We keep a Shared copy, so the image stays observable here;
+        // the ack lets the L3 refresh its own copy.
+        ack->vdata = line->vdata;
     }
     _mesh.send(ack);
 }

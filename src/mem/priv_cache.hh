@@ -31,6 +31,12 @@
 #include "sim/stats.hh"
 
 namespace sf {
+
+namespace verify {
+class DataPlane;
+struct StoreRec;
+} // namespace verify
+
 namespace mem {
 
 /** Kind of access arriving at the private hierarchy. */
@@ -61,6 +67,8 @@ struct Access
     int prefetchLevel = 1;
     /** Completion callback (may be empty for prefetches). */
     std::function<void()> onDone;
+    /** --verify: store record applied when the write performs. */
+    std::shared_ptr<verify::StoreRec> vstore;
     /**
      * If set, written before onDone: true when the access missed the
      * private hierarchy (stream history "miss" column, Table II).
@@ -232,6 +240,18 @@ class PrivCache : public SimObject
     /** Group up to 4 consecutive L2 prefetch requests (bulk, §VI). */
     void setBulkPrefetch(bool enable) { _bulkPrefetch = enable; }
 
+    /** Attach the --verify data plane (null = verify off). */
+    void setVerify(verify::DataPlane *v) { _verify = v; }
+
+    /** Visit parked delayed dirty evictions (verify dirty scan). */
+    void
+    forEachDelayedEviction(
+        const std::function<void(const CacheLine &)> &fn) const
+    {
+        for (const auto &l : _delayedEvictions)
+            fn(l);
+    }
+
     TileId tile() const { return _tile; }
     const PrivCacheConfig &config() const { return _cfg; }
     PrivCacheStats &stats() { return _stats; }
@@ -293,7 +313,9 @@ class PrivCache : public SimObject
 
     /** Send a request to the home L3 bank. */
     void sendRequest(MemMsgType type, Addr line_addr,
-                     uint16_t bulk_lines = 1);
+                     uint16_t bulk_lines = 1,
+                     std::shared_ptr<std::array<uint8_t, lineBytes>>
+                         vdata = nullptr);
 
     void handleData(const MemMsgPtr &msg);
     void handleInv(const MemMsgPtr &msg);
@@ -362,6 +384,7 @@ class PrivCache : public SimObject
     std::unordered_map<Addr, uint32_t> _pendingPuts;
 
     StreamBufferIf *_streamBuf = nullptr;
+    verify::DataPlane *_verify = nullptr;
     PrefetchObserverIf *_l1Prefetcher = nullptr;
     PrefetchObserverIf *_l2Prefetcher = nullptr;
     StreamReuseHook _reuseHook;

@@ -36,6 +36,8 @@ enum class ExitCode : int
     InvariantViolation = 65,
     /** End-of-sim drain left residual state (MSHRs, packets, streams). */
     DrainFailure = 66,
+    /** --verify: simulated memory diverged from the reference image. */
+    VerifyDivergence = 67,
 };
 
 /** Thrown by fatal() so tests can assert on bad-config handling. */

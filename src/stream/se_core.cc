@@ -5,6 +5,8 @@
 #include "sim/debug.hh"
 #include "sim/logging.hh"
 #include "sim/stream_trace.hh"
+#include "verify/data_plane.hh"
+#include "verify/value.hh"
 
 namespace sf {
 namespace stream {
@@ -324,8 +326,13 @@ SECore::onFetchDone(StreamId sid, uint64_t first_idx, uint16_t count,
         if (idx < s.commitBase)
             continue;
         size_t off = static_cast<size_t>(idx - s.commitBase);
-        if (off < s.window.size())
+        if (off < s.window.size()) {
             s.window[off].ready = true;
+            // --verify: capture the element's bytes at the moment data
+            // lands (an alias flush rebinds via a later onFetchDone).
+            if (_verify)
+                verifyBindElem(s, idx);
+        }
     }
 
     StreamHistory &h = _history.row(sid);
@@ -424,9 +431,21 @@ SECore::releaseAtCommit(StreamId sid, uint16_t elems)
     if (it == _streams.end() || !it->second.active)
         return;
     StreamState &s = it->second;
+    // Trip count at stream_step commit; the reference counts at
+    // StreamStep on a live stream, so gate on the same condition.
+    if (_verify)
+        _verify->addTrips(_tile, sid, elems);
     for (uint16_t i = 0; i < elems && !s.window.empty(); ++i)
         s.window.pop_front();
     s.commitBase += elems;
+    if (_verify && !s.vElems.empty()) {
+        for (auto ve = s.vElems.begin(); ve != s.vElems.end();) {
+            if (ve->first < s.commitBase)
+                ve = s.vElems.erase(ve);
+            else
+                ++ve;
+        }
+    }
     s.readyUpTo = std::max(s.readyUpTo, s.commitBase);
     s.nextFetch = std::max(s.nextFetch, s.commitBase);
     if (!s.cfg.isStore)
@@ -479,6 +498,57 @@ SECore::storeCommitted(Addr vaddr, uint16_t size)
         s.nextFetch = std::min(s.nextFetch, flush_from);
         pump(sid, s.demandEnd);
     }
+}
+
+const std::vector<uint8_t> &
+SECore::verifyBindElem(StreamState &s, uint64_t idx)
+{
+    auto it = s.vElems.find(idx);
+    if (it != s.vElems.end())
+        return it->second;
+    // The element address is recomputed functionally: the affine map
+    // directly, the indirect chase through the parent's config and the
+    // raw index array (mirrors elemAddr / SEL2::elemVaddr, but without
+    // the readyUpTo gate — by bind time the index data has arrived).
+    Addr vaddr;
+    if (!s.cfg.hasIndirect) {
+        vaddr = s.cfg.affine.elemAddr(idx);
+    } else {
+        uint32_t w_len = std::max<uint32_t>(1, s.cfg.indirect.wLen);
+        uint64_t parent_idx = idx / w_len;
+        uint32_t w = static_cast<uint32_t>(idx % w_len);
+        auto pit = _streams.find(s.parent);
+        sf_assert(pit != _streams.end(),
+                  "verify: indirect sid=%d without base sid=%d",
+                  s.cfg.sid, s.parent);
+        Addr idx_addr = pit->second.cfg.affine.elemAddr(parent_idx);
+        int64_t idx_value =
+            _as.readInt(idx_addr, s.cfg.indirect.idxSize);
+        vaddr = s.cfg.indirect.targetAddr(idx_value, w);
+    }
+    uint32_t esz = s.cfg.hasIndirect ? s.cfg.indirect.elemSize
+                                     : s.cfg.affine.elemSize;
+    std::vector<uint8_t> bytes(esz);
+    _verify->readBytes(_tile, vaddr, esz, bytes.data(),
+                       /*stream_elem=*/true);
+    return s.vElems.emplace(idx, std::move(bytes)).first->second;
+}
+
+uint64_t
+SECore::verifyFoldElems(StreamId sid, uint64_t first, uint16_t elems)
+{
+    if (!_verify)
+        return 0;
+    StreamState &s = state(sid);
+    uint32_t esz = s.cfg.hasIndirect ? s.cfg.indirect.elemSize
+                                     : s.cfg.affine.elemSize;
+    std::vector<uint8_t> bytes(static_cast<size_t>(elems) * esz);
+    for (uint16_t e = 0; e < elems; ++e) {
+        const std::vector<uint8_t> &eb = verifyBindElem(s, first + e);
+        std::copy(eb.begin(), eb.end(),
+                  bytes.begin() + static_cast<size_t>(e) * esz);
+    }
+    return verify::foldBytes(bytes.data(), bytes.size());
 }
 
 bool

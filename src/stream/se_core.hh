@@ -30,6 +30,11 @@
 #include "stream/history.hh"
 
 namespace sf {
+
+namespace verify {
+class DataPlane;
+} // namespace verify
+
 namespace stream {
 
 struct SECoreConfig
@@ -97,6 +102,13 @@ class SECore : public SimObject, public cpu::StreamEngineIf
     /** Invoked to wake the core when FIFO data lands. */
     void setWakeHook(std::function<void()> hook) { _wake = std::move(hook); }
 
+    /**
+     * Attach the --verify data plane. Element byte values are captured
+     * when FIFO data lands (onFetchDone) by observing the protocol-
+     * routed line image, and folded per stream_load at commit.
+     */
+    void setVerify(verify::DataPlane *v) { _verify = v; }
+
     // --- cpu::StreamEngineIf ---
     void noteConfigDispatched(
         const std::vector<isa::StreamConfig> &group) override;
@@ -109,6 +121,8 @@ class SECore : public SimObject, public cpu::StreamEngineIf
     Addr storeAddr(StreamId sid) override;
     void storeCommitted(Addr vaddr, uint16_t size) override;
     bool canAcceptUse(StreamId sid) const override;
+    uint64_t verifyFoldElems(StreamId sid, uint64_t first,
+                             uint16_t elems) override;
 
     // --- notifications from the memory system / SE_L2 ---
     /** A line this stream filled was reused in the private cache. */
@@ -176,6 +190,8 @@ class SECore : public SimObject, public cpu::StreamEngineIf
         uint64_t quotaElems = 8;
         /** Guards stale fetch callbacks across reconfigurations. */
         uint32_t epoch = 0;
+        /** --verify: observed element bytes, keyed by absolute index. */
+        std::unordered_map<uint64_t, std::vector<uint8_t>> vElems;
     };
 
     StreamState &state(StreamId sid);
@@ -192,6 +208,10 @@ class SECore : public SimObject, public cpu::StreamEngineIf
 
     /** Element virtual address (affine direct; indirect chases). */
     bool elemAddr(StreamState &s, uint64_t idx, Addr &out);
+
+    /** --verify: capture element @p idx's bytes from the data plane. */
+    const std::vector<uint8_t> &verifyBindElem(StreamState &s,
+                                               uint64_t idx);
 
     /** Total elements, or a large horizon for unknown lengths. */
     uint64_t horizonOf(const StreamState &s) const;
@@ -210,6 +230,7 @@ class SECore : public SimObject, public cpu::StreamEngineIf
     mem::AddressSpace &_as;
     FloatControllerIf *_floatCtrl = nullptr;
     std::function<void()> _wake;
+    verify::DataPlane *_verify = nullptr;
 
     std::unordered_map<StreamId, StreamState> _streams;
     /** Dispatched-but-uncommitted stream_cfg count per stream. */

@@ -114,6 +114,20 @@ struct SystemConfig
     /** Deterministic fault-injection schedule (off by default). */
     FaultConfig faults;
 
+    // --- verify (architectural correctness oracle) ---
+    /**
+     * Attach the verify data plane: byte images ride the protocol's
+     * own data movements and the driver diffs the final architectural
+     * state against the functional reference executor. Off by default
+     * (plain timing runs carry no data bytes).
+     */
+    bool verify = false;
+    /**
+     * Deterministic protocol-bug injection for the verify negative
+     * tests ("stale-getu", "drop-putm-data"); see L3Bank::setVerifyBug.
+     */
+    std::string verifyBug;
+
     int numTiles() const { return nx * ny; }
 
     /**

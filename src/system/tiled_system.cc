@@ -26,6 +26,10 @@ TiledSystem::TiledSystem(const SystemConfig &cfg) : _cfg(cfg)
         _cfg.sel2.retryEnabled = false;
 
     _as = std::make_unique<mem::AddressSpace>(0, _physMem);
+    if (_cfg.verify) {
+        _verify = std::make_unique<verify::DataPlane>(*_as,
+                                                      _cfg.numTiles());
+    }
     noc::MeshConfig ncfg = _cfg.noc;
     ncfg.nx = _cfg.nx;
     ncfg.ny = _cfg.ny;
@@ -76,6 +80,25 @@ TiledSystem::buildTiles()
         _l3[t] = std::make_unique<mem::L3Bank>(tn + ".l3", _eq, t,
                                                _cfg.l3, *_mesh, *_nuca);
 
+        if (_verify) {
+            _priv[t]->setVerify(_verify.get());
+            _l3[t]->setVerify(_verify.get());
+            if (!_cfg.verifyBug.empty())
+                _l3[t]->setVerifyBug(_cfg.verifyBug);
+            _verify->addL2(t, &_priv[t]->l2Array());
+            _verify->addL3(&_l3[t]->array());
+            // Parked delayed dirty evictions hold the only current
+            // image of their line while parked.
+            _verify->addDirtyScan([p = _priv[t].get()](Addr line) {
+                verify::LinePtr found;
+                p->forEachDelayedEviction([&](const mem::CacheLine &l) {
+                    if (l.tag == line && l.vdata)
+                        found = l.vdata;
+                });
+                return found;
+            });
+        }
+
         if (streams) {
             stream::SECoreConfig sc = _cfg.seCore;
             _seCores[t] = std::make_unique<stream::SECore>(
@@ -84,12 +107,16 @@ TiledSystem::buildTiles()
                 [se = _seCores[t].get()](StreamId sid) {
                     se->notifyStreamReuse(sid);
                 });
+            if (_verify)
+                _seCores[t]->setVerify(_verify.get());
         }
         if (floats) {
             _seL2[t] = std::make_unique<flt::SEL2>(
                 tn + ".sel2", _eq, t, _cfg.sel2, *_mesh, *_nuca,
                 *_priv[t], *_tlbs[t], *_as, *_seCores[t]);
             _seCores[t]->setFloatController(_seL2[t].get());
+            if (_verify)
+                _seL2[t]->setVerify(_verify.get());
             _seL3[t] = std::make_unique<flt::SEL3>(
                 tn + ".sel3", _eq, t, _cfg.sel3, *_mesh, *_nuca,
                 *_l3[t], as_resolver);
@@ -136,6 +163,8 @@ TiledSystem::buildTiles()
         if (std::find(ctrls.begin(), ctrls.end(), t) != ctrls.end()) {
             _memCtrls[t] = std::make_unique<mem::MemCtrl>(
                 tn + ".mc", _eq, t, _cfg.dram, *_mesh);
+            if (_verify)
+                _memCtrls[t]->setVerify(_verify.get());
         }
 
         _mesh->bindSink(t, [this, t](const noc::MsgPtr &msg) {
@@ -211,6 +240,8 @@ TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
             _seCores[t]->setWakeHook(
                 [c = _cores[t].get()]() { c->wake(); });
         }
+        if (_verify)
+            _cores[t]->setVerify(_verify.get());
         _cores[t]->onDone = [this]() { ++_coresDone; };
     }
     for (auto &c : _cores)

@@ -34,6 +34,7 @@
 #include "sim/watchdog.hh"
 #include "system/config.hh"
 #include "system/results.hh"
+#include "verify/data_plane.hh"
 
 namespace sf {
 namespace sys {
@@ -96,6 +97,9 @@ class TiledSystem
     /** Null unless message-level fault injection is configured. */
     FaultInjector *faultInjector() { return _faults.get(); }
 
+    /** The --verify data plane; null unless cfg.verify is set. */
+    verify::DataPlane *verifyPlane() { return _verify.get(); }
+
     /** Host wall-clock seconds spent in the last run()'s event loop. */
     double hostSeconds() const { return _hostSeconds; }
 
@@ -156,6 +160,7 @@ class TiledSystem
     std::unique_ptr<stats::IntervalSampler> _sampler;
 
     CheckLevel _checkLevel = CheckLevel::Off;
+    std::unique_ptr<verify::DataPlane> _verify;
     std::unique_ptr<FaultInjector> _faults;
     std::unique_ptr<Checker> _checker;
     std::unique_ptr<Watchdog> _watchdog;

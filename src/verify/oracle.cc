@@ -1,0 +1,171 @@
+#include "verify/oracle.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace sf {
+namespace verify {
+
+namespace {
+
+std::string
+hexBytes(const std::vector<uint8_t> &v)
+{
+    std::string s;
+    char buf[4];
+    for (size_t i = 0; i < v.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%02x", v[i]);
+        if (i)
+            s += ' ';
+        s += buf;
+    }
+    return s;
+}
+
+} // namespace
+
+std::string
+Divergence::describe() const
+{
+    char buf[512];
+    if (kind == Kind::TripCount) {
+        std::snprintf(buf, sizeof(buf),
+                      "stream trip-count mismatch: tile=%d sid=%d "
+                      "golden=%llu observed=%llu",
+                      tile, sid, (unsigned long long)goldenTrips,
+                      (unsigned long long)observedTrips);
+        return buf;
+    }
+    std::string s;
+    std::snprintf(buf, sizeof(buf),
+                  "memory divergence at vaddr=0x%llx%s%s "
+                  "(%llu line(s) differ)\n",
+                  (unsigned long long)vaddr, region.empty() ? "" : " in ",
+                  region.c_str(), (unsigned long long)divergentLines);
+    s += buf;
+    std::snprintf(buf, sizeof(buf), "  golden:   %s\n",
+                  hexBytes(golden).c_str());
+    s += buf;
+    std::snprintf(buf, sizeof(buf), "  observed: %s\n",
+                  hexBytes(observed).c_str());
+    s += buf;
+    if (hasWriter) {
+        std::snprintf(buf, sizeof(buf),
+                      "  last writer: tile=%d pc=0x%x %s sid=%d "
+                      "(commit token %llu)",
+                      writer.tile, writer.pc,
+                      writer.isStream ? "stream_store" : "store",
+                      writer.sid, (unsigned long long)writer.token);
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "  last writer: none (no simulated store ever "
+                      "touched this line)");
+    }
+    s += buf;
+    return s;
+}
+
+RefResult
+runReference(mem::AddressSpace &as,
+             const std::vector<isa::OpSource *> &sources)
+{
+    RefExecutor ref(as);
+    return ref.run(sources);
+}
+
+std::optional<Divergence>
+compareWithGolden(DataPlane &plane, const RefResult &golden,
+                  mem::AddressSpace &as,
+                  const std::vector<MemRegion> &regions)
+{
+    plane.finalize();
+
+    // Diff every line either side ever wrote, in ascending vaddr order
+    // so "first divergence" is deterministic.
+    std::set<Addr> lines = plane.writtenVlines();
+    for (const auto &kv : golden.image)
+        lines.insert(kv.first);
+
+    std::optional<Divergence> first;
+    uint64_t bad_lines = 0;
+    for (Addr vline : lines) {
+        LineData want;
+        auto git = golden.image.find(vline);
+        if (git != golden.image.end()) {
+            want = git->second;
+        } else {
+            Addr pline = as.translateExisting(vline);
+            if (pline == invalidAddr)
+                want.fill(0);
+            else
+                as.mem().read(pline, want.data(), lineBytes);
+        }
+        LineData got;
+        plane.finalLine(vline, got.data());
+        if (std::memcmp(want.data(), got.data(), lineBytes) == 0)
+            continue;
+        ++bad_lines;
+        if (first)
+            continue;
+        size_t off = 0;
+        while (want[off] == got[off])
+            ++off;
+        Divergence d;
+        d.kind = Divergence::Kind::Memory;
+        d.vaddr = vline + off;
+        size_t wlen = std::min<size_t>(8, lineBytes - off);
+        d.golden.assign(want.begin() + off, want.begin() + off + wlen);
+        d.observed.assign(got.begin() + off, got.begin() + off + wlen);
+        if (const MemRegion *r = findRegion(regions, d.vaddr))
+            d.region = r->name;
+        if (const WriterInfo *w = plane.lastWriter(vline)) {
+            d.writer = *w;
+            d.hasWriter = true;
+        }
+        first = d;
+    }
+    if (first) {
+        first->divergentLines = bad_lines;
+        return first;
+    }
+
+    // Memory agrees; cross-check stream trip counts.
+    std::set<std::pair<TileId, StreamId>> keys;
+    for (const auto &kv : golden.trips)
+        keys.insert(kv.first);
+    for (const auto &kv : plane.trips())
+        keys.insert(kv.first);
+    for (const auto &k : keys) {
+        auto g = golden.trips.find(k);
+        auto o = plane.trips().find(k);
+        uint64_t gv = g == golden.trips.end() ? 0 : g->second;
+        uint64_t ov = o == plane.trips().end() ? 0 : o->second;
+        if (gv == ov)
+            continue;
+        Divergence d;
+        d.kind = Divergence::Kind::TripCount;
+        d.tile = k.first;
+        d.sid = k.second;
+        d.goldenTrips = gv;
+        d.observedTrips = ov;
+        return d;
+    }
+    return std::nullopt;
+}
+
+void
+checkOrDie(DataPlane &plane, const RefResult &golden,
+           mem::AddressSpace &as, const std::vector<MemRegion> &regions,
+           const std::string &what)
+{
+    auto d = compareWithGolden(plane, golden, as, regions);
+    if (!d)
+        return;
+    fatalCode(ExitCode::VerifyDivergence, "verify divergence in %s: %s",
+              what.c_str(), d->describe().c_str());
+}
+
+} // namespace verify
+} // namespace sf

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The --verify oracle: run the reference executor, diff the simulated
+ * end-of-run memory image (DRAM + dirty cache state, reconstructed by
+ * verify::DataPlane) and stream trip counts against the golden result,
+ * and on divergence die with exit code 67 through the fatal() path.
+ */
+
+#ifndef SF_VERIFY_ORACLE_HH
+#define SF_VERIFY_ORACLE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/op_source.hh"
+#include "verify/data_plane.hh"
+#include "verify/ref_executor.hh"
+#include "verify/region.hh"
+
+namespace sf {
+namespace verify {
+
+/** First point where simulation and reference disagree. */
+struct Divergence
+{
+    enum class Kind
+    {
+        Memory,
+        TripCount,
+    };
+    Kind kind = Kind::Memory;
+
+    // --- Kind::Memory ---
+    Addr vaddr = 0; //!< first divergent byte
+    std::vector<uint8_t> golden;   //!< 8-byte window at vaddr
+    std::vector<uint8_t> observed; //!< 8-byte window at vaddr
+    std::string region;            //!< owning named region, if any
+    WriterInfo writer;             //!< last committed writer of the line
+    bool hasWriter = false;
+    uint64_t divergentLines = 0; //!< total lines that differ
+
+    // --- Kind::TripCount ---
+    TileId tile = invalidTile;
+    StreamId sid = invalidStream;
+    uint64_t goldenTrips = 0;
+    uint64_t observedTrips = 0;
+
+    /** Human-readable one-paragraph diagnostic. */
+    std::string describe() const;
+};
+
+/** Run the reference executor over fresh per-thread op sources. */
+RefResult runReference(mem::AddressSpace &as,
+                       const std::vector<isa::OpSource *> &sources);
+
+/**
+ * Diff the simulated end state held by @p plane against @p golden.
+ * Finalizes the plane (flushes leftover store overlays). Returns the
+ * first divergence, or nullopt when the images and trip counts agree.
+ */
+std::optional<Divergence>
+compareWithGolden(DataPlane &plane, const RefResult &golden,
+                  mem::AddressSpace &as,
+                  const std::vector<MemRegion> &regions);
+
+/**
+ * compareWithGolden(), then fatalCode(ExitCode::VerifyDivergence)
+ * with the first-divergence diagnostic on mismatch. @p what names the
+ * run (workload/config) in the failure message.
+ */
+void checkOrDie(DataPlane &plane, const RefResult &golden,
+                mem::AddressSpace &as,
+                const std::vector<MemRegion> &regions,
+                const std::string &what);
+
+} // namespace verify
+} // namespace sf
+
+#endif // SF_VERIFY_ORACLE_HH

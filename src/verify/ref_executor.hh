@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Functional reference executor for the --verify oracle.
+ *
+ * Runs the same stream-annotated kernel IR (sf::isa ops) the timing
+ * simulator executes, directly over flat memory: no caches, no NoC,
+ * no stream engines, no reordering. Threads execute program-order,
+ * synchronized only at Barrier ops (streams live in
+ * synchronization-free regions, §V-A, so phase-sequential execution
+ * is a legal interleaving of any data-race-free kernel).
+ *
+ * Produces the golden final-memory image (as a copy-on-write line
+ * overlay over the immutable initial PhysMem contents) and golden
+ * per-stream trip counts, using the exact value semantics of
+ * verify/value.hh — the same functions the core's commit-time shadow
+ * interpreter uses, so any end-state disagreement is a data-movement
+ * bug in the simulated protocol.
+ */
+
+#ifndef SF_VERIFY_REF_EXECUTOR_HH
+#define SF_VERIFY_REF_EXECUTOR_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "isa/op_source.hh"
+#include "mem/phys_mem.hh"
+#include "verify/data_plane.hh"
+
+namespace sf {
+namespace verify {
+
+/** Golden result of one reference execution. */
+struct RefResult
+{
+    /** Written virtual lines and their final bytes. */
+    std::map<Addr, LineData> image;
+    /** Golden trip counts: (thread, sid) -> stream_step elements. */
+    std::map<std::pair<TileId, StreamId>, uint64_t> trips;
+    /** Dynamic ops executed (sanity / reporting). */
+    uint64_t opCount = 0;
+    /** Barrier rounds executed. */
+    uint64_t rounds = 0;
+};
+
+class RefExecutor
+{
+  public:
+    explicit RefExecutor(mem::AddressSpace &as) : _as(as) {}
+
+    /**
+     * Execute @p sources (one per hardware thread, thread index ==
+     * tile id) to completion and return the golden result. The
+     * sources must be fresh (not the ones a TiledSystem consumed).
+     */
+    RefResult run(const std::vector<isa::OpSource *> &sources);
+
+  private:
+    struct RefStream
+    {
+        isa::StreamConfig cfg;
+        uint64_t iter = 0; //!< elements stepped so far
+    };
+
+    struct Thread
+    {
+        isa::OpSource *src = nullptr;
+        std::vector<isa::Op> buf;
+        size_t bufPos = 0;
+        uint64_t pos = 1; //!< dataflow position; mirrors OpEmitter
+        std::vector<uint64_t> ring;
+        std::map<StreamId, RefStream> streams;
+        bool done = false;
+    };
+
+    /** Run @p t until it executes a Barrier or exhausts its source. */
+    void runRound(TileId tid, Thread &t, RefResult &res);
+
+    void execOp(TileId tid, Thread &t, const isa::Op &op, RefResult &res);
+
+    Addr elemVaddr(Thread &t, const RefStream &s, uint64_t idx);
+
+    void readBytes(Addr vaddr, uint8_t *out, size_t size);
+    void writeBytes(Addr vaddr, const uint8_t *in, size_t size,
+                    RefResult &res);
+
+    mem::AddressSpace &_as;
+    std::map<Addr, LineData> _image;
+};
+
+} // namespace verify
+} // namespace sf
+
+#endif // SF_VERIFY_REF_EXECUTOR_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Named memory regions workloads expose to the --verify oracle so a
+ * divergence diagnostic can say *which array* went bad, not just the
+ * raw virtual address. Kept in its own tiny header so workload code
+ * can describe regions without pulling in the oracle.
+ */
+
+#ifndef SF_VERIFY_REGION_HH
+#define SF_VERIFY_REGION_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sf {
+namespace verify {
+
+struct MemRegion
+{
+    std::string name;
+    Addr base = 0;
+    uint64_t bytes = 0;
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= base && a < base + bytes;
+    }
+};
+
+/** Region containing @p a, or nullptr. */
+inline const MemRegion *
+findRegion(const std::vector<MemRegion> &regions, Addr a)
+{
+    for (const auto &r : regions) {
+        if (r.contains(a))
+            return &r;
+    }
+    return nullptr;
+}
+
+} // namespace verify
+} // namespace sf
+
+#endif // SF_VERIFY_REGION_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared value semantics for the --verify correctness oracle.
+ *
+ * The simulator is oracle-functional and timing-directed: the timing
+ * model moves no data bytes. To prove the protocol would have moved
+ * the *right* bytes, verify mode runs a deterministic shadow
+ * computation on both sides:
+ *
+ *  - the core commits every op through a small in-order interpreter
+ *    whose load values come from the protocol-routed data plane
+ *    (verify::DataPlane), and
+ *  - the reference executor (verify::RefExecutor) runs the same ops
+ *    over flat memory.
+ *
+ * Both sides use exactly the functions below, so any disagreement in
+ * the final memory image is a data-movement bug, not an artifact of
+ * the value encoding. Values are 64-bit hashes, not IEEE arithmetic:
+ * they are cheap, byte-exact, and sensitive to any single stale byte.
+ */
+
+#ifndef SF_VERIFY_VALUE_HH
+#define SF_VERIFY_VALUE_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "isa/op.hh"
+#include "sim/types.hh"
+
+namespace sf {
+namespace verify {
+
+constexpr uint64_t kFoldSeed = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kFoldPrime = 0x100000001b3ULL;
+
+/** splitmix64 finalizer: the core of every value hash below. */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Value of a compute op: a hash of its kind, its static pc, and its
+ * source values in order. Ops with no sources still get a nonzero,
+ * pc-distinct value.
+ */
+inline uint64_t
+computeValue(isa::OpKind kind, uint32_t pc, const uint64_t *srcs,
+             int num_srcs)
+{
+    uint64_t v = mix64((static_cast<uint64_t>(kind) << 32) | pc);
+    for (int i = 0; i < num_srcs; ++i)
+        v = mix64(v * kFoldPrime + srcs[i]);
+    return v;
+}
+
+/**
+ * Fold an observed byte string into a value: little-endian 8-byte
+ * chunks (final chunk zero-padded) accumulated multiplicatively, so
+ * any flipped byte at any offset changes the result.
+ */
+inline uint64_t
+foldBytes(const uint8_t *bytes, size_t size)
+{
+    uint64_t v = kFoldSeed;
+    size_t off = 0;
+    while (off < size) {
+        uint64_t chunk = 0;
+        size_t n = size - off < 8 ? size - off : 8;
+        std::memcpy(&chunk, bytes + off, n);
+        v = (v * kFoldPrime) ^ chunk;
+        off += n;
+    }
+    return v;
+}
+
+/**
+ * The byte pattern a store with value @p v writes: the 8-byte
+ * little-endian encoding of v repeated/truncated to @p size bytes.
+ */
+inline void
+storeBytes(uint64_t v, uint8_t *out, size_t size)
+{
+    for (size_t i = 0; i < size; ++i)
+        out[i] = static_cast<uint8_t>(v >> ((i % 8) * 8));
+}
+
+/** Store value: the data dependence if present, else a pc hash. */
+inline uint64_t
+storeValue(isa::OpKind kind, uint32_t pc, const uint64_t *srcs,
+           int num_srcs)
+{
+    if (num_srcs > 0)
+        return srcs[0];
+    return computeValue(kind, pc, nullptr, 0);
+}
+
+} // namespace verify
+} // namespace sf
+
+#endif // SF_VERIFY_VALUE_HH

@@ -49,6 +49,14 @@ class BfsWorkload : public Workload
 
     std::shared_ptr<isa::OpSource> makeThread(int tid) override;
 
+    std::vector<verify::MemRegion>
+    verifyRegions() const override
+    {
+        return {{"edges", _edgeArr, _edges * 4},
+                {"visited", _visited, _nodes * 4},
+                {"updating", _updating, _nodes * 4}};
+    }
+
     uint64_t _nodes = 0, _edges = 0;
     int _levels = 0;
     Addr _edgeArr = 0, _visited = 0, _updating = 0;

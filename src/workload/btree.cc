@@ -71,6 +71,18 @@ class BtreeWorkload : public Workload
 
     std::shared_ptr<isa::OpSource> makeThread(int tid) override;
 
+    std::vector<verify::MemRegion>
+    verifyRegions() const override
+    {
+        std::vector<verify::MemRegion> r;
+        for (size_t l = 0; l < _levels.size(); ++l) {
+            r.push_back({"level" + std::to_string(l), _levelArr[l],
+                         _levels[l] * nodeBytes});
+        }
+        r.push_back({"queries", _queries, (_lookups + _ranges) * 4});
+        return r;
+    }
+
     uint64_t _leaves = 0, _lookups = 0, _ranges = 0, _rangeLen = 0;
     std::vector<uint64_t> _levels;
     std::vector<Addr> _levelArr;

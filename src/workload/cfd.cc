@@ -49,6 +49,15 @@ class CfdWorkload : public Workload
 
     std::shared_ptr<isa::OpSource> makeThread(int tid) override;
 
+    std::vector<verify::MemRegion>
+    verifyRegions() const override
+    {
+        return {{"neighbors", _esel, _elems * nNeighbors * 4},
+                {"variables", _variables, _elems * nVar * 4},
+                {"normals", _normals, _elems * nNeighbors * 3 * 4},
+                {"fluxes", _fluxes, _elems * nVar * 4}};
+    }
+
     uint64_t _elems = 0;
     int _iters = 0;
     Addr _esel = 0, _variables = 0, _normals = 0, _fluxes = 0;

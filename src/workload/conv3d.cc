@@ -46,12 +46,32 @@ class Conv3dWorkload : public Workload
         _in = as.alloc(_ci * _h * _w * 4, "ifmap");
         _out = as.alloc(_co * _h * _w * 4, "ofmap");
         _kern = as.alloc(_co * _ci * 9 * 4, "weights");
+        // Per-thread scratch is allocated here (not in the thread
+        // constructor) so makeThread(tid) is idempotent: the --verify
+        // reference replay must touch the same addresses as the sim.
+        for (int t = 0; t < params.numThreads; ++t)
+            _scratch.push_back(as.alloc(_h * _w * 4, "scratch"));
     }
 
     std::shared_ptr<isa::OpSource> makeThread(int tid) override;
 
+    std::vector<verify::MemRegion>
+    verifyRegions() const override
+    {
+        std::vector<verify::MemRegion> r = {
+            {"ifmap", _in, _ci * _h * _w * 4},
+            {"ofmap", _out, _co * _h * _w * 4},
+            {"weights", _kern, _co * _ci * 9 * 4}};
+        for (size_t t = 0; t < _scratch.size(); ++t) {
+            r.push_back({"scratch" + std::to_string(t), _scratch[t],
+                         _h * _w * 4});
+        }
+        return r;
+    }
+
     uint64_t _h = 0, _w = 0, _ci = 0, _co = 0;
     Addr _in = 0, _out = 0, _kern = 0;
+    std::vector<Addr> _scratch;
     mem::AddressSpace *_space = nullptr;
 };
 
@@ -65,7 +85,7 @@ class Conv3dThread : public KernelThread
     {
         _w.chunk(_w._co, tid, _coLo, _coHi);
         _co = _coLo;
-        _scratch = w._space->alloc(_w._h * _w._w * 4, "scratch");
+        _scratch = w._scratch[tid];
     }
 
     size_t

@@ -38,6 +38,15 @@ class Hotspot3DWorkload : public Workload
 
     std::shared_ptr<isa::OpSource> makeThread(int tid) override;
 
+    std::vector<verify::MemRegion>
+    verifyRegions() const override
+    {
+        uint64_t bytes = _dim * _dim * _layers * 4;
+        return {{"temp0", _temp[0], bytes},
+                {"temp1", _temp[1], bytes},
+                {"power", _power, bytes}};
+    }
+
     uint64_t _dim = 0;
     uint64_t _layers = 0;
     int _iters = 0;

@@ -42,6 +42,14 @@ class MvWorkload : public Workload
 
     std::shared_ptr<isa::OpSource> makeThread(int tid) override;
 
+    std::vector<verify::MemRegion>
+    verifyRegions() const override
+    {
+        return {{"A", _a, _rows * _cols * 4},
+                {"x", _x, _cols * 4},
+                {"y", _y, _rows * 4}};
+    }
+
     uint64_t _rows = 0, _cols = 0;
     Addr _a = 0, _x = 0, _y = 0;
     mem::AddressSpace *_space = nullptr;

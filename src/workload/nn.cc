@@ -34,6 +34,12 @@ class NnWorkload : public Workload
 
     std::shared_ptr<isa::OpSource> makeThread(int tid) override;
 
+    std::vector<verify::MemRegion>
+    verifyRegions() const override
+    {
+        return {{"records", _recs, _records * 8}};
+    }
+
     uint64_t _records = 0;
     Addr _recs = 0;
     mem::AddressSpace *_space = nullptr;

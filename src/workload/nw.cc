@@ -41,6 +41,13 @@ class NwWorkload : public Workload
 
     std::shared_ptr<isa::OpSource> makeThread(int tid) override;
 
+    std::vector<verify::MemRegion>
+    verifyRegions() const override
+    {
+        return {{"ref", _ref, _dim * _dim * 4},
+                {"matrix", _mat, _dim * _dim * 4}};
+    }
+
     uint64_t _dim = 0, _blocks = 0;
     Addr _ref = 0, _mat = 0;
     mem::AddressSpace *_space = nullptr;

@@ -53,6 +53,17 @@ class ParticlefilterWorkload : public Workload
 
     std::shared_ptr<isa::OpSource> makeThread(int tid) override;
 
+    std::vector<verify::MemRegion>
+    verifyRegions() const override
+    {
+        uint64_t bytes = _particles * 4;
+        return {{"weights", _weights, bytes},
+                {"cdf", _cdf, bytes},
+                {"arrayX", _arrayX, bytes},
+                {"arrayY", _arrayY, bytes},
+                {"outX", _outX, bytes}};
+    }
+
     uint64_t _particles = 0;
     int _frames = 0;
     Addr _weights = 0, _cdf = 0, _arrayX = 0, _arrayY = 0, _outX = 0;

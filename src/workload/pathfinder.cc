@@ -38,6 +38,15 @@ class PathfinderWorkload : public Workload
 
     std::shared_ptr<isa::OpSource> makeThread(int tid) override;
 
+    std::vector<verify::MemRegion>
+    verifyRegions() const override
+    {
+        return {{"wall", _wall,
+                 static_cast<uint64_t>(_rows) * _cols * 4},
+                {"res0", _buf[0], _cols * 4},
+                {"res1", _buf[1], _cols * 4}};
+    }
+
     uint64_t _cols = 0;
     int _rows = 0;
     Addr _wall = 0;

@@ -39,6 +39,16 @@ class SradWorkload : public Workload
 
     std::shared_ptr<isa::OpSource> makeThread(int tid) override;
 
+    std::vector<verify::MemRegion>
+    verifyRegions() const override
+    {
+        uint64_t bytes = _rows * _cols * 4;
+        return {{"J", _j, bytes},
+                {"c", _c, bytes},
+                {"dN", _dn, bytes},
+                {"dS", _ds, bytes}};
+    }
+
     uint64_t _rows = 0, _cols = 0;
     int _iters = 0;
     Addr _j = 0, _c = 0, _dn = 0, _ds = 0;

@@ -21,6 +21,7 @@
 
 #include "isa/op_source.hh"
 #include "mem/phys_mem.hh"
+#include "verify/region.hh"
 
 namespace sf {
 namespace workload {
@@ -51,6 +52,15 @@ class Workload
 
     /** Create the op source for thread @p tid. */
     virtual std::shared_ptr<isa::OpSource> makeThread(int tid) = 0;
+
+    /**
+     * Named dataset arrays, for --verify divergence diagnostics
+     * ("which array went bad"). Valid after init().
+     */
+    virtual std::vector<verify::MemRegion> verifyRegions() const
+    {
+        return {};
+    }
 
     std::vector<std::shared_ptr<isa::OpSource>>
     makeAllThreads()

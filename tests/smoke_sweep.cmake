@@ -66,3 +66,87 @@ if(det MATCHES "wallSeconds")
 endif()
 
 message(STATUS "sweep smoke test passed: -j 1 and -j 4 byte-identical")
+
+# ---------------------------------------------------------------------
+# Crash resilience: force one child to crash and one to hang. Both must
+# be retried once, recorded as "status": "failed" in the merged report,
+# and the sweep must still complete with exit 0. A later --resume run
+# must skip the completed points, redo only the failed ones, and
+# converge to the same bytes as a clean run.
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            SF_SWEEP_TEST_CRASH=IO4_Base_pathfinder
+            SF_SWEEP_TEST_HANG=IO4_SF_mv
+            "${SWEEP}" ${grid} -j 4 --point-timeout=5
+            "--out=${OUT_DIR}/faulty"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sweep with forced failures aborted (rc=${rc}): "
+                        "${out}\n${err}")
+endif()
+foreach(pat "crashed IO4_Base_pathfinder.*retrying"
+        "timed out IO4_SF_mv.*retrying"
+        "FAILED IO4_Base_pathfinder"
+        "FAILED IO4_SF_mv")
+    if(NOT out MATCHES "${pat}")
+        message(FATAL_ERROR "sweep log missing '${pat}':\n${out}")
+    endif()
+endforeach()
+file(READ "${OUT_DIR}/faulty/BENCH_sweep.det.json" faulty)
+string(REGEX MATCHALL "\"status\": \"failed\"" marks "${faulty}")
+list(LENGTH marks n_failed)
+if(NOT n_failed EQUAL 2)
+    message(FATAL_ERROR "expected 2 failed entries in the report, "
+                        "got ${n_failed}")
+endif()
+
+# One flaky point (crashes only on its first attempt) must recover via
+# the retry and leave a clean report.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env SF_SWEEP_TEST_FLAKY=IO4_Base_mv
+            "${SWEEP}" ${grid} -j 4 "--out=${OUT_DIR}/flaky"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "crashed IO4_Base_mv.*retrying")
+    message(FATAL_ERROR "flaky point did not retry (rc=${rc}): ${out}")
+endif()
+file(READ "${OUT_DIR}/flaky/BENCH_sweep.det.json" flaky)
+if(flaky MATCHES "\"status\": \"failed\"")
+    message(FATAL_ERROR "flaky point failed despite the retry")
+endif()
+
+# Resume over the faulty output: completed points are skipped, only the
+# two failed ones rerun, and the report matches a clean run exactly.
+execute_process(
+    COMMAND "${SWEEP}" ${grid} -j 4 --resume "--out=${OUT_DIR}/faulty"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resume sweep failed (rc=${rc}): ${out}\n${err}")
+endif()
+string(REGEX MATCHALL "resume skip" skips "${out}")
+list(LENGTH skips n_skips)
+if(NOT n_skips EQUAL 2)
+    message(FATAL_ERROR "resume skipped ${n_skips} points, expected 2: "
+                        "${out}")
+endif()
+if(NOT out MATCHES "done IO4_Base_pathfinder" OR
+   NOT out MATCHES "done IO4_SF_mv")
+    message(FATAL_ERROR "resume did not rerun the failed points: ${out}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/faulty/BENCH_sweep.det.json"
+            "${OUT_DIR}/j1/BENCH_sweep.det.json"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "resumed report differs from a clean run")
+endif()
+
+message(STATUS "sweep resilience passed: crash+hang recorded, flaky "
+               "retried, resume converged")

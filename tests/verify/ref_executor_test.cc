@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Per-op-class unit tests for the --verify functional reference
+ * executor: affine streams at 1/2/3 loop levels, indirect gathers
+ * (with the w loop), reduction dependence chains, conditional
+ * (data-dependent) stepping, and cross-thread communication through
+ * barrier rounds. Expectations are computed directly from the
+ * verify/value.hh semantics, so these tests pin the executor's
+ * contract independently of the timing simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "isa/op_source.hh"
+#include "mem/phys_mem.hh"
+#include "verify/oracle.hh"
+#include "verify/ref_executor.hh"
+#include "verify/value.hh"
+
+using namespace sf;
+using namespace sf::verify;
+
+namespace {
+
+/**
+ * An OpEmitter whose program is built up-front as a list of chunks.
+ * Tests call the (re-exported) emit helpers on `cur` and seal each
+ * refill chunk with endChunk(); a Barrier, when present, must be the
+ * last op of its chunk, matching the OpSource contract.
+ */
+class ChunkProgram : public isa::OpEmitter
+{
+  public:
+    using isa::OpEmitter::emitBarrier;
+    using isa::OpEmitter::emitCompute;
+    using isa::OpEmitter::emitLoad;
+    using isa::OpEmitter::emitStore;
+    using isa::OpEmitter::emitStreamCfg;
+    using isa::OpEmitter::emitStreamEnd;
+    using isa::OpEmitter::emitStreamLoad;
+    using isa::OpEmitter::emitStreamStep;
+    using isa::OpEmitter::emitStreamStore;
+
+    std::vector<isa::Op> cur;
+
+    void
+    endChunk()
+    {
+        if (!cur.empty()) {
+            _chunks.push_back(std::move(cur));
+            cur.clear();
+        }
+    }
+
+    size_t
+    refill(std::vector<isa::Op> &out) override
+    {
+        if (_next >= _chunks.size())
+            return 0;
+        const auto &c = _chunks[_next++];
+        out.insert(out.end(), c.begin(), c.end());
+        return c.size();
+    }
+
+  private:
+    std::vector<std::vector<isa::Op>> _chunks;
+    size_t _next = 0;
+};
+
+isa::StreamConfig
+affineCfg(StreamId sid, Addr base, uint32_t esz, uint64_t len,
+          int64_t stride, bool is_store = false)
+{
+    isa::StreamConfig c;
+    c.sid = sid;
+    c.isStore = is_store;
+    c.affine.base = base;
+    c.affine.elemSize = esz;
+    c.affine.nDims = 1;
+    c.affine.stride[0] = stride;
+    c.affine.len[0] = len;
+    return c;
+}
+
+struct RefTest : ::testing::Test
+{
+    mem::PhysMem pm;
+    mem::AddressSpace as{0, pm};
+
+    /** Final bytes at [va, va+n): golden image overlay over PhysMem. */
+    std::vector<uint8_t>
+    finalBytes(const RefResult &res, Addr va, size_t n)
+    {
+        std::vector<uint8_t> out(n);
+        size_t done = 0;
+        while (done < n) {
+            Addr a = va + done;
+            Addr vline = lineAlign(a);
+            size_t off = static_cast<size_t>(a - vline);
+            size_t chunk = std::min(n - done,
+                                    static_cast<size_t>(lineBytes) - off);
+            auto it = res.image.find(vline);
+            if (it != res.image.end()) {
+                std::memcpy(out.data() + done, it->second.data() + off,
+                            chunk);
+            } else {
+                for (size_t k = 0; k < chunk; ++k)
+                    out[done + k] = as.readT<uint8_t>(a + k);
+            }
+            done += chunk;
+        }
+        return out;
+    }
+
+    /** foldBytes of the *initial* memory at [va, va+n). */
+    uint64_t
+    foldInit(Addr va, size_t n)
+    {
+        std::vector<uint8_t> b(n);
+        for (size_t i = 0; i < n; ++i)
+            b[i] = as.readT<uint8_t>(va + i);
+        return foldBytes(b.data(), n);
+    }
+
+    /** Expect the 4 bytes at @p va to be the store pattern of @p v. */
+    void
+    expectStored4(const RefResult &res, Addr va, uint64_t v,
+                  const char *what)
+    {
+        uint8_t exp[4];
+        storeBytes(v, exp, 4);
+        auto got = finalBytes(res, va, 4);
+        EXPECT_EQ(0, std::memcmp(got.data(), exp, 4))
+            << what << " at 0x" << std::hex << va;
+    }
+};
+
+} // namespace
+
+TEST_F(RefTest, Affine1DLoadStoreAndTrips)
+{
+    const uint64_t N = 24;
+    Addr A = as.alloc(N * 4, "A");
+    Addr B = as.alloc(N * 4, "B");
+    for (uint64_t i = 0; i < N; ++i)
+        as.writeT<uint32_t>(A + 4 * i, static_cast<uint32_t>(1000 + 7 * i));
+
+    ChunkProgram p;
+    auto &c = p.cur;
+    p.emitStreamCfg(c, {affineCfg(0, A, 4, N, 4),
+                        affineCfg(1, B, 4, N, 4, true)});
+    for (uint64_t i = 0; i < N; ++i) {
+        uint64_t v = p.emitStreamLoad(c, 0, 1, 4);
+        p.emitStreamStore(c, 1, v, 1);
+        p.emitStreamStep(c, 0, 1);
+        p.emitStreamStep(c, 1, 1);
+    }
+    p.emitStreamEnd(c, 0);
+    p.emitStreamEnd(c, 1);
+    p.endChunk();
+
+    RefResult res = RefExecutor(as).run({&p});
+
+    for (uint64_t i = 0; i < N; ++i)
+        expectStored4(res, B + 4 * i, foldInit(A + 4 * i, 4), "B elem");
+    EXPECT_EQ(res.trips.at({0, 0}), N);
+    EXPECT_EQ(res.trips.at({0, 1}), N);
+    // cfg + N * (load, store, 2 steps) + 2 ends, one barrierless round.
+    EXPECT_EQ(res.opCount, 1 + N * 4 + 2);
+    EXPECT_EQ(res.rounds, 1u);
+}
+
+TEST_F(RefTest, Affine2DWalksRowPitch)
+{
+    // 3 rows of 4 elements with a 64-byte row pitch.
+    const uint64_t inner = 4, outer = 3;
+    const int64_t pitch = 64;
+    Addr A = as.alloc(outer * pitch, "A");
+    Addr OUT = as.alloc(inner * outer * 4, "OUT");
+    for (uint64_t r = 0; r < outer; ++r)
+        for (uint64_t i = 0; i < inner; ++i)
+            as.writeT<uint32_t>(A + r * pitch + i * 4,
+                                static_cast<uint32_t>(r * 100 + i));
+
+    isa::StreamConfig cfg = affineCfg(0, A, 4, inner, 4);
+    cfg.affine.nDims = 2;
+    cfg.affine.stride[1] = pitch;
+    cfg.affine.len[1] = outer;
+
+    ChunkProgram p;
+    auto &c = p.cur;
+    p.emitStreamCfg(c, {cfg});
+    for (uint64_t k = 0; k < inner * outer; ++k) {
+        uint64_t v = p.emitStreamLoad(c, 0, 1, 4);
+        p.emitStore(c, OUT + 4 * k, 4, 0x500, v);
+        p.emitStreamStep(c, 0, 1);
+    }
+    p.emitStreamEnd(c, 0);
+    p.endChunk();
+
+    RefResult res = RefExecutor(as).run({&p});
+
+    for (uint64_t k = 0; k < inner * outer; ++k) {
+        Addr elem = A + (k % inner) * 4 +
+                    (k / inner) * static_cast<uint64_t>(pitch);
+        expectStored4(res, OUT + 4 * k, foldInit(elem, 4), "2d elem");
+    }
+    EXPECT_EQ(res.trips.at({0, 0}), inner * outer);
+}
+
+TEST_F(RefTest, Affine3DDecomposesLinearIteration)
+{
+    // len {2, 2, 2}, strides {4, 32, 128}:
+    //   addr(k) = base + (k%2)*4 + ((k/2)%2)*32 + (k/4)*128
+    Addr A = as.alloc(2 * 128, "A");
+    Addr OUT = as.alloc(8 * 4, "OUT");
+    for (uint32_t k = 0; k < 8; ++k) {
+        Addr elem = A + (k % 2) * 4 + ((k / 2) % 2) * 32 + (k / 4) * 128;
+        as.writeT<uint32_t>(elem, 0xabc00 + k);
+    }
+
+    isa::StreamConfig cfg = affineCfg(0, A, 4, 2, 4);
+    cfg.affine.nDims = 3;
+    cfg.affine.stride[1] = 32;
+    cfg.affine.len[1] = 2;
+    cfg.affine.stride[2] = 128;
+    cfg.affine.len[2] = 2;
+
+    ChunkProgram p;
+    auto &c = p.cur;
+    p.emitStreamCfg(c, {cfg});
+    for (uint64_t k = 0; k < 8; ++k) {
+        uint64_t v = p.emitStreamLoad(c, 0, 1, 4);
+        p.emitStore(c, OUT + 4 * k, 4, 0x600, v);
+        p.emitStreamStep(c, 0, 1);
+    }
+    p.emitStreamEnd(c, 0);
+    p.endChunk();
+
+    RefResult res = RefExecutor(as).run({&p});
+
+    for (uint64_t k = 0; k < 8; ++k) {
+        Addr elem = A + (k % 2) * 4 + ((k / 2) % 2) * 32 + (k / 4) * 128;
+        expectStored4(res, OUT + 4 * k, foldInit(elem, 4), "3d elem");
+    }
+}
+
+TEST_F(RefTest, IndirectGatherWithWLoop)
+{
+    // T[I[i]*2 + w] for w in {0, 1}: scale 8 on 4-byte elems.
+    const uint64_t N = 6;
+    Addr I = as.alloc(N * 4, "I");
+    Addr T = as.alloc(64 * 4, "T");
+    Addr OUT = as.alloc(N * 2 * 4, "OUT");
+    const uint32_t idx[N] = {3, 0, 14, 7, 9, 1};
+    for (uint64_t i = 0; i < N; ++i)
+        as.writeT<uint32_t>(I + 4 * i, idx[i]);
+    for (uint32_t k = 0; k < 64; ++k)
+        as.writeT<uint32_t>(T + 4 * k, 0x5000 + 13 * k);
+
+    isa::StreamConfig base = affineCfg(0, I, 4, N, 4);
+    isa::StreamConfig ind;
+    ind.sid = 1;
+    ind.hasIndirect = true;
+    ind.baseSid = 0;
+    ind.indirect.base = T;
+    ind.indirect.elemSize = 4;
+    ind.indirect.idxSize = 4;
+    ind.indirect.scale = 8;
+    ind.indirect.wLen = 2;
+    ind.affine.elemSize = 4;
+    ind.affine.len[0] = N * 2;
+
+    ChunkProgram p;
+    auto &c = p.cur;
+    p.emitStreamCfg(c, {base, ind});
+    for (uint64_t e = 0; e < N * 2; ++e) {
+        uint64_t v = p.emitStreamLoad(c, 1, 1, 4);
+        p.emitStore(c, OUT + 4 * e, 4, 0x700, v);
+        p.emitStreamStep(c, 1, 1);
+    }
+    p.emitStreamEnd(c, 1);
+    p.emitStreamEnd(c, 0);
+    p.endChunk();
+
+    RefResult res = RefExecutor(as).run({&p});
+
+    for (uint64_t e = 0; e < N * 2; ++e) {
+        Addr elem = T + static_cast<Addr>(idx[e / 2]) * 8 + (e % 2) * 4;
+        expectStored4(res, OUT + 4 * e, foldInit(elem, 4), "gather elem");
+    }
+    EXPECT_EQ(res.trips.at({0, 1}), N * 2);
+    EXPECT_EQ(res.trips.count({0, 0}), 0u); // base never stepped
+}
+
+TEST_F(RefTest, ReductionDependenceChain)
+{
+    const uint64_t N = 40;
+    Addr A = as.alloc(N * 4, "A");
+    Addr OUT = as.alloc(8, "OUT");
+    for (uint64_t i = 0; i < N; ++i)
+        as.writeT<uint32_t>(A + 4 * i, static_cast<uint32_t>(0x90000 + i));
+
+    ChunkProgram p;
+    auto &c = p.cur;
+    p.emitStreamCfg(c, {affineCfg(0, A, 4, N, 4)});
+    uint64_t acc_pos = 0;
+    for (uint64_t i = 0; i < N; ++i) {
+        uint64_t ld = p.emitStreamLoad(c, 0, 1, 4);
+        acc_pos = p.emitCompute(c, isa::OpKind::FpAlu,
+                                acc_pos ? acc_pos : ld,
+                                acc_pos ? ld : 0);
+        p.emitStreamStep(c, 0, 1);
+    }
+    p.emitStore(c, OUT, 8, 0x800, acc_pos);
+    p.emitStreamEnd(c, 0);
+    p.endChunk();
+
+    RefResult res = RefExecutor(as).run({&p});
+
+    // Mirror the chain with the shared value semantics.
+    uint64_t acc = 0;
+    bool first = true;
+    for (uint64_t i = 0; i < N; ++i) {
+        uint64_t ld = foldInit(A + 4 * i, 4);
+        uint64_t srcs[2] = {first ? ld : acc, ld};
+        acc = computeValue(isa::OpKind::FpAlu, 0, srcs, first ? 1 : 2);
+        first = false;
+    }
+    uint8_t exp[8];
+    storeBytes(acc, exp, 8);
+    auto got = finalBytes(res, OUT, 8);
+    EXPECT_EQ(0, std::memcmp(got.data(), exp, 8));
+}
+
+TEST_F(RefTest, ConditionalStepCountsOnlySteppedElems)
+{
+    // Emitter-side data-dependent control flow: compact the odd
+    // elements of A into OUT, stepping the store stream only when the
+    // predicate (known functionally at emit time) holds.
+    const uint64_t N = 16;
+    Addr A = as.alloc(N * 4, "A");
+    Addr OUT = as.alloc(N * 4, "OUT");
+    for (uint64_t i = 0; i < N; ++i)
+        as.writeT<uint32_t>(A + 4 * i, static_cast<uint32_t>(3 * i));
+
+    ChunkProgram p;
+    auto &c = p.cur;
+    p.emitStreamCfg(c, {affineCfg(0, A, 4, N, 4),
+                        affineCfg(1, OUT, 4, N, 4, true)});
+    uint64_t odd = 0;
+    for (uint64_t i = 0; i < N; ++i) {
+        uint64_t v = p.emitStreamLoad(c, 0, 1, 4);
+        if (as.readT<uint32_t>(A + 4 * i) & 1) {
+            p.emitStreamStore(c, 1, v, 1);
+            p.emitStreamStep(c, 1, 1);
+            ++odd;
+        }
+        p.emitStreamStep(c, 0, 1);
+    }
+    // Stepping a never-configured stream is ignored (no trip count).
+    p.emitStreamStep(c, 7, 1);
+    p.emitStreamEnd(c, 0);
+    p.emitStreamEnd(c, 1);
+    p.endChunk();
+
+    RefResult res = RefExecutor(as).run({&p});
+
+    ASSERT_EQ(odd, N / 2);
+    uint64_t j = 0;
+    for (uint64_t i = 0; i < N; ++i) {
+        if (!(as.readT<uint32_t>(A + 4 * i) & 1))
+            continue;
+        expectStored4(res, OUT + 4 * j, foldInit(A + 4 * i, 4),
+                      "compacted elem");
+        ++j;
+    }
+    EXPECT_EQ(res.trips.at({0, 0}), N);
+    EXPECT_EQ(res.trips.at({0, 1}), odd);
+    EXPECT_EQ(res.trips.count({0, 7}), 0u);
+}
+
+TEST_F(RefTest, VectorizedStreamLoadFoldsAllElems)
+{
+    const uint64_t N = 8;
+    Addr A = as.alloc(N * 4, "A");
+    Addr OUT = as.alloc(4, "OUT");
+    for (uint64_t i = 0; i < N; ++i)
+        as.writeT<uint32_t>(A + 4 * i, static_cast<uint32_t>(0x41 + i));
+
+    ChunkProgram p;
+    auto &c = p.cur;
+    p.emitStreamCfg(c, {affineCfg(0, A, 4, N, 4)});
+    uint64_t v = p.emitStreamLoad(c, 0, /*elems=*/N, /*size=*/N * 4);
+    p.emitStore(c, OUT, 4, 0x900, v);
+    p.emitStreamStep(c, 0, N);
+    p.emitStreamEnd(c, 0);
+    p.endChunk();
+
+    RefResult res = RefExecutor(as).run({&p});
+
+    expectStored4(res, OUT, foldInit(A, N * 4), "vector fold");
+    EXPECT_EQ(res.trips.at({0, 0}), N);
+}
+
+TEST_F(RefTest, BarrierRoundsOrderCrossThreadCommunication)
+{
+    // Thread 0 stores X in round 1; thread 1 reads X in round 2 and
+    // stores a derived Z. Phase-sequential rounds make the reference
+    // a legal interleaving of this producer/consumer handoff.
+    const uint64_t N = 8;
+    Addr X = as.alloc(N * 4, "X");
+    Addr Z = as.alloc(N * 4, "Z");
+
+    ChunkProgram t0;
+    for (uint64_t i = 0; i < N; ++i)
+        t0.emitStore(t0.cur, X + 4 * i, 4,
+                     static_cast<uint32_t>(100 + i));
+    t0.emitBarrier(t0.cur);
+    t0.endChunk();
+
+    ChunkProgram t1;
+    t1.emitBarrier(t1.cur);
+    t1.endChunk();
+    for (uint64_t i = 0; i < N; ++i) {
+        uint64_t ld = t1.emitLoad(t1.cur, X + 4 * i, 4, 0xa00);
+        t1.emitStore(t1.cur, Z + 4 * i, 4, 0xa01, ld);
+    }
+    t1.endChunk();
+
+    RefResult res = runReference(as, {&t0, &t1});
+
+    for (uint64_t i = 0; i < N; ++i) {
+        // X[i]: dep-less store pattern, pc-distinct.
+        uint64_t sv = storeValue(isa::OpKind::Store,
+                                 static_cast<uint32_t>(100 + i), nullptr,
+                                 0);
+        expectStored4(res, X + 4 * i, sv, "X elem");
+        // Z[i]: fold of the 4 bytes thread 0 left at X[i].
+        uint8_t xb[4];
+        storeBytes(sv, xb, 4);
+        expectStored4(res, Z + 4 * i, foldBytes(xb, 4), "Z elem");
+    }
+    EXPECT_EQ(res.rounds, 2u);
+    EXPECT_EQ(res.opCount, (N + 1) + 1 + 2 * N);
+}

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * End-to-end tests of the --verify architectural oracle.
+ *
+ * Positive: real workloads across {in-order, OOO} x {no-float, float}
+ * machines produce final memory images and trip counts identical to
+ * the functional reference executor.
+ *
+ * Negative: two injected protocol bugs (an L3 serving stale uncached
+ * data instead of forwarding to the dirty owner, and a PutM writeback
+ * whose data payload is dropped) must be caught as memory divergences
+ * with exit code 67 and a first-divergence diagnostic naming the
+ * region and last writer. A cross-tile producer/consumer handoff is
+ * required to expose the stale-GetU bug: when every tile streams its
+ * own partition, its private cache supersedes the DataU image and the
+ * staleness is architecturally invisible (correctly so).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "system/tiled_system.hh"
+#include "verify/oracle.hh"
+#include "workload/kernel_util.hh"
+#include "workload/workload.hh"
+
+using namespace sf;
+using namespace sf::sys;
+
+namespace {
+
+/** Run one workload with the data plane on and diff against golden. */
+std::optional<verify::Divergence>
+runWorkload(Machine machine, const cpu::CoreConfig &core,
+            const std::string &wl_name)
+{
+    SystemConfig cfg = SystemConfig::make(machine, core, 2, 2);
+    cfg.maxCycles = 30'000'000;
+    cfg.verify = true;
+    TiledSystem sys(cfg);
+
+    workload::WorkloadParams wp;
+    wp.numThreads = cfg.numTiles();
+    wp.scale = 0.02;
+    wp.useStreams = machineUsesStreams(machine);
+    auto wl = workload::makeWorkload(wl_name, wp);
+    wl->init(sys.addressSpace());
+
+    SimResults r = sys.run(wl->makeAllThreads());
+    EXPECT_FALSE(r.hitCycleLimit);
+
+    auto ref_threads = wl->makeAllThreads();
+    std::vector<isa::OpSource *> srcs;
+    for (auto &t : ref_threads)
+        srcs.push_back(t.get());
+    verify::RefResult golden =
+        verify::runReference(sys.addressSpace(), srcs);
+    return verify::compareWithGolden(*sys.verifyPlane(), golden,
+                                     sys.addressSpace(),
+                                     wl->verifyRegions());
+}
+
+/**
+ * Cross-tile producer/consumer micro-kernel: tile 0 plain-stores the
+ * 32 KB array X (staying dirty in its private L2), then tile 1
+ * streams X and stores a derived Y. With the stream forced to float,
+ * tile 1's reads arrive as uncached DataU serves — the §IV-E window
+ * the stale-getu injection corrupts.
+ */
+class HandoffThread : public workload::KernelThread
+{
+  public:
+    HandoffThread(mem::AddressSpace &as, int tid, Addr x, Addr y,
+                  uint64_t n)
+        : KernelThread(as, /*use_streams=*/true, tid, 8),
+          _x(x), _y(y), _n(n)
+    {}
+
+    size_t
+    refill(std::vector<isa::Op> &out) override
+    {
+        size_t before = out.size();
+        switch (_phase++) {
+          case 0:
+            if (_tid == 0) {
+                for (uint64_t i = 0; i < _n; ++i)
+                    emitStore(out, _x + 4 * i, 4, 0x100);
+            }
+            emitBarrier(out);
+            break;
+          case 1:
+            if (_tid == 1) {
+                constexpr StreamId sL = 0, sS = 1;
+                beginStreams(out, {affine1d(sL, _x, 4, _n, 4),
+                                   affine1d(sS, _y, 4, _n, 4, true)});
+                rowPass(out, _n, {sL}, sS, /*fp=*/1);
+                endStreams(out, {sL, sS});
+            }
+            emitBarrier(out);
+            break;
+          default:
+            return 0;
+        }
+        return out.size() - before;
+    }
+
+  private:
+    Addr _x, _y;
+    uint64_t _n;
+    int _phase = 0;
+};
+
+struct HandoffRun
+{
+    std::unique_ptr<TiledSystem> sys;
+    std::vector<verify::MemRegion> regions;
+    verify::RefResult golden;
+    uint64_t streamsFloated = 0;
+};
+
+HandoffRun
+runHandoff(const std::string &bug)
+{
+    SystemConfig cfg =
+        SystemConfig::make(Machine::SF, cpu::CoreConfig::ooo4(), 2, 2);
+    cfg.maxCycles = 30'000'000;
+    cfg.verify = true;
+    cfg.verifyBug = bug;
+    // Make the 32 KB read stream exceed the floating policy's L2
+    // budget so it floats (the real L2 still holds all of X dirty).
+    cfg.seCore.l2CapacityBytes = 4096;
+
+    HandoffRun run;
+    run.sys = std::make_unique<TiledSystem>(cfg);
+    mem::AddressSpace &as = run.sys->addressSpace();
+    const uint64_t n = 8192;
+    Addr x = as.alloc(n * 4, "X");
+    Addr y = as.alloc(n * 4, "Y");
+    run.regions = {{"X", x, n * 4}, {"Y", y, n * 4}};
+
+    auto make = [&]() {
+        std::vector<std::shared_ptr<isa::OpSource>> v;
+        for (int t = 0; t < cfg.numTiles(); ++t)
+            v.push_back(std::make_shared<HandoffThread>(as, t, x, y, n));
+        return v;
+    };
+    SimResults r = run.sys->run(make());
+    EXPECT_FALSE(r.hitCycleLimit);
+    run.streamsFloated = r.streamsFloated;
+
+    auto ref_threads = make();
+    std::vector<isa::OpSource *> srcs;
+    for (auto &t : ref_threads)
+        srcs.push_back(t.get());
+    run.golden = verify::runReference(as, srcs);
+    return run;
+}
+
+/** Single-tile store sweep under heavy L2 pressure (PutM traffic). */
+class StoreSweepThread : public workload::KernelThread
+{
+  public:
+    StoreSweepThread(mem::AddressSpace &as, int tid, Addr w, uint64_t n)
+        : KernelThread(as, /*use_streams=*/false, tid, 8), _w(w), _n(n)
+    {}
+
+    size_t
+    refill(std::vector<isa::Op> &out) override
+    {
+        size_t before = out.size();
+        if (_phase++)
+            return 0;
+        if (_tid == 0) {
+            for (uint64_t i = 0; i < _n; ++i)
+                emitStore(out, _w + 4 * i, 4, 0x200);
+        }
+        emitBarrier(out);
+        return out.size() - before;
+    }
+
+  private:
+    Addr _w;
+    uint64_t _n;
+    int _phase = 0;
+};
+
+struct SweepRun
+{
+    std::unique_ptr<TiledSystem> sys;
+    std::vector<verify::MemRegion> regions;
+    verify::RefResult golden;
+};
+
+SweepRun
+runStoreSweep(const std::string &bug)
+{
+    SystemConfig cfg = SystemConfig::make(Machine::BingoPf,
+                                          cpu::CoreConfig::ooo4(), 2, 2);
+    cfg.maxCycles = 30'000'000;
+    cfg.verify = true;
+    cfg.verifyBug = bug;
+    // Shrink the private hierarchy so the 64 KB sweep forces dirty
+    // PutM writebacks to the L3 while the run is still going.
+    cfg.priv.l1Size = 2 * 1024;
+    cfg.priv.l2Size = 8 * 1024;
+
+    SweepRun run;
+    run.sys = std::make_unique<TiledSystem>(cfg);
+    mem::AddressSpace &as = run.sys->addressSpace();
+    const uint64_t n = 16384;
+    Addr w = as.alloc(n * 4, "W");
+    run.regions = {{"W", w, n * 4}};
+
+    auto make = [&]() {
+        std::vector<std::shared_ptr<isa::OpSource>> v;
+        for (int t = 0; t < cfg.numTiles(); ++t)
+            v.push_back(std::make_shared<StoreSweepThread>(as, t, w, n));
+        return v;
+    };
+    SimResults r = run.sys->run(make());
+    EXPECT_FALSE(r.hitCycleLimit);
+
+    auto ref_threads = make();
+    std::vector<isa::OpSource *> srcs;
+    for (auto &t : ref_threads)
+        srcs.push_back(t.get());
+    run.golden = verify::runReference(as, srcs);
+    return run;
+}
+
+} // namespace
+
+TEST(VerifyOracle, PathfinderMatchesReferenceAcrossConfigs)
+{
+    // {in-order, OOO} x {stream-no-float, stream-float}: the oracle
+    // must hold on every machine the acceptance matrix names.
+    struct Cfg
+    {
+        cpu::CoreConfig core;
+        Machine machine;
+    };
+    const Cfg cfgs[] = {
+        {cpu::CoreConfig::io4(), Machine::SS},
+        {cpu::CoreConfig::io4(), Machine::SF},
+        {cpu::CoreConfig::ooo4(), Machine::SS},
+        {cpu::CoreConfig::ooo4(), Machine::SF},
+    };
+    for (const auto &c : cfgs) {
+        auto d = runWorkload(c.machine, c.core, "pathfinder");
+        EXPECT_FALSE(d.has_value())
+            << machineName(c.machine) << "/" << c.core.label << ": "
+            << d->describe();
+    }
+}
+
+TEST(VerifyOracle, IndirectWorkloadMatchesReference)
+{
+    // bfs exercises the indirect-stream observe path end to end.
+    auto d = runWorkload(Machine::SF, cpu::CoreConfig::ooo4(), "bfs");
+    EXPECT_FALSE(d.has_value()) << d->describe();
+}
+
+TEST(VerifyOracle, CrossTileHandoffControlPasses)
+{
+    // Without the injection the FwdGetU owner-snapshot path must
+    // deliver current bytes: the floated handoff verifies clean.
+    HandoffRun run = runHandoff("");
+    EXPECT_GT(run.streamsFloated, 0u) << "handoff stream never floated;"
+                                         " the negative test would not"
+                                         " exercise the GetU path";
+    auto d = verify::compareWithGolden(*run.sys->verifyPlane(),
+                                       run.golden,
+                                       run.sys->addressSpace(),
+                                       run.regions);
+    EXPECT_FALSE(d.has_value()) << d->describe();
+}
+
+TEST(VerifyOracle, StaleGetUCaughtWithExit67)
+{
+    HandoffRun run = runHandoff("stale-getu");
+    ASSERT_GT(run.streamsFloated, 0u);
+
+    auto d = verify::compareWithGolden(*run.sys->verifyPlane(),
+                                       run.golden,
+                                       run.sys->addressSpace(),
+                                       run.regions);
+    ASSERT_TRUE(d.has_value())
+        << "stale-getu injection produced no divergence";
+    EXPECT_EQ(d->kind, verify::Divergence::Kind::Memory);
+    // The consumer derived Y from stale X bytes: the first divergent
+    // byte lies in Y, last written by tile 1's store stream.
+    EXPECT_EQ(d->region, "Y");
+    ASSERT_TRUE(d->hasWriter);
+    EXPECT_EQ(d->writer.tile, 1);
+    EXPECT_TRUE(d->writer.isStream);
+    EXPECT_GT(d->divergentLines, 0u);
+    std::string msg = d->describe();
+    EXPECT_NE(msg.find("golden"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Y"), std::string::npos) << msg;
+
+    // checkOrDie must surface it through the fatal() path as the
+    // distinct verify exit code.
+    bool threw = false;
+    try {
+        verify::checkOrDie(*run.sys->verifyPlane(), run.golden,
+                           run.sys->addressSpace(), run.regions,
+                           "stale-getu handoff");
+    } catch (const FatalError &e) {
+        threw = true;
+        EXPECT_EQ(e.exitStatus(), 67);
+    }
+    EXPECT_TRUE(threw);
+}
+
+TEST(VerifyOracle, DroppedPutMDataControlPasses)
+{
+    SweepRun run = runStoreSweep("");
+    auto d = verify::compareWithGolden(*run.sys->verifyPlane(),
+                                       run.golden,
+                                       run.sys->addressSpace(),
+                                       run.regions);
+    EXPECT_FALSE(d.has_value()) << d->describe();
+}
+
+TEST(VerifyOracle, DroppedPutMDataCaughtWithExit67)
+{
+    SweepRun run = runStoreSweep("drop-putm-data");
+    auto d = verify::compareWithGolden(*run.sys->verifyPlane(),
+                                       run.golden,
+                                       run.sys->addressSpace(),
+                                       run.regions);
+    ASSERT_TRUE(d.has_value())
+        << "drop-putm-data injection produced no divergence";
+    EXPECT_EQ(d->kind, verify::Divergence::Kind::Memory);
+    EXPECT_EQ(d->region, "W");
+    ASSERT_TRUE(d->hasWriter);
+    EXPECT_EQ(d->writer.tile, 0);
+    EXPECT_FALSE(d->writer.isStream);
+
+    bool threw = false;
+    try {
+        verify::checkOrDie(*run.sys->verifyPlane(), run.golden,
+                           run.sys->addressSpace(), run.regions,
+                           "dropped PutM sweep");
+    } catch (const FatalError &e) {
+        threw = true;
+        EXPECT_EQ(e.exitStatus(), 67);
+    }
+    EXPECT_TRUE(threw);
+}
