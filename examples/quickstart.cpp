@@ -69,6 +69,7 @@ runOne(sys::Machine machine, const std::string &wl_name, double scale,
     if (rob.watchdogCycles != ~0ULL)
         cfg.watchdogCycles = rob.watchdogCycles;
     cfg.verify = rob.verify;
+    // sflint: allow(D2, verify-oracle fault-injection hook, not timed state)
     if (const char *bug = std::getenv("SF_VERIFY_BUG"))
         cfg.verifyBug = bug;
     sys::TiledSystem system(cfg);

@@ -15,7 +15,7 @@
 #include <cstdio>
 #include <deque>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "flt/stream_msg.hh"
@@ -280,8 +280,11 @@ class SEL2 : public SimObject,
     stream::SECore &_seCore;
     verify::DataPlane *_verify = nullptr;
 
-    std::unordered_map<StreamId, FloatedStream> _floated;
-    std::unordered_map<StreamId, uint32_t> _genCounter;
+    // Ordered by StreamId: these tables are iterated on paths that
+    // emit messages and pick alias leaders, where hash order would
+    // break the determinism contract (sflint D1).
+    std::map<StreamId, FloatedStream> _floated;
+    std::map<StreamId, uint32_t> _genCounter;
 
     std::deque<Grant> _grants;
     uint16_t _headSeq = 0;

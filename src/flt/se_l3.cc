@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <tuple>
 
 #include "sim/debug.hh"
 #include "sim/logging.hh"
@@ -559,7 +560,20 @@ SEL3::debugDump(std::FILE *f) const
         }
         std::fprintf(f, "] pump=%d\n", _pump.running());
     }
-    for (const auto &[gsid, pc] : _pendingCredits) {
+    // Sorted snapshot: _pendingCredits is hash-ordered and the dump
+    // must be reproducible (sflint D1).
+    std::vector<GlobalStreamId> pend;
+    pend.reserve(_pendingCredits.size());
+    // sflint: ordered-ok(key collection only; sorted before printing)
+    for (const auto &kv : _pendingCredits)
+        pend.push_back(kv.first);
+    std::sort(pend.begin(), pend.end(),
+              [](const GlobalStreamId &a, const GlobalStreamId &b) {
+                  return std::tie(a.core, a.sid) <
+                         std::tie(b.core, b.sid);
+              });
+    for (const GlobalStreamId &gsid : pend) {
+        const auto &pc = _pendingCredits.at(gsid);
         std::fprintf(f, "  %s pendingCredit c%d s%d gen=%u lim=%llu\n",
                      name().c_str(), gsid.core, gsid.sid, pc.first,
                      (unsigned long long)pc.second);

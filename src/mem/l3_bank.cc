@@ -44,7 +44,22 @@ L3Bank::recvMsg(const MemMsgPtr &msg)
       case MemMsgType::MemData:
         handleMemData(msg);
         return;
-      default:
+      case MemMsgType::GetS:
+      case MemMsgType::GetM:
+      case MemMsgType::GetU:
+      case MemMsgType::PutS:
+      case MemMsgType::PutM:
+      case MemMsgType::FwdGetS:
+      case MemMsgType::FwdGetM:
+      case MemMsgType::FwdGetU:
+      case MemMsgType::Inv:
+      case MemMsgType::PutAck:
+      case MemMsgType::DataS:
+      case MemMsgType::DataE:
+      case MemMsgType::DataM:
+      case MemMsgType::DataU:
+      case MemMsgType::MemRead:
+      case MemMsgType::MemWrite:
         break;
     }
 
@@ -91,7 +106,23 @@ L3Bank::process(const MemMsgPtr &msg)
       case MemMsgType::GetU:
         handleGetU(msg);
         break;
-      default:
+      case MemMsgType::PutS:
+      case MemMsgType::PutM:
+      case MemMsgType::FwdGetS:
+      case MemMsgType::FwdGetM:
+      case MemMsgType::FwdGetU:
+      case MemMsgType::Inv:
+      case MemMsgType::InvAck:
+      case MemMsgType::FwdAck:
+      case MemMsgType::FwdMiss:
+      case MemMsgType::PutAck:
+      case MemMsgType::DataS:
+      case MemMsgType::DataE:
+      case MemMsgType::DataM:
+      case MemMsgType::DataU:
+      case MemMsgType::MemRead:
+      case MemMsgType::MemWrite:
+      case MemMsgType::MemData:
         panic("L3 %s got unexpected %s", name().c_str(),
               memMsgName(msg->type));
     }
@@ -655,7 +686,23 @@ L3Bank::handleMemData(const MemMsgPtr &msg)
           case MemMsgType::GetU:
             serveUncached(nullptr, txn.req, nullptr);
             break;
-          default:
+          case MemMsgType::PutS:
+          case MemMsgType::PutM:
+          case MemMsgType::FwdGetS:
+          case MemMsgType::FwdGetM:
+          case MemMsgType::FwdGetU:
+          case MemMsgType::Inv:
+          case MemMsgType::InvAck:
+          case MemMsgType::FwdAck:
+          case MemMsgType::FwdMiss:
+          case MemMsgType::PutAck:
+          case MemMsgType::DataS:
+          case MemMsgType::DataE:
+          case MemMsgType::DataM:
+          case MemMsgType::DataU:
+          case MemMsgType::MemRead:
+          case MemMsgType::MemWrite:
+          case MemMsgType::MemData:
             panic("bad txn request type");
         }
     }
@@ -665,7 +712,16 @@ L3Bank::handleMemData(const MemMsgPtr &msg)
 void
 L3Bank::debugDump(std::FILE *f) const
 {
-    for (const auto &[addr, txn] : _txns) {
+    // Sorted snapshot: _txns is hash-ordered and the dump must be
+    // reproducible (sflint D1).
+    std::vector<Addr> addrs;
+    addrs.reserve(_txns.size());
+    // sflint: ordered-ok(key collection only; sorted before printing)
+    for (const auto &kv : _txns)
+        addrs.push_back(kv.first);
+    std::sort(addrs.begin(), addrs.end());
+    for (Addr addr : addrs) {
+        const Txn &txn = _txns.at(addr);
         std::fprintf(f,
                      "  %s txn line=%llx state=%d isStream=%d "
                      "pendingAcks=%d queued=%zu req=%s\n",

@@ -563,7 +563,23 @@ PrivCache::handleData(const MemMsgPtr &msg)
         state = LineState::Modified;
         grants_write = true;
         break;
-      default:
+      case MemMsgType::GetS:
+      case MemMsgType::GetM:
+      case MemMsgType::GetU:
+      case MemMsgType::PutS:
+      case MemMsgType::PutM:
+      case MemMsgType::FwdGetS:
+      case MemMsgType::FwdGetM:
+      case MemMsgType::FwdGetU:
+      case MemMsgType::Inv:
+      case MemMsgType::InvAck:
+      case MemMsgType::FwdAck:
+      case MemMsgType::FwdMiss:
+      case MemMsgType::PutAck:
+      case MemMsgType::DataU:
+      case MemMsgType::MemRead:
+      case MemMsgType::MemWrite:
+      case MemMsgType::MemData:
         panic("unexpected data type %s", memMsgName(msg->type));
     }
 
@@ -839,7 +855,17 @@ PrivCache::recvMsg(const MemMsgPtr &msg)
             _pendingPuts.erase(put);
         break;
       }
-      default:
+      case MemMsgType::GetS:
+      case MemMsgType::GetM:
+      case MemMsgType::GetU:
+      case MemMsgType::PutS:
+      case MemMsgType::PutM:
+      case MemMsgType::InvAck:
+      case MemMsgType::FwdAck:
+      case MemMsgType::FwdMiss:
+      case MemMsgType::MemRead:
+      case MemMsgType::MemWrite:
+      case MemMsgType::MemData:
         panic("PrivCache %s got unexpected %s", name().c_str(),
               memMsgName(msg->type));
     }
@@ -848,7 +874,16 @@ PrivCache::recvMsg(const MemMsgPtr &msg)
 void
 PrivCache::debugDump(std::FILE *f) const
 {
-    for (const auto &[addr, m] : _mshrs) {
+    // Sorted snapshot: _mshrs is hash-ordered and the dump must be
+    // reproducible (sflint D1).
+    std::vector<Addr> addrs;
+    addrs.reserve(_mshrs.size());
+    // sflint: ordered-ok(key collection only; sorted before printing)
+    for (const auto &kv : _mshrs)
+        addrs.push_back(kv.first);
+    std::sort(addrs.begin(), addrs.end());
+    for (Addr addr : addrs) {
+        const Mshr &m = _mshrs.at(addr);
         std::fprintf(f,
                      "  %s mshr line=%llx pendingM=%d needsM=%d "
                      "waiters=%zu demand=%d stream=%d pf=%d "

@@ -71,7 +71,7 @@ Tick
 Mesh::oldestInFlightTick() const
 {
     Tick oldest = maxTick;
-    for (const auto &[msg, info] : _inFlight)
+    for (const auto &[seq, info] : _inFlight)
         oldest = std::min(oldest, info.injectTick);
     return oldest;
 }
@@ -80,15 +80,16 @@ void
 Mesh::forEachInFlight(
     const std::function<void(const MsgPtr &, Tick)> &fn) const
 {
-    for (const auto &[msg, info] : _inFlight)
-        fn(msg, info.injectTick);
+    for (const auto &[seq, info] : _inFlight)
+        fn(info.msg, info.injectTick);
 }
 
 void
 Mesh::debugDumpInFlight(std::FILE *out) const
 {
     std::fprintf(out, "mesh: %zu packet(s) in flight\n", _inFlight.size());
-    for (const auto &[msg, info] : _inFlight) {
+    for (const auto &[seq, info] : _inFlight) {
+        const MsgPtr &msg = info.msg;
         std::fprintf(out,
                      "  %d -> %d (+%zu) cls=%d bytes=%u injected@%llu "
                      "remaining=%d\n",
@@ -145,9 +146,15 @@ Mesh::inject(const MsgPtr &msg)
                (int)msg->src, (int)msg->dests.front(),
                msg->dests.size() - 1, (int)msg->cls, flits, max_hops);
     if (_trackInFlight) {
-        auto &info = _inFlight[msg];
-        if (info.remaining == 0)
+        auto [sit, fresh] =
+            _inFlightSeq.try_emplace(msg.get(), _nextInFlightSeq);
+        if (fresh)
+            ++_nextInFlightSeq;
+        InFlightInfo &info = _inFlight[sit->second];
+        if (info.remaining == 0) {
+            info.msg = msg;
             info.injectTick = curTick();
+        }
         info.remaining += static_cast<int>(msg->dests.size());
     }
     // Injection passes through the local router pipeline once.
@@ -215,10 +222,14 @@ Mesh::hop(const MsgPtr &msg, TileId at, std::vector<TileId> dests,
                        // sink runs: the receiver may legally re-send
                        // the same message object (forwarding).
                        if (_trackInFlight) {
-                           auto it = _inFlight.find(msg);
-                           if (it != _inFlight.end() &&
-                               --it->second.remaining <= 0) {
-                               _inFlight.erase(it);
+                           auto sit = _inFlightSeq.find(msg.get());
+                           if (sit != _inFlightSeq.end()) {
+                               auto it = _inFlight.find(sit->second);
+                               if (it != _inFlight.end() &&
+                                   --it->second.remaining <= 0) {
+                                   _inFlight.erase(it);
+                                   _inFlightSeq.erase(sit);
+                               }
                            }
                        }
                        sink(msg);

@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "noc/message.hh"
@@ -175,6 +176,7 @@ class Mesh : public SimObject
     /** One tracked packet: injection tick + deliveries still owed. */
     struct InFlightInfo
     {
+        MsgPtr msg;
         Tick injectTick = 0;
         int remaining = 0;
     };
@@ -203,7 +205,17 @@ class Mesh : public SimObject
     Tick _startTick;
     SendInterceptor _interceptor;
     bool _trackInFlight = false;
-    std::map<MsgPtr, InFlightInfo> _inFlight;
+    /**
+     * Tracked packets keyed by a monotonically assigned injection
+     * sequence id, so iteration (watchdog diagnostics, conservation
+     * checks) follows injection order. Keying by MsgPtr would order
+     * by allocation address — nondeterministic under ASLR (sflint
+     * D1). The side index resolves a message back to its sequence id
+     * on delivery and is never iterated.
+     */
+    std::map<uint64_t, InFlightInfo> _inFlight;
+    std::unordered_map<const Message *, uint64_t> _inFlightSeq;
+    uint64_t _nextInFlightSeq = 0;
 };
 
 } // namespace noc

@@ -17,7 +17,7 @@
 #include <cstdio>
 #include <deque>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "cpu/stream_engine_if.hh"
@@ -190,8 +190,9 @@ class SECore : public SimObject, public cpu::StreamEngineIf
         uint64_t quotaElems = 8;
         /** Guards stale fetch callbacks across reconfigurations. */
         uint32_t epoch = 0;
-        /** --verify: observed element bytes, keyed by absolute index. */
-        std::unordered_map<uint64_t, std::vector<uint8_t>> vElems;
+        /** --verify: observed element bytes, keyed by absolute index
+         *  (ordered — the commit-time sweep iterates it). */
+        std::map<uint64_t, std::vector<uint8_t>> vElems;
     };
 
     StreamState &state(StreamId sid);
@@ -232,9 +233,12 @@ class SECore : public SimObject, public cpu::StreamEngineIf
     std::function<void()> _wake;
     verify::DataPlane *_verify = nullptr;
 
-    std::unordered_map<StreamId, StreamState> _streams;
+    // Ordered by StreamId: quota recomputation, context-switch
+    // flushes and debug dumps iterate this table, and their order
+    // feeds message emission (sflint D1).
+    std::map<StreamId, StreamState> _streams;
     /** Dispatched-but-uncommitted stream_cfg count per stream. */
-    std::unordered_map<StreamId, int> _pendingCfgs;
+    std::map<StreamId, int> _pendingCfgs;
     StreamHistoryTable _history;
     SECoreStats _stats;
 };

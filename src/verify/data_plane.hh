@@ -16,7 +16,7 @@
  *  - writes require M ownership, which invalidates all other private
  *    copies — so any live private-cache image is current;
  *  - at most one dirty image is ever in flight per line (tracked in
- *    _inFlight across the eviction/forward/recall windows where the
+ *    _inFlightLines across the eviction/forward/recall windows where the
  *    bytes exist only inside a message).
  *
  * Everything here is header-only so that sf_mem, sf_cpu, sf_stream and
@@ -166,12 +166,12 @@ class DataPlane
     noteInFlight(Addr line_paddr, const LinePtr &p)
     {
         if (p)
-            _inFlight[line_paddr] = p;
+            _inFlightLines[line_paddr] = p;
         else
-            _inFlight.erase(line_paddr);
+            _inFlightLines.erase(line_paddr);
     }
 
-    void clearInFlight(Addr line_paddr) { _inFlight.erase(line_paddr); }
+    void clearInFlight(Addr line_paddr) { _inFlightLines.erase(line_paddr); }
 
     /** Private-cache fill: adopt the message image (may be null). */
     void
@@ -180,7 +180,7 @@ class DataPlane
     {
         line->vdata = p;
         _uncached[t].erase(line_paddr);
-        _inFlight.erase(line_paddr);
+        _inFlightLines.erase(line_paddr);
     }
 
     /** L3 install (PutM, FwdAck, InvAck recall, MemData). */
@@ -188,7 +188,7 @@ class DataPlane
     l3Install(mem::CacheLine *line, Addr line_paddr, const LinePtr &p)
     {
         line->vdata = p;
-        _inFlight.erase(line_paddr);
+        _inFlightLines.erase(line_paddr);
     }
 
     /** Memory-controller write: the image reaches the DRAM shadow. */
@@ -197,7 +197,7 @@ class DataPlane
     {
         if (p)
             _shadow[line_paddr] = p;
-        _inFlight.erase(line_paddr);
+        _inFlightLines.erase(line_paddr);
     }
 
     /** SE_L2 observed a DataU for @p line_paddr (null erases). */
@@ -394,8 +394,8 @@ class DataPlane
                 return;
             }
         }
-        auto inf = _inFlight.find(line_paddr);
-        if (inf != _inFlight.end()) {
+        auto inf = _inFlightLines.find(line_paddr);
+        if (inf != _inFlightLines.end()) {
             std::memcpy(out, inf->second->data(), lineBytes);
             return;
         }
@@ -492,7 +492,7 @@ class DataPlane
     /** Per-tile DataU observations, by physical line. */
     std::vector<std::unordered_map<Addr, LinePtr>> _uncached;
     /** Dirty images living only inside a message, by physical line. */
-    std::unordered_map<Addr, LinePtr> _inFlight;
+    std::unordered_map<Addr, LinePtr> _inFlightLines;
     /** Lines written back to DRAM, by physical line. */
     std::unordered_map<Addr, LinePtr> _shadow;
 

@@ -1,0 +1,16 @@
+// sflint fixture: no findings — ordered container, no banned calls.
+#include <map>
+
+struct FxClean
+{
+    std::map<int, int> fxOrdered;
+
+    int
+    sum() const
+    {
+        int acc = 0;
+        for (const auto &kv : fxOrdered)
+            acc += kv.second;
+        return acc;
+    }
+};

@@ -1,0 +1,19 @@
+// sflint fixture: D1 positive — ordered map keyed by a pointer, whose
+// iteration order depends on allocation addresses.
+#include <map>
+
+struct FxNode;
+
+struct FxD1PtrKey
+{
+    std::map<FxNode *, int> fxByNode;
+
+    int
+    count() const
+    {
+        int n = 0;
+        for (const auto &kv : fxByNode)
+            n += kv.second;
+        return n;
+    }
+};

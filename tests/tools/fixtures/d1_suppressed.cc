@@ -1,0 +1,17 @@
+// sflint fixture: D1 suppressed — annotated hash-order iteration.
+#include <unordered_map>
+
+struct FxD1Suppressed
+{
+    std::unordered_map<int, int> fxStats;
+
+    int
+    total() const
+    {
+        int acc = 0;
+        // sflint: ordered-ok(commutative sum; order cannot leak)
+        for (const auto &kv : fxStats)
+            acc += kv.second;
+        return acc;
+    }
+};

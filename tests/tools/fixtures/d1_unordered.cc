@@ -1,0 +1,16 @@
+// sflint fixture: D1 positive — iterating a hash-ordered container.
+#include <unordered_map>
+
+struct FxD1Unordered
+{
+    std::unordered_map<int, int> fxTable;
+
+    int
+    sum() const
+    {
+        int acc = 0;
+        for (const auto &kv : fxTable)
+            acc += kv.second;
+        return acc;
+    }
+};

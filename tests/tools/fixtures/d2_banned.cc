@@ -1,0 +1,8 @@
+// sflint fixture: D2 positive — libc PRNG call outside the allowlist.
+#include <cstdlib>
+
+inline int
+fxRoll()
+{
+    return rand();
+}

@@ -1,0 +1,9 @@
+// sflint fixture: D2 suppressed — justified environment read.
+#include <cstdlib>
+
+inline const char *
+fxConfig()
+{
+    // sflint: allow(D2, fixture: startup-only config read)
+    return std::getenv("FX_CONFIG");
+}

@@ -1,0 +1,11 @@
+// sflint fixture: E1 positive — raw `new` of an event object.
+struct FxRetireEvent
+{
+    int pad = 0;
+};
+
+inline FxRetireEvent *
+fxMake()
+{
+    return new FxRetireEvent;
+}

@@ -1,0 +1,12 @@
+// sflint fixture: E1 suppressed — justified off-arena event.
+struct FxDrainEvent
+{
+    int pad = 0;
+};
+
+inline FxDrainEvent *
+fxMakeOk()
+{
+    // sflint: allow(E1, fixture: test scaffolding outside the sim loop)
+    return new FxDrainEvent;
+}

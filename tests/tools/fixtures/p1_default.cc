@@ -1,0 +1,23 @@
+// sflint fixture: P1 positive — a default arm and a missing
+// enumerator in a switch over a monitored enum.
+
+// sflint: exhaustive
+enum class FxMsgType
+{
+    Ping,
+    Pong,
+    Halt,
+};
+
+inline int
+fxDispatch(FxMsgType t)
+{
+    switch (t) {
+      case FxMsgType::Ping:
+        return 1;
+      case FxMsgType::Pong:
+        return 2;
+      default:
+        return 0;
+    }
+}

@@ -1,0 +1,23 @@
+// sflint fixture: P1 suppressed — justified default arm in an
+// otherwise exhaustive switch.
+
+// sflint: exhaustive
+enum class FxAckType
+{
+    Yes,
+    No,
+};
+
+inline int
+fxAck(FxAckType t)
+{
+    switch (t) {
+      case FxAckType::Yes:
+        return 1;
+      case FxAckType::No:
+        return 2;
+      // sflint: allow(P1, fixture: belt-and-braces arm kept on purpose)
+      default:
+        return 0;
+    }
+}

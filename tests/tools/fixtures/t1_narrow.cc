@@ -1,0 +1,15 @@
+// sflint fixture: T1 positive — tick arithmetic narrowed to int.
+#include <cstdint>
+
+inline int
+fxElapsed(uint64_t startTick, uint64_t endTick)
+{
+    return static_cast<int>(endTick - startTick);
+}
+
+inline int
+fxLatency(uint64_t opCycles)
+{
+    int rounded = static_cast<int>(opCycles) / 2;
+    return rounded;
+}

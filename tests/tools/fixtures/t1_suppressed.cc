@@ -1,0 +1,9 @@
+// sflint fixture: T1 suppressed — justified narrowing.
+#include <cstdint>
+
+inline int
+fxElapsedOk(uint64_t startTick, uint64_t endTick)
+{
+    // sflint: allow(T1, fixture: delta bounded by config below 2^31)
+    return static_cast<int>(endTick - startTick);
+}

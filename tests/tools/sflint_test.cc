@@ -1,0 +1,193 @@
+/**
+ * @file
+ * sflint unit tests: every rule class detects its seeded fixture
+ * violation, suppressions work, the baseline ratchet only shrinks,
+ * and JSON/SARIF output is byte-stable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sflint.hh"
+
+namespace fs = std::filesystem;
+using namespace sflint;
+
+namespace {
+
+Config
+fixtureConfig()
+{
+    Config cfg;
+    cfg.root = SFLINT_FIXTURE_ROOT;
+    cfg.inputs = {"fixtures"};
+    return cfg;
+}
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot read " << p;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+spit(const fs::path &p, const std::string &text)
+{
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << p;
+    out << text;
+}
+
+/** Non-suppressed findings for @p rule in @p file. */
+std::vector<Finding>
+newFindings(const AnalysisResult &res, const std::string &rule,
+            const std::string &file)
+{
+    std::vector<Finding> out;
+    for (const Finding &fd : res.findings) {
+        if (!fd.suppressed && fd.rule == rule && fd.file == file)
+            out.push_back(fd);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(SflintRules, DetectsSeededViolations)
+{
+    AnalysisResult res = analyze(fixtureConfig());
+
+    EXPECT_EQ(newFindings(res, "D1", "fixtures/d1_unordered.cc").size(),
+              1u);
+    auto ptrkey = newFindings(res, "D1", "fixtures/d1_ptrkey.cc");
+    ASSERT_EQ(ptrkey.size(), 1u);
+    EXPECT_NE(ptrkey[0].message.find("pointer-keyed"),
+              std::string::npos);
+
+    EXPECT_EQ(newFindings(res, "D2", "fixtures/d2_banned.cc").size(),
+              1u);
+
+    // p1_default.cc seeds both P1 shapes: a default arm and a missing
+    // enumerator.
+    auto p1 = newFindings(res, "P1", "fixtures/p1_default.cc");
+    ASSERT_EQ(p1.size(), 2u);
+    EXPECT_NE(p1[0].message.find("missing: Halt"), std::string::npos);
+    EXPECT_NE(p1[1].message.find("default arm"), std::string::npos);
+
+    EXPECT_EQ(newFindings(res, "T1", "fixtures/t1_narrow.cc").size(),
+              3u);
+    EXPECT_EQ(newFindings(res, "E1", "fixtures/e1_raw_new.cc").size(),
+              1u);
+}
+
+TEST(SflintRules, SuppressionsAndCleanFile)
+{
+    AnalysisResult res = analyze(fixtureConfig());
+
+    int suppressedSeen = 0;
+    for (const Finding &fd : res.findings) {
+        SCOPED_TRACE(fd.file + ":" + std::to_string(fd.line));
+        if (fd.file.find("_suppressed") != std::string::npos) {
+            EXPECT_TRUE(fd.suppressed);
+            ++suppressedSeen;
+        }
+        EXPECT_NE(fd.file, "fixtures/clean.cc");
+    }
+    // One suppressed case per rule class.
+    EXPECT_EQ(suppressedSeen, 5);
+}
+
+TEST(SflintBaseline, RoundTripAndRatchet)
+{
+    AnalysisResult res = analyze(fixtureConfig());
+    Baseline b = baselineFromFindings(res);
+    // Suppressed findings never enter the baseline.
+    EXPECT_EQ(b.entries.size(), 9u);
+
+    fs::path tmp =
+        fs::path(::testing::TempDir()) / "sflint_baseline.json";
+    spit(tmp, renderBaseline(b));
+    Baseline reread = loadBaseline(tmp.string());
+    EXPECT_EQ(reread.entries, b.entries);
+
+    // A full baseline marks every new finding as grandfathered and
+    // reports nothing stale.
+    AnalysisResult covered = analyze(fixtureConfig());
+    EXPECT_TRUE(applyBaseline(covered, reread).empty());
+    for (const Finding &fd : covered.findings) {
+        if (!fd.suppressed)
+            EXPECT_TRUE(fd.baselined) << fd.file << ":" << fd.line;
+    }
+
+    // The ratchet only shrinks: an entry whose finding is gone comes
+    // back as stale, and a finding missing from the baseline stays
+    // new.
+    Baseline drifted = b;
+    drifted.entries.insert({"D2", "fixtures/gone.cc", "rand#0"});
+    BaselineEntry dropped = *drifted.entries.begin();
+    drifted.entries.erase(drifted.entries.begin());
+
+    AnalysisResult partial = analyze(fixtureConfig());
+    std::vector<BaselineEntry> stale = applyBaseline(partial, drifted);
+    ASSERT_EQ(stale.size(), 1u);
+    EXPECT_EQ(stale[0].file, "fixtures/gone.cc");
+    int stillNew = 0;
+    for (const Finding &fd : partial.findings) {
+        if (!fd.suppressed && !fd.baselined) {
+            ++stillNew;
+            EXPECT_EQ(fd.file, dropped.file);
+            EXPECT_EQ(fd.rule, dropped.rule);
+            EXPECT_EQ(fd.key, dropped.key);
+        }
+    }
+    EXPECT_EQ(stillNew, 1);
+}
+
+TEST(SflintOutput, ByteStableAndMatchesGolden)
+{
+    AnalysisResult a = analyze(fixtureConfig());
+    AnalysisResult b = analyze(fixtureConfig());
+
+    EXPECT_EQ(renderJson(a), renderJson(b));
+    EXPECT_EQ(renderSarif(a), renderSarif(b));
+    EXPECT_EQ(renderText(a, true), renderText(b, true));
+
+    fs::path root(SFLINT_FIXTURE_ROOT);
+    EXPECT_EQ(renderJson(a), slurp(root / "fixtures_golden.json"));
+    EXPECT_EQ(renderSarif(a), slurp(root / "fixtures_golden.sarif"));
+}
+
+TEST(SflintFix, InsertedAnnotationSuppresses)
+{
+    fs::path tmp = fs::path(::testing::TempDir()) / "sflint_fixcase";
+    fs::create_directories(tmp / "fixcase");
+    fs::copy_file(fs::path(SFLINT_FIXTURE_ROOT) / "fixtures" /
+                      "d2_banned.cc",
+                  tmp / "fixcase" / "d2_banned.cc",
+                  fs::copy_options::overwrite_existing);
+
+    Config cfg;
+    cfg.root = tmp.string();
+    cfg.inputs = {"fixcase"};
+
+    AnalysisResult before = analyze(cfg);
+    ASSERT_EQ(before.findings.size(), 1u);
+    EXPECT_FALSE(before.findings[0].suppressed);
+
+    EXPECT_EQ(applyFixes(cfg, before), 1);
+    std::string fixedText = slurp(tmp / "fixcase" / "d2_banned.cc");
+    EXPECT_NE(fixedText.find("sflint: allow(D2"), std::string::npos);
+
+    AnalysisResult after = analyze(cfg);
+    ASSERT_EQ(after.findings.size(), 1u);
+    EXPECT_TRUE(after.findings[0].suppressed);
+}

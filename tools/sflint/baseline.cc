@@ -1,0 +1,218 @@
+/**
+ * @file
+ * sflint baseline: grandfathered findings with ratchet semantics.
+ * The baseline may only ever shrink — a finding not present in it
+ * fails the run, and entries whose finding has disappeared are
+ * reported stale so `--update-baseline` (which refuses to add) can
+ * drop them.
+ */
+
+#include "sflint.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sflint {
+
+namespace {
+
+/** Minimal scanner for the baseline's own JSON subset. */
+struct Scanner
+{
+    const std::string &s;
+    size_t i = 0;
+
+    void
+    ws()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\n' ||
+                                s[i] == '\t' || s[i] == '\r'))
+            ++i;
+    }
+
+    bool
+    eat(char c)
+    {
+        ws();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    string()
+    {
+        ws();
+        if (i >= s.size() || s[i] != '"')
+            throw std::runtime_error("sflint: baseline: expected "
+                                     "string");
+        ++i;
+        std::string out;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\' && i + 1 < s.size()) {
+                ++i;
+                switch (s[i]) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  default: out += s[i]; break;
+                }
+            } else {
+                out += s[i];
+            }
+            ++i;
+        }
+        if (i >= s.size())
+            throw std::runtime_error("sflint: baseline: unterminated "
+                                     "string");
+        ++i;
+        return out;
+    }
+
+    /** Skip a scalar value we do not care about. */
+    void
+    skipScalar()
+    {
+        ws();
+        if (i < s.size() && s[i] == '"') {
+            string();
+            return;
+        }
+        while (i < s.size() && s[i] != ',' && s[i] != '}' &&
+               s[i] != ']')
+            ++i;
+    }
+};
+
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    for (char c : in) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Baseline
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("sflint: cannot read baseline " +
+                                 path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+
+    Baseline b;
+    Scanner sc{text};
+    if (!sc.eat('{'))
+        throw std::runtime_error("sflint: baseline: expected object");
+    while (true) {
+        sc.ws();
+        if (sc.eat('}'))
+            break;
+        std::string field = sc.string();
+        if (!sc.eat(':'))
+            throw std::runtime_error("sflint: baseline: expected ':'");
+        if (field != "findings") {
+            sc.skipScalar();
+            sc.eat(',');
+            continue;
+        }
+        if (!sc.eat('['))
+            throw std::runtime_error("sflint: baseline: expected "
+                                     "array");
+        while (true) {
+            sc.ws();
+            if (sc.eat(']'))
+                break;
+            if (!sc.eat('{'))
+                throw std::runtime_error("sflint: baseline: expected "
+                                         "entry object");
+            BaselineEntry e;
+            while (true) {
+                sc.ws();
+                if (sc.eat('}'))
+                    break;
+                std::string k = sc.string();
+                if (!sc.eat(':'))
+                    throw std::runtime_error(
+                        "sflint: baseline: expected ':'");
+                if (k == "rule")
+                    e.rule = sc.string();
+                else if (k == "file")
+                    e.file = sc.string();
+                else if (k == "key")
+                    e.key = sc.string();
+                else
+                    sc.skipScalar();
+                sc.eat(',');
+            }
+            if (e.rule.empty() || e.file.empty() || e.key.empty())
+                throw std::runtime_error(
+                    "sflint: baseline: entry missing rule/file/key");
+            b.entries.insert(e);
+            sc.eat(',');
+        }
+        sc.eat(',');
+    }
+    return b;
+}
+
+std::string
+renderBaseline(const Baseline &b)
+{
+    std::string out = "{\n  \"version\": 1,\n  \"findings\": [";
+    bool first = true;
+    for (const BaselineEntry &e : b.entries) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    { \"rule\": \"" + jsonEscape(e.rule) +
+               "\", \"file\": \"" + jsonEscape(e.file) +
+               "\", \"key\": \"" + jsonEscape(e.key) + "\" }";
+    }
+    out += first ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+std::vector<BaselineEntry>
+applyBaseline(AnalysisResult &res, const Baseline &b)
+{
+    std::set<BaselineEntry> unseen = b.entries;
+    for (Finding &fd : res.findings) {
+        if (fd.suppressed)
+            continue;
+        BaselineEntry probe{fd.rule, fd.file, fd.key};
+        auto it = b.entries.find(probe);
+        if (it != b.entries.end()) {
+            fd.baselined = true;
+            unseen.erase(probe);
+        }
+    }
+    return {unseen.begin(), unseen.end()};
+}
+
+Baseline
+baselineFromFindings(const AnalysisResult &res)
+{
+    Baseline b;
+    for (const Finding &fd : res.findings) {
+        if (!fd.suppressed)
+            b.entries.insert({fd.rule, fd.file, fd.key});
+    }
+    return b;
+}
+
+} // namespace sflint

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * sflint engine: deterministic file walk, two-phase analysis
+ * (declaration registry, then rules), stable key assignment, and the
+ * `--fix` annotation writer.
+ */
+
+#include "sflint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fs = std::filesystem;
+
+namespace sflint {
+
+namespace {
+
+bool
+sourceExtension(const fs::path &p)
+{
+    std::string e = p.extension().string();
+    return e == ".cc" || e == ".hh" || e == ".cpp" || e == ".hpp" ||
+           e == ".h";
+}
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("sflint: cannot read " + p.string());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+relPath(const fs::path &p, const fs::path &root)
+{
+    return p.lexically_relative(root).generic_string();
+}
+
+} // namespace
+
+AnalysisResult
+analyze(const Config &cfg)
+{
+    fs::path root(cfg.root);
+    std::vector<fs::path> files;
+    for (const std::string &in : cfg.inputs) {
+        fs::path p = root / in;
+        if (fs::is_regular_file(p)) {
+            files.push_back(p);
+            continue;
+        }
+        if (!fs::is_directory(p))
+            throw std::runtime_error("sflint: no such input: " +
+                                     p.string());
+        for (const auto &ent :
+             fs::recursive_directory_iterator(p)) {
+            if (ent.is_regular_file() && sourceExtension(ent.path()))
+                files.push_back(ent.path());
+        }
+    }
+    // The walk order of the filesystem is not guaranteed; sort so
+    // findings, keys and every output format are byte-stable.
+    std::vector<std::string> rels;
+    rels.reserve(files.size());
+    for (const fs::path &p : files)
+        rels.push_back(relPath(p, root));
+    std::sort(rels.begin(), rels.end());
+    rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+
+    std::vector<SourceFile> sources;
+    sources.reserve(rels.size());
+    for (const std::string &r : rels) {
+        SourceFile sf;
+        sf.path = r;
+        lex(readFile(root / r), sf);
+        sources.push_back(std::move(sf));
+    }
+
+    Registry reg;
+    for (const SourceFile &sf : sources)
+        collectDecls(sf, cfg, reg);
+
+    AnalysisResult res;
+    res.fileCount = static_cast<int>(sources.size());
+    for (const SourceFile &sf : sources)
+        runRules(sf, cfg, reg, res.findings);
+
+    std::sort(res.findings.begin(), res.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.context < b.context;
+              });
+
+    // Stable keys: `<context>#<n>` numbered per (file, rule, context)
+    // in line order, so baselines survive unrelated line drift.
+    std::map<std::string, int> seen;
+    for (Finding &fd : res.findings) {
+        if (fd.suppressed)
+            continue;
+        std::string k = fd.file + "|" + fd.rule + "|" + fd.context;
+        fd.key = fd.context + "#" + std::to_string(seen[k]++);
+    }
+    return res;
+}
+
+int
+applyFixes(const Config &cfg, const AnalysisResult &res)
+{
+    // Collect per file: line -> set of rules to annotate.
+    std::map<std::string, std::map<int, std::set<std::string>>> plan;
+    for (const Finding &fd : res.findings) {
+        if (fd.suppressed || fd.baselined)
+            continue;
+        plan[fd.file][fd.line].insert(fd.rule);
+    }
+    int sites = 0;
+    for (const auto &[file, lines] : plan) {
+        fs::path p = fs::path(cfg.root) / file;
+        std::string text = readFile(p);
+        std::vector<std::string> src;
+        std::istringstream in(text);
+        std::string l;
+        while (std::getline(in, l))
+            src.push_back(l);
+        // Insert bottom-up so earlier line numbers stay valid.
+        for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+            int line = it->first;
+            if (line < 1 || line > static_cast<int>(src.size()))
+                continue;
+            const std::string &target = src[line - 1];
+            std::string indent =
+                target.substr(0, target.find_first_not_of(" \t"));
+            std::string ann = indent + "//";
+            for (const std::string &r : it->second)
+                ann += " sflint: allow(" + r + ", FIXME: justify)";
+            src.insert(src.begin() + (line - 1), ann);
+            ++sites;
+        }
+        std::ofstream outf(p, std::ios::binary | std::ios::trunc);
+        if (!outf)
+            throw std::runtime_error("sflint: cannot write " +
+                                     p.string());
+        for (const std::string &s : src)
+            outf << s << '\n';
+    }
+    return sites;
+}
+
+} // namespace sflint

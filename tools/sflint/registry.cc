@@ -1,0 +1,235 @@
+/**
+ * @file
+ * sflint declaration registry: enum definitions (for P1 switch
+ * exhaustiveness) and hash/pointer-keyed container declarations (for
+ * D1 iteration checks), collected from the scanned tree itself so the
+ * tool needs no compiler integration.
+ */
+
+#include "sflint.hh"
+
+#include <cctype>
+
+namespace sflint {
+
+namespace {
+
+bool
+isPunct(const Token &t, const char *s)
+{
+    return t.kind == TokKind::Punct && t.text == s;
+}
+
+bool
+isIdent(const Token &t, const char *s)
+{
+    return t.kind == TokKind::Ident && t.text == s;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+/** Does a textual key type look like a pointer? */
+bool
+pointerishKey(const std::vector<Token> &key)
+{
+    for (const Token &t : key) {
+        if (isPunct(t, "*"))
+            return true;
+        if (t.kind != TokKind::Ident)
+            continue;
+        if (t.text == "shared_ptr" || t.text == "unique_ptr" ||
+            t.text == "weak_ptr" || t.text == "uintptr_t" ||
+            t.text == "intptr_t") {
+            return true;
+        }
+        if (endsWith(t.text, "Ptr"))
+            return true;
+    }
+    return false;
+}
+
+std::string
+keyText(const std::vector<Token> &key)
+{
+    std::string s;
+    for (const Token &t : key) {
+        if (!s.empty() && t.kind == TokKind::Ident &&
+            (std::isalnum((unsigned char)s.back()) || s.back() == '_')) {
+            s += ' ';
+        }
+        s += t.text;
+    }
+    return s;
+}
+
+/**
+ * Parse the template argument list starting at the `<` in toks[i].
+ * Fills @p firstArg with the tokens of the first top-level argument
+ * and returns the index one past the matching `>`, or npos-style
+ * toks.size() on mismatch.
+ */
+size_t
+parseTemplateArgs(const std::vector<Token> &toks, size_t i,
+                  std::vector<Token> &firstArg)
+{
+    int angle = 0;
+    int round = 0;
+    bool inFirst = true;
+    for (; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (isPunct(t, "<")) {
+            ++angle;
+            if (angle == 1)
+                continue;
+        } else if (isPunct(t, ">")) {
+            if (--angle == 0)
+                return i + 1;
+        } else if (isPunct(t, "(")) {
+            ++round;
+        } else if (isPunct(t, ")")) {
+            --round;
+        } else if (isPunct(t, ",") && angle == 1 && round == 0) {
+            inFirst = false;
+            continue;
+        } else if (isPunct(t, ";") || isPunct(t, "{")) {
+            return toks.size(); // not a template argument list
+        }
+        if (inFirst && angle >= 1)
+            firstArg.push_back(t);
+    }
+    return toks.size();
+}
+
+const std::set<std::string> kUnorderedNames = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+const std::set<std::string> kOrderedNames = {"map", "set", "multimap",
+                                             "multiset"};
+
+void
+collectContainer(const SourceFile &f, size_t i, Registry &reg)
+{
+    const std::vector<Token> &toks = f.toks;
+    const std::string &cname = toks[i].text;
+    bool unordered = kUnorderedNames.count(cname) > 0;
+    if (i + 1 >= toks.size() || !isPunct(toks[i + 1], "<"))
+        return;
+    std::vector<Token> key;
+    size_t after = parseTemplateArgs(toks, i + 1, key);
+    if (after >= toks.size() || key.empty())
+        return;
+    bool ptrKey = pointerishKey(key);
+    if (!unordered && !ptrKey)
+        return; // ordered containers only matter with pointer keys
+
+    // Declarator list: `<type> name;`, `<type> name = …`, `<type>
+    // name{…}`, `<type> name, name2;`, or a function parameter
+    // `(…, <type> name, …)`. A following `(` means a function
+    // declaration — skip it.
+    while (after < toks.size() &&
+           toks[after].kind == TokKind::Ident) {
+        const Token &name = toks[after];
+        if (after + 1 < toks.size() && isPunct(toks[after + 1], "(")) {
+            break;
+        }
+        ContainerDecl d;
+        d.name = name.text;
+        d.keyType = keyText(key);
+        d.unordered = unordered;
+        d.pointerKey = ptrKey;
+        d.file = f.path;
+        d.line = name.line;
+        reg.containers[d.name].push_back(d);
+        if (after + 2 < toks.size() && isPunct(toks[after + 1], ",") &&
+            toks[after + 2].kind == TokKind::Ident) {
+            after += 2;
+            continue;
+        }
+        break;
+    }
+}
+
+void
+collectEnum(const SourceFile &f, size_t i, const Config &cfg,
+            Registry &reg)
+{
+    const std::vector<Token> &toks = f.toks;
+    size_t j = i + 1;
+    if (j < toks.size() &&
+        (isIdent(toks[j], "class") || isIdent(toks[j], "struct"))) {
+        ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::Ident)
+        return;
+    EnumDecl e;
+    e.name = toks[j].text;
+    e.file = f.path;
+    e.line = toks[i].line;
+    ++j;
+    // Optional underlying type, then the body (or `;` for an opaque
+    // declaration, which we ignore).
+    while (j < toks.size() && !isPunct(toks[j], "{")) {
+        if (isPunct(toks[j], ";") || isPunct(toks[j], "(") ||
+            isPunct(toks[j], ")")) {
+            return;
+        }
+        ++j;
+    }
+    if (j >= toks.size())
+        return;
+    int depth = 0;
+    bool expectName = true;
+    for (; j < toks.size(); ++j) {
+        const Token &t = toks[j];
+        if (isPunct(t, "{") || isPunct(t, "(")) {
+            ++depth;
+            continue;
+        }
+        if (isPunct(t, "}") || isPunct(t, ")")) {
+            if (--depth == 0)
+                break;
+            continue;
+        }
+        if (depth != 1)
+            continue;
+        if (expectName && t.kind == TokKind::Ident) {
+            e.enumerators.push_back(t.text);
+            expectName = false;
+        } else if (isPunct(t, ",")) {
+            expectName = true;
+        }
+    }
+    e.monitored = cfg.monitoredEnums.count(e.name) > 0 ||
+                  f.exhaustiveMarks.count(e.line) > 0 ||
+                  f.exhaustiveMarks.count(e.line - 1) > 0;
+    if (!e.enumerators.empty())
+        reg.enums[e.name] = e;
+}
+
+} // namespace
+
+void
+collectDecls(const SourceFile &f, const Config &cfg, Registry &reg)
+{
+    const std::vector<Token> &toks = f.toks;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Ident)
+            continue;
+        if (t.text == "enum") {
+            collectEnum(f, i, cfg, reg);
+        } else if (kUnorderedNames.count(t.text) ||
+                   kOrderedNames.count(t.text)) {
+            collectContainer(f, i, reg);
+        }
+    }
+}
+
+} // namespace sflint

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * sflint — a simulator-aware static-analysis pass enforcing the
+ * repo's determinism and protocol-safety contracts (DESIGN.md §4g).
+ *
+ * Self-contained C++20: a real tokenizer (comments, strings, raw
+ * strings, preprocessor lines), a declaration registry built from the
+ * scanned tree itself (enum definitions, hash/pointer-keyed container
+ * members), and lightweight matchers for range-for statements and
+ * switch bodies. No libclang dependency.
+ *
+ * Rule registry:
+ *   D1  no iteration over unordered containers, and no iteration over
+ *       any container keyed by a pointer (iteration order would
+ *       depend on hashing / allocation addresses and break the PR-3
+ *       determinism contract). Suppress with
+ *       `// sflint: ordered-ok(<reason>)`.
+ *   D2  no rand()/srand()/std::random_device, no wall-clock reads
+ *       (time(), gettimeofday, system_clock/steady_clock/
+ *       high_resolution_clock), no getenv() outside the approved
+ *       host-timing/config allowlist (bench_util.hh, sweep.cc).
+ *   P1  every switch over a monitored message/coherence enum
+ *       (MemMsgType, MsgType, StreamMsgType, LineState, plus any
+ *       enum annotated `// sflint: exhaustive`) must be exhaustive
+ *       and must not carry a `default:` arm.
+ *   T1  tick/cycle arithmetic must stay in the 64-bit Tick/Cycles
+ *       aliases: flag declarations, static_casts and C-style casts
+ *       that narrow a tick-ish expression to int/unsigned/…
+ *   E1  no raw `new` of event objects outside the PR-3 slab arena
+ *       (src/sim/event_queue.hh).
+ *
+ * Generic suppression for any rule:
+ *   `// sflint: allow(<RULE>, <reason>)` on the finding line or the
+ * line directly above. A suppression without a justification is
+ * invalid and the finding stands.
+ */
+
+#ifndef SFLINT_SFLINT_HH
+#define SFLINT_SFLINT_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sflint {
+
+// ---------------------------------------------------------------- lexer
+
+enum class TokKind
+{
+    Ident,
+    Number,
+    String,
+    CharLit,
+    Punct,
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line = 0;
+};
+
+/** One parsed `sflint:` directive from a comment. */
+struct Suppression
+{
+    std::string rule;   //!< "D1".."E1", or "*"
+    std::string reason; //!< empty => invalid suppression
+};
+
+struct SourceFile
+{
+    /** Path relative to the analysis root, '/'-separated. */
+    std::string path;
+    std::vector<Token> toks;
+    /** line -> suppressions written on that line. */
+    std::map<int, std::vector<Suppression>> suppressions;
+    /** Lines carrying an `sflint: exhaustive` enum marker. */
+    std::set<int> exhaustiveMarks;
+};
+
+/** Tokenize @p text, filling the comment-derived fields of @p out. */
+void lex(const std::string &text, SourceFile &out);
+
+// ------------------------------------------------------------- registry
+
+struct ContainerDecl
+{
+    std::string name;    //!< declared variable / member name
+    std::string keyType; //!< textual first template argument
+    bool unordered = false;
+    bool pointerKey = false;
+    std::string file;
+    int line = 0;
+};
+
+struct EnumDecl
+{
+    std::string name;
+    std::vector<std::string> enumerators;
+    std::string file;
+    int line = 0;
+    bool monitored = false;
+};
+
+/** Declarations collected across every scanned file. */
+struct Registry
+{
+    std::map<std::string, std::vector<ContainerDecl>> containers;
+    std::map<std::string, EnumDecl> enums;
+};
+
+// -------------------------------------------------------------- engine
+
+struct Config
+{
+    /** Analysis root; findings report paths relative to it. */
+    std::string root = ".";
+    /** Directories (or files) under root to scan. */
+    std::vector<std::string> inputs;
+    /** Files where D2 host-timing/config reads are approved. */
+    std::set<std::string> d2Allow = {"bench/bench_util.hh",
+                                     "bench/sweep.cc"};
+    /** Files allowed to place event objects (the slab arena). */
+    std::set<std::string> e1Allow = {"src/sim/event_queue.hh"};
+    /** Enums whose switches must be exhaustive (P1). */
+    std::set<std::string> monitoredEnums = {"MemMsgType", "MsgType",
+                                            "StreamMsgType", "LineState"};
+};
+
+struct Finding
+{
+    std::string rule;
+    std::string file;
+    int line = 0;
+    /** Stable context id (container / enum / identifier name). */
+    std::string context;
+    std::string message;
+    /** `<context>#<n>`: nth same-context finding in this file. */
+    std::string key;
+    bool suppressed = false;
+    bool baselined = false;
+};
+
+struct AnalysisResult
+{
+    std::vector<Finding> findings; //!< sorted, suppressed included
+    int fileCount = 0;
+};
+
+/** Collect enum + container declarations from one file. */
+void collectDecls(const SourceFile &f, const Config &cfg, Registry &reg);
+
+/** Run every rule over one file (registry must be complete). */
+void runRules(const SourceFile &f, const Config &cfg,
+              const Registry &reg, std::vector<Finding> &out);
+
+/**
+ * Walk cfg.inputs, lex, build the registry, run all rules, apply
+ * suppressions and assign stable keys. Throws std::runtime_error on
+ * I/O failure.
+ */
+AnalysisResult analyze(const Config &cfg);
+
+// ------------------------------------------------------------- baseline
+
+struct BaselineEntry
+{
+    std::string rule;
+    std::string file;
+    std::string key;
+
+    bool
+    operator<(const BaselineEntry &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return key < o.key;
+    }
+
+    bool
+    operator==(const BaselineEntry &o) const
+    {
+        return file == o.file && rule == o.rule && key == o.key;
+    }
+};
+
+struct Baseline
+{
+    std::set<BaselineEntry> entries;
+};
+
+/** Parse a baseline.json; throws std::runtime_error on bad input. */
+Baseline loadBaseline(const std::string &path);
+
+/** Serialize a baseline (stable ordering, trailing newline). */
+std::string renderBaseline(const Baseline &b);
+
+/**
+ * Mark baselined findings in @p res; returns the stale entries
+ * (baselined findings that no longer exist — the ratchet shrinks).
+ */
+std::vector<BaselineEntry> applyBaseline(AnalysisResult &res,
+                                         const Baseline &b);
+
+/** Baseline containing exactly the active findings of @p res. */
+Baseline baselineFromFindings(const AnalysisResult &res);
+
+// -------------------------------------------------------------- output
+
+std::string renderText(const AnalysisResult &res, bool showSuppressed);
+std::string renderJson(const AnalysisResult &res);
+std::string renderSarif(const AnalysisResult &res);
+
+// ----------------------------------------------------------------- fix
+
+/**
+ * Insert `// sflint: allow(<rule>, FIXME: justify)` annotations above
+ * every new (non-suppressed, non-baselined) finding, rewriting files
+ * under cfg.root in place. Returns the number of annotated sites.
+ */
+int applyFixes(const Config &cfg, const AnalysisResult &res);
+
+} // namespace sflint
+
+#endif // SFLINT_SFLINT_HH
