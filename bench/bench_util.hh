@@ -14,6 +14,10 @@
  *                      overrides)
  *   --faults=SPEC      deterministic fault injection (see sim/fault.hh)
  *   --watchdog-cycles=N  forward-progress watchdog interval (0 = off)
+ *   --profile          latency-attribution profiler: stats.json gains
+ *                      the profile.* groups and (with --stats-json)
+ *                      each run also writes <stem>.profile.json and
+ *                      <stem>.profsum.json
  */
 
 #ifndef SF_BENCH_BENCH_UTIL_HH
@@ -29,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/output_path.hh"
 #include "sim/stream_trace.hh"
 #include "system/tiled_system.hh"
 #include "verify/oracle.hh"
@@ -77,6 +82,12 @@ struct BenchOptions
      * the oracle's own negative tests.
      */
     bool verify = false;
+    /**
+     * Latency-attribution profiler (DESIGN.md §4h). Adds the
+     * profile.* stat groups to stats.json and, with --stats-json,
+     * writes a standalone profile.json + profsum.json per run.
+     */
+    bool profile = false;
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -113,12 +124,15 @@ struct BenchOptions
                 o.scale = 0.25;
             } else if (arg == "--verify") {
                 o.verify = true;
+            } else if (arg == "--profile") {
+                o.profile = true;
             } else if (arg == "--help") {
                 std::printf(
                     "options: --cores=NxN --scale=S "
                     "--workloads=a,b,c --full --stats-json=DIR "
                     "--sample-interval=N --check=off|basic|full "
-                    "--faults=SPEC --watchdog-cycles=N --verify\n");
+                    "--faults=SPEC --watchdog-cycles=N --verify "
+                    "--profile\n");
                 std::exit(0);
             }
         }
@@ -160,6 +174,7 @@ runSim(sys::Machine machine, const cpu::CoreConfig &core,
     if (opt.watchdogCycles != ~0ULL)
         cfg.watchdogCycles = opt.watchdogCycles;
     cfg.verify = opt.verify;
+    cfg.profile = opt.profile;
     if (const char *bug = std::getenv("SF_VERIFY_BUG"))
         cfg.verifyBug = bug;
     sys::TiledSystem system(cfg);
@@ -191,15 +206,28 @@ runSim(sys::Machine machine, const cpu::CoreConfig &core,
     }
 
     if (!opt.statsJsonDir.empty()) {
-        std::filesystem::create_directories(opt.statsJsonDir);
+        ensureOutputDir(opt.statsJsonDir, "--stats-json");
         std::string stem = fileToken(core.label) + "_" +
                            fileToken(sys::machineName(machine)) + "_" +
                            fileToken(wl_name);
-        std::ofstream js(opt.statsJsonDir + "/" + stem + ".stats.json");
+        std::ofstream js = openOutputFile(
+            opt.statsJsonDir + "/" + stem + ".stats.json",
+            "--stats-json");
         system.dumpStatsJson(js, r);
+        if (opt.profile) {
+            std::ofstream pf = openOutputFile(
+                opt.statsJsonDir + "/" + stem + ".profile.json",
+                "--profile");
+            system.dumpProfileJson(pf, r);
+            std::ofstream ps = openOutputFile(
+                opt.statsJsonDir + "/" + stem + ".profsum.json",
+                "--profile");
+            system.dumpProfileSummaryJson(ps);
+        }
         if (tracer.enabled() && !tracer.events().empty()) {
-            std::ofstream tr(opt.statsJsonDir + "/" + stem +
-                             ".trace.json");
+            std::ofstream tr = openOutputFile(
+                opt.statsJsonDir + "/" + stem + ".trace.json",
+                "--stats-json");
             tracer.exportChromeTrace(tr);
         }
     }

@@ -310,11 +310,20 @@ writeDetSections(std::ostream &os, const SweepOptions &o,
            << p.workload << "\",\n     ";
         // Failed points carry a status marker instead of stats so the
         // report stays byte-identical whenever nothing failed.
-        if (failed[i])
+        if (failed[i]) {
             os << "\"status\": \"failed\"}";
-        else
+        } else {
             os << "\"stats\": "
-               << slurp(points_dir + "/" + p.stem + ".stats.json") << "}";
+               << slurp(points_dir + "/" + p.stem + ".stats.json");
+            // Profile runs drop a per-point summary next to the stats;
+            // splice it so the merged report carries the top-down
+            // split and phase p95s per point.
+            if (o.bench.profile) {
+                os << ",\n     \"profile\": "
+                   << slurp(points_dir + "/" + p.stem + ".profsum.json");
+            }
+            os << "}";
+        }
         os << (i + 1 < points.size() ? "," : "") << "\n";
     }
     os << "  ]";

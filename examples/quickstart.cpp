@@ -7,12 +7,16 @@
  *
  * Usage: quickstart [workload] [scale] [--stats-json=DIR] [--trace=FILE]
  *                   [--check=LVL] [--faults=SPEC] [--watchdog-cycles=N]
- *                   [--verify]
+ *                   [--verify] [--profile]
  *
  *   --stats-json=DIR  write one schema-versioned stats.json per machine
  *                     (with interval time series) into DIR
  *   --trace=FILE      write the SF run's stream-lifecycle events as a
  *                     Chrome trace-event file (open in Perfetto)
+ *   --profile         latency-attribution profiler (DESIGN.md §4h):
+ *                     stats.json gains the profile.* groups and, with
+ *                     --stats-json, each machine also writes a
+ *                     deterministic profile.json into DIR
  *   --check=LVL       invariant checker level off|basic|full (the
  *                     SF_CHECK env var overrides this)
  *   --faults=SPEC     deterministic fault injection, e.g.
@@ -38,6 +42,7 @@
 
 #include <vector>
 
+#include "sim/output_path.hh"
 #include "sim/stream_trace.hh"
 #include "system/tiled_system.hh"
 #include "verify/oracle.hh"
@@ -54,6 +59,7 @@ struct RobustnessOptions
     FaultConfig faults;
     Tick watchdogCycles = ~0ULL; //!< ~0 = keep the config default
     bool verify = false;
+    bool profile = false;
 };
 
 sys::SimResults
@@ -69,6 +75,7 @@ runOne(sys::Machine machine, const std::string &wl_name, double scale,
     if (rob.watchdogCycles != ~0ULL)
         cfg.watchdogCycles = rob.watchdogCycles;
     cfg.verify = rob.verify;
+    cfg.profile = rob.profile;
     // sflint: allow(D2, verify-oracle fault-injection hook, not timed state)
     if (const char *bug = std::getenv("SF_VERIFY_BUG"))
         cfg.verifyBug = bug;
@@ -99,17 +106,24 @@ runOne(sys::Machine machine, const std::string &wl_name, double scale,
     }
 
     if (!stats_dir.empty()) {
-        std::filesystem::create_directories(stats_dir);
-        std::string path = stats_dir + "/" +
+        ensureOutputDir(stats_dir, "--stats-json");
+        std::string stem = stats_dir + "/" +
                            std::string(sys::machineName(machine)) + "_" +
-                           wl_name + ".stats.json";
-        for (char &c : path) {
+                           wl_name;
+        for (char &c : stem) {
             if (c == '+')
                 c = '_';
         }
-        std::ofstream os(path);
+        std::string path = stem + ".stats.json";
+        std::ofstream os = openOutputFile(path, "--stats-json");
         system.dumpStatsJson(os, r);
         std::printf("wrote %s\n", path.c_str());
+        if (rob.profile) {
+            std::string ppath = stem + ".profile.json";
+            std::ofstream ps = openOutputFile(ppath, "--profile");
+            system.dumpProfileJson(ps, r);
+            std::printf("wrote %s\n", ppath.c_str());
+        }
     }
     return r;
 }
@@ -143,6 +157,8 @@ try {
                 nullptr, 10);
         } else if (arg == "--verify") {
             rob.verify = true;
+        } else if (arg == "--profile") {
+            rob.profile = true;
         } else if (positional == 0) {
             wl = arg;
             ++positional;
@@ -151,6 +167,14 @@ try {
             ++positional;
         }
     }
+
+    // Validate output targets up front: a bad --stats-json or --trace
+    // path should fail immediately, not after minutes of simulation.
+    if (!stats_dir.empty())
+        ensureOutputDir(stats_dir, "--stats-json");
+    std::ofstream trace_os;
+    if (!trace_file.empty())
+        trace_os = openOutputFile(trace_file, "--trace");
 
     std::printf("stream-floating quickstart: workload=%s scale=%.3f "
                 "(4x4 OOO8)\n\n",
@@ -165,8 +189,7 @@ try {
     auto sf_run = runOne(sys::Machine::SF, wl, scale, stats_dir, rob);
 
     if (!trace_file.empty()) {
-        std::ofstream os(trace_file);
-        tracer.exportChromeTrace(os);
+        tracer.exportChromeTrace(trace_os);
         std::printf("wrote %s (%zu stream events)\n", trace_file.c_str(),
                     tracer.events().size());
     }

@@ -115,24 +115,56 @@ Core::tick()
     _fu.fpDivUsed = 0;
     _fu.memPortsUsed = 0;
 
-    bool progress = false;
-    progress |= commitStage();
+    _dispatchCreditStall = false;
+    bool committed = commitStage();
+    bool progress = committed;
     progress |= drainStoreBuffer();
     progress |= issueStage();
     progress |= dispatchStage();
 
     finishIfDrained();
-    if (_done)
+    if (_done) {
+        if (_td) {
+            _td->tickAt(curTick(), committed ? prof::Bucket::Retired
+                                             : prof::Bucket::Idle);
+            _td->setGapReason(prof::Bucket::Idle);
+        }
         return;
+    }
+
+    if (_td)
+        _td->tickAt(curTick(), classifyCycle(committed));
 
     if (progress || _sbInUse > 0) {
         wake();
     } else {
         // Quiesce: every later state change arrives via a completion
         // callback (memory, SE FIFO, barrier, FU horizon), and each of
-        // those calls wake().
+        // those calls wake(). The slept-through cycles are charged to
+        // whatever we are waiting on right now.
+        if (_td)
+            _td->setGapReason(classifyCycle(false));
         _sleeping = true;
     }
+}
+
+prof::Bucket
+Core::classifyCycle(bool committed) const
+{
+    if (committed)
+        return prof::Bucket::Retired;
+    if (!_rob.empty()) {
+        const RobEntry &h = _rob.front();
+        if (h.op.kind == isa::OpKind::StreamLoad && !h.completed &&
+            !h.dataReady) {
+            return prof::Bucket::StalledSebuf;
+        }
+    }
+    if (_dispatchCreditStall)
+        return prof::Bucket::StalledCredit;
+    if (!_rob.empty() || _sbInUse > 0 || !_pendingStores.empty())
+        return prof::Bucket::StalledData;
+    return prof::Bucket::Idle;
 }
 
 bool
@@ -544,6 +576,19 @@ Core::issueMemAccess(Addr vaddr, uint16_t size, bool is_write,
         } else {
             a.onDone = std::move(on_done);
         }
+        if (_prof) {
+            // sflint: allow(T1, profiler record handle, not a tick)
+            uint32_t pid = _prof->open(_tile, invalidStream, curTick());
+            if (pid) {
+                a.profId = pid;
+                a.onDone = [this, pid,
+                            inner = std::move(a.onDone)]() {
+                    _prof->close(pid, curTick());
+                    if (inner)
+                        inner();
+                };
+            }
+        }
         if (tlb_lat == 0) {
             _cache.access(std::move(a));
         } else {
@@ -581,6 +626,7 @@ Core::dispatchStage()
              head.kind == OpKind::StreamStep ||
              head.kind == OpKind::StreamStore) &&
             !_se->canAcceptUse(head.sid)) {
+            _dispatchCreditStall = true;
             break;
         }
 

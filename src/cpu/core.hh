@@ -30,6 +30,7 @@
 #include "isa/op_source.hh"
 #include "mem/priv_cache.hh"
 #include "mem/tlb.hh"
+#include "sim/profile.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -81,6 +82,18 @@ class Core : public SimObject
 
     /** Attach the SE_core (required when the source emits stream ops). */
     void setStreamEngine(StreamEngineIf *se) { _se = se; }
+
+    /**
+     * Enable latency attribution: demand accesses get lifecycle
+     * records and every pipeline cycle lands in this core's top-down
+     * account (null = off, the default).
+     */
+    void
+    setProfiler(prof::Profiler *p)
+    {
+        _prof = p;
+        _td = p ? &p->topDown(name()) : nullptr;
+    }
 
     /**
      * Attach the --verify data plane. Commit then runs an in-order
@@ -141,6 +154,9 @@ class Core : public SimObject
 
     bool depsCompleted(const RobEntry &e) const;
     bool tryIssue(RobEntry &e);
+
+    /** Top-down bucket for the cycle that just executed. */
+    prof::Bucket classifyCycle(bool committed) const;
 
     /**
      * Issue a demand access, splitting on virtual line boundaries
@@ -223,6 +239,11 @@ class Core : public SimObject
     bool _ticking = false;
     bool _sleeping = false;
     bool _done = false;
+
+    prof::Profiler *_prof = nullptr;
+    prof::TopDownAccount *_td = nullptr;
+    /** Dispatch broke on SE flow-control credits this cycle. */
+    bool _dispatchCreditStall = false;
 
     CoreStats _stats;
 };

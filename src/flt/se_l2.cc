@@ -490,7 +490,7 @@ SEL2::reissueThroughCache(StreamId sid, const FloatedStream &s,
 
 void
 SEL2::fetchFloatedElems(StreamId sid, uint64_t first_idx, uint16_t count,
-                        std::function<void()> on_ready)
+                        std::function<void()> on_ready, uint32_t prof_id)
 {
     FloatedStream *s = find(sid);
     if (!s) {
@@ -508,10 +508,12 @@ SEL2::fetchFloatedElems(StreamId sid, uint64_t first_idx, uint16_t count,
             ++_stats.stencilServes;
         _seCore.notifyFloatedBufferServe(sid);
         maybeGrantCredits(sid, *s);
+        if (_prof && prof_id)
+            _prof->add(prof_id, prof::Phase::SEBuffer, 0);
         scheduleIn(1, std::move(on_ready));
         return;
     }
-    s->waiters.push_back({end, std::move(on_ready)});
+    s->waiters.push_back({end, std::move(on_ready), prof_id, curTick()});
 }
 
 bool
@@ -525,7 +527,8 @@ SEL2::handleFloatedFetch(const mem::Access &access)
                                       : s->cfg.affine.elemSize;
     uint16_t count = static_cast<uint16_t>(
         std::max<uint32_t>(1, access.size / std::max(1u, esz)));
-    fetchFloatedElems(sid, access.elemIdx, count, access.onDone);
+    fetchFloatedElems(sid, access.elemIdx, count, access.onDone,
+                      access.profId);
     return true;
 }
 
@@ -627,6 +630,10 @@ SEL2::serveWaiters(StreamId sid, FloatedStream &s)
     uint64_t avail = availableUpTo(s);
     for (auto &w : s.waiters) {
         if (w.endElem <= avail) {
+            if (_prof && w.profId) {
+                _prof->add(w.profId, prof::Phase::SEBuffer,
+                           curTick() - w.parkTick);
+            }
             fire.push_back(std::move(w.cb));
             s.consumedUpTo = std::max(s.consumedUpTo, w.endElem);
             if (s.aliasRoot != invalidStream && w.endElem <= s.tailStart)

@@ -126,7 +126,8 @@ class SEL2 : public SimObject,
     bool isFloating(StreamId sid) const override;
     void fetchFloatedElems(StreamId sid, uint64_t first_idx,
                            uint16_t count,
-                           std::function<void()> on_ready) override;
+                           std::function<void()> on_ready,
+                           uint32_t prof_id = 0) override;
 
     // --- mem::StreamBufferIf (calls from the private cache) ---
     bool handleFloatedFetch(const mem::Access &access) override;
@@ -145,6 +146,9 @@ class SEL2 : public SimObject,
 
     /** Attach the --verify data plane (null = verify off). */
     void setVerify(verify::DataPlane *v) { _verify = v; }
+
+    /** Enable latency attribution (null = off, the default). */
+    void setProfiler(prof::Profiler *p) { _prof = p; }
 
     /** Dump buffered stream state (debugging aid). */
     void debugDump(std::FILE *f) const;
@@ -179,6 +183,9 @@ class SEL2 : public SimObject,
     {
         uint64_t endElem;
         std::function<void()> cb;
+        /** Latency-attribution record (0 = untracked) + park tick. */
+        uint32_t profId = 0;
+        Tick parkTick = 0;
     };
 
     struct FloatedStream
@@ -279,6 +286,7 @@ class SEL2 : public SimObject,
     mem::AddressSpace &_as;
     stream::SECore &_seCore;
     verify::DataPlane *_verify = nullptr;
+    prof::Profiler *_prof = nullptr;
 
     // Ordered by StreamId: these tables are iterated on paths that
     // emit messages and pick alias leaders, where hash order would

@@ -75,6 +75,10 @@ L3Bank::recvMsg(const MemMsgPtr &msg)
         return;
     }
 
+    // Charge the bank access pipeline up front: the latency is fixed,
+    // so attributing it at receipt keeps the hot path branch-free.
+    if (_prof && msg->profId)
+        _prof->add(msg->profId, prof::Phase::L3Service, _cfg.latency);
     scheduleIn(_cfg.latency, [this, msg]() { process(msg); });
 }
 
@@ -89,8 +93,15 @@ L3Bank::process(const MemMsgPtr &msg)
     }
 
     if (lineBlocked(msg->lineAddr)) {
+        if (_prof && msg->profId && !msg->profEnqTick)
+            msg->profEnqTick = curTick();
         _txns[msg->lineAddr].queued.push_back(msg);
         return;
+    }
+    if (_prof && msg->profId && msg->profEnqTick) {
+        _prof->add(msg->profId, prof::Phase::L3Queue,
+                   curTick() - msg->profEnqTick);
+        msg->profEnqTick = 0;
     }
 
     SF_DPRINTF(Cache, "%s %llx from tile %d", memMsgName(msg->type),
@@ -193,6 +204,7 @@ L3Bank::processStream(StreamReadReq req)
     Txn txn;
     txn.state = Txn::State::WaitMem;
     txn.isStream = true;
+    txn.memIssueTick = curTick();
     Addr line_addr = req.lineAddr;
     txn.sreq = std::move(req);
     _txns.emplace(line_addr, std::move(txn));
@@ -245,6 +257,7 @@ L3Bank::serveUncached(const Txn *txn, const MemMsgPtr &msg,
     auto data = makeMemMsg(MemMsgType::DataU, msg->lineAddr, _tile,
                            msg->requester, msg->requester,
                            msg->dataBytes);
+    data->profId = msg->profId;
     data->stream = msg->stream;
     data->streamGen = msg->streamGen;
     data->elemIdx = msg->elemIdx;
@@ -262,12 +275,14 @@ L3Bank::serveShared(const MemMsgPtr &msg, CacheLine &line)
         line.owner = msg->requester;
         auto data = makeMemMsg(MemMsgType::DataE, msg->lineAddr, _tile,
                                msg->requester, msg->requester);
+        data->profId = msg->profId;
         data->vdata = line.vdata;
         _mesh.send(data);
     } else {
         line.sharers |= (1ULL << msg->requester);
         auto data = makeMemMsg(MemMsgType::DataS, msg->lineAddr, _tile,
                                msg->requester, msg->requester);
+        data->profId = msg->profId;
         data->vdata = line.vdata;
         _mesh.send(data);
     }
@@ -288,6 +303,7 @@ L3Bank::handleGetS(const MemMsgPtr &msg)
         txn.req = msg;
         auto fwd = makeMemMsg(MemMsgType::FwdGetS, msg->lineAddr, _tile,
                               line->owner, msg->requester);
+        fwd->profId = msg->profId;
         _mesh.send(fwd);
         _txns.emplace(msg->lineAddr, std::move(txn));
         return;
@@ -308,6 +324,7 @@ L3Bank::handleGetS(const MemMsgPtr &msg)
     Txn txn;
     txn.state = Txn::State::WaitMem;
     txn.req = msg;
+    txn.memIssueTick = curTick();
     _txns.emplace(msg->lineAddr, std::move(txn));
     startMemFetch(msg->lineAddr);
 }
@@ -327,6 +344,7 @@ L3Bank::handleGetM(const MemMsgPtr &msg)
         txn.req = msg;
         auto fwd = makeMemMsg(MemMsgType::FwdGetM, msg->lineAddr, _tile,
                               line->owner, msg->requester);
+        fwd->profId = msg->profId;
         _mesh.send(fwd);
         _txns.emplace(msg->lineAddr, std::move(txn));
         return;
@@ -363,6 +381,7 @@ L3Bank::handleGetM(const MemMsgPtr &msg)
         line->owner = msg->requester;
         auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr, _tile,
                                msg->requester, msg->requester);
+        data->profId = msg->profId;
         data->vdata = line->vdata;
         _mesh.send(data);
         return;
@@ -372,6 +391,7 @@ L3Bank::handleGetM(const MemMsgPtr &msg)
     Txn txn;
     txn.state = Txn::State::WaitMem;
     txn.req = msg;
+    txn.memIssueTick = curTick();
     _txns.emplace(msg->lineAddr, std::move(txn));
     startMemFetch(msg->lineAddr);
 }
@@ -404,6 +424,7 @@ L3Bank::handleGetU(const MemMsgPtr &msg)
         txn.req = msg;
         auto fwd = makeMemMsg(MemMsgType::FwdGetU, msg->lineAddr, _tile,
                               line->owner, msg->requester);
+        fwd->profId = msg->profId;
         fwd->stream = msg->stream;
         fwd->streamGen = msg->streamGen;
         fwd->elemIdx = msg->elemIdx;
@@ -418,6 +439,7 @@ L3Bank::handleGetU(const MemMsgPtr &msg)
     Txn txn;
     txn.state = Txn::State::WaitMem;
     txn.req = msg;
+    txn.memIssueTick = curTick();
     _txns.emplace(msg->lineAddr, std::move(txn));
     startMemFetch(msg->lineAddr);
 }
@@ -517,6 +539,7 @@ L3Bank::handleInvAck(const MemMsgPtr &msg)
     line->owner = txn.req->requester;
     auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr, _tile,
                            txn.req->requester, txn.req->requester);
+    data->profId = txn.req->profId;
     data->vdata = msg->vdata ? msg->vdata : line->vdata;
     _mesh.send(data);
     finalize(msg->lineAddr);
@@ -576,6 +599,7 @@ L3Bank::handleFwdMiss(const MemMsgPtr &msg)
         line->owner = txn.req->requester;
         auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr, _tile,
                                txn.req->requester, txn.req->requester);
+        data->profId = txn.req->profId;
         data->vdata = line->vdata;
         _mesh.send(data);
     }
@@ -666,6 +690,13 @@ L3Bank::handleMemData(const MemMsgPtr &msg)
         return;
     }
 
+    // Attribute the DRAM round trip (including any fill-retry wait) to
+    // the request that opened the transaction.
+    if (_prof && !txn.isStream && txn.req->profId) {
+        _prof->add(txn.req->profId, prof::Phase::Mem,
+                   curTick() - txn.memIssueTick);
+    }
+
     if (txn.isStream) {
         serveUncached(nullptr, nullptr, &txn.sreq);
     } else {
@@ -679,6 +710,7 @@ L3Bank::handleMemData(const MemMsgPtr &msg)
             auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr,
                                    _tile, txn.req->requester,
                                    txn.req->requester);
+            data->profId = txn.req->profId;
             data->vdata = line->vdata;
             sendToTile(data);
             break;

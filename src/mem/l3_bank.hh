@@ -117,6 +117,9 @@ class L3Bank : public SimObject
     /** Attach the --verify data plane (null = verify off). */
     void setVerify(verify::DataPlane *v) { _verify = v; }
 
+    /** Enable latency attribution (null = off, the default). */
+    void setProfiler(prof::Profiler *p) { _prof = p; }
+
     /**
      * Deterministic fault injection for the verify negative tests:
      * "stale-getu" serves GetU from the (possibly stale) L3 copy even
@@ -169,6 +172,8 @@ class L3Bank : public SimObject
         /** Recall of an owned line to free a saturated set. */
         bool isRecall = false;
         StreamReadReq sreq;
+        /** Tick the MemRead left for the controller (Mem attribution). */
+        Tick memIssueTick = 0;
         int pendingAcks = 0;
         /** Requests that arrived while the line was blocked. */
         std::deque<std::variant<MemMsgPtr, StreamReadReq>> queued;
@@ -221,6 +226,7 @@ class L3Bank : public SimObject
     CacheArray _array;
     std::unordered_map<Addr, Txn> _txns;
     verify::DataPlane *_verify = nullptr;
+    prof::Profiler *_prof = nullptr;
     std::string _verifyBug;
     L3BankStats _stats;
 };

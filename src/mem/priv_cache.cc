@@ -61,6 +61,8 @@ PrivCache::accessL1(Access a)
             ++_stats.floatedHitsInCache;
             if (_streamBuf)
                 _streamBuf->onFloatedHitInCache(a.stream, a.elemIdx);
+            if (_prof && a.profId)
+                _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
             if (a.onDone)
                 a.onDone();
             return;
@@ -98,6 +100,8 @@ PrivCache::accessL1(Access a)
                 _l1Prefetcher->observe({a.paddr, a.vaddr, a.pc,
                                         a.isWrite, false, false});
             }
+            if (_prof && a.profId)
+                _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
             if (a.onDone)
                 a.onDone();
             return;
@@ -117,6 +121,8 @@ PrivCache::accessL1(Access a)
                 _l1Prefetcher->observe({a.paddr, a.vaddr, a.pc,
                                         a.isWrite, false, false});
             }
+            if (_prof && a.profId)
+                _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
             if (a.onDone)
                 a.onDone();
             return;
@@ -158,6 +164,8 @@ PrivCache::handleFloatedAccess(const Access &a)
         recordReuse(*l2_line, false);
         if (_streamBuf)
             _streamBuf->onFloatedHitInCache(a.stream, a.elemIdx);
+        if (_prof && a.profId)
+            _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
         if (a.onDone)
             a.onDone();
         return;
@@ -193,6 +201,8 @@ PrivCache::accessL2(Access a, bool l1_was_miss)
             return;
         }
         ++_stats.l2Hits;
+        if (_prof && a.profId)
+            _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
         SF_DPRINTF(Cache, "L2 hit %s %llx kind=%d",
                    a.isWrite ? "st" : "ld", (unsigned long long)a.paddr,
                    (int)a.kind);
@@ -233,6 +243,8 @@ PrivCache::accessL2(Access a, bool l1_was_miss)
         Mshr &m = it->second;
         if (a.kind == AccessKind::Prefetch)
             return; // demand/earlier request already in flight
+        if (_prof && a.profId)
+            _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
         m.waiters.push_back(std::move(a));
         Access &queued = m.waiters.back();
         if (queued.isWrite && !m.pendingM)
@@ -285,6 +297,8 @@ PrivCache::accessL2(Access a, bool l1_was_miss)
     if (a.kind == AccessKind::Prefetch) {
         ++_stats.prefetchesIssued;
     }
+    if (_prof && a.profId)
+        _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
     m.waiters.push_back(std::move(a));
     _mshrs.emplace(line_addr, std::move(m));
 
@@ -339,6 +353,9 @@ PrivCache::sendRequest(MemMsgType type, Addr line_addr, uint16_t bulk_lines,
         msg->prefetch = it->second.prefetched;
         if (it->second.streamFetchSeen)
             msg->reqClass = ReqClass::CoreStream;
+        // Attribute remote latency to the request that opened the MSHR.
+        if (_prof && !it->second.waiters.empty())
+            msg->profId = it->second.waiters.front().profId;
     }
     SF_DPRINTF(Cache, "send %s %llx -> bank %d bulk=%u",
                memMsgName(type), (unsigned long long)line_addr, (int)bank,
@@ -604,6 +621,8 @@ PrivCache::handleData(const MemMsgPtr &msg)
                 keep.push_back(std::move(w));
                 continue;
             }
+            if (_prof && w.profId)
+                _prof->mark(w.profId, prof::Phase::Remote, curTick());
             finishWaiter(w);
         }
         m.waiters = std::move(keep);
@@ -659,6 +678,8 @@ PrivCache::handleData(const MemMsgPtr &msg)
                                          w.vstore);
             }
         }
+        if (_prof && w.profId)
+            _prof->mark(w.profId, prof::Phase::Remote, curTick());
         finishWaiter(w);
     }
 
@@ -763,6 +784,7 @@ PrivCache::handleFwd(const MemMsgPtr &msg)
         data->elemIdx = msg->elemIdx;
         data->elemCount = msg->elemCount;
         data->mergedStreams = msg->mergedStreams;
+        data->profId = msg->profId;
         if (!msg->mergedStreams.empty()) {
             data->dests.clear();
             for (const auto &gs : msg->mergedStreams)
@@ -786,6 +808,7 @@ PrivCache::handleFwd(const MemMsgPtr &msg)
         _l2.invalidate(msg->lineAddr);
         auto data = makeMemMsg(MemMsgType::DataM, msg->lineAddr, _tile,
                                msg->requester, msg->requester);
+        data->profId = msg->profId;
         if (_verify && vp) {
             data->vdata = vp;
             _verify->noteInFlight(msg->lineAddr, vp);
@@ -811,6 +834,7 @@ PrivCache::handleFwd(const MemMsgPtr &msg)
 
     auto data = makeMemMsg(MemMsgType::DataS, msg->lineAddr, _tile,
                            msg->requester, msg->requester);
+    data->profId = msg->profId;
     data->vdata = line->vdata;
     _mesh.send(data);
     auto ack = makeMemMsg(MemMsgType::FwdAck, msg->lineAddr, _tile, bank,

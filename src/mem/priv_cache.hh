@@ -74,6 +74,8 @@ struct Access
      * private hierarchy (stream history "miss" column, Table II).
      */
     bool *missOut = nullptr;
+    /** Latency-attribution record handle; 0 = untracked. */
+    uint32_t profId = 0;
 };
 
 /**
@@ -243,6 +245,9 @@ class PrivCache : public SimObject
     /** Attach the --verify data plane (null = verify off). */
     void setVerify(verify::DataPlane *v) { _verify = v; }
 
+    /** Attach the latency profiler (null = profiling off). */
+    void setProfiler(prof::Profiler *p) { _prof = p; }
+
     /** Visit parked delayed dirty evictions (verify dirty scan). */
     void
     forEachDelayedEviction(
@@ -385,6 +390,7 @@ class PrivCache : public SimObject
 
     StreamBufferIf *_streamBuf = nullptr;
     verify::DataPlane *_verify = nullptr;
+    prof::Profiler *_prof = nullptr;
     PrefetchObserverIf *_l1Prefetcher = nullptr;
     PrefetchObserverIf *_l2Prefetcher = nullptr;
     StreamReuseHook _reuseHook;

@@ -13,6 +13,7 @@ Mesh::Mesh(EventQueue &eq, const MeshConfig &config)
     : SimObject("mesh", eq), _cfg(config),
       _sinks(static_cast<size_t>(config.nx * config.ny)),
       _links(static_cast<size_t>(config.nx * config.ny) * 4),
+      _routerFlits(static_cast<size_t>(config.nx * config.ny), 0),
       _startTick(eq.curTick())
 {
     sf_assert(config.nx > 0 && config.ny > 0, "empty mesh");
@@ -211,6 +212,8 @@ Mesh::hop(const MsgPtr &msg, TileId at, std::vector<TileId> dests,
             by_dir[dir].push_back(d);
     }
 
+    _routerFlits[static_cast<size_t>(at)] += flits;
+
     if (local) {
         // Eject through the local port after the router pipeline.
         scheduleIn(_cfg.routerLatency,
@@ -248,10 +251,22 @@ Mesh::hop(const MsgPtr &msg, TileId at, std::vector<TileId> dests,
         Tick depart = start + flits; // 1 flit per cycle serialization
         link.nextFree = depart;
         link.busyCycles += flits;
+        link.queueCycles += start - ready;
         _traffic.linkBusyCycles += flits;
         _traffic.flitHops[static_cast<size_t>(msg->cls)] += flits;
 
         Tick arrive = depart + _cfg.linkLatency;
+        if (_prof && msg->profId) {
+            bool rsp = msg->vnet == VNet::Response;
+            _prof->add(msg->profId,
+                       rsp ? prof::Phase::NocRspQueue
+                           : prof::Phase::NocReqQueue,
+                       start - ready);
+            _prof->add(msg->profId,
+                       rsp ? prof::Phase::NocRspXfer
+                           : prof::Phase::NocReqXfer,
+                       _cfg.routerLatency + flits + _cfg.linkLatency);
+        }
         auto moved = std::move(sub_dests);
         eventQueue().schedule(
             arrive,

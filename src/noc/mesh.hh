@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "noc/message.hh"
+#include "sim/profile.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -163,12 +164,36 @@ class Mesh : public SimObject
     int yOf(TileId t) const { return t / _cfg.nx; }
     TileId tileAt(int x, int y) const { return y * _cfg.nx + x; }
 
+    /** Enable per-hop latency attribution (null = off, the default). */
+    void setProfiler(prof::Profiler *p) { _prof = p; }
+
+    // --- heatmap counters (cumulative; sampled as interval deltas) ---
+
+    /** Busy cycles of the directed link from @p t toward @p dir. */
+    uint64_t
+    linkBusyCycles(TileId t, int dir) const
+    {
+        return _links[size_t(t) * 4 + size_t(dir)].busyCycles;
+    }
+
+    /** Cycles packets spent queued behind that link's horizon. */
+    uint64_t
+    linkQueueCycles(TileId t, int dir) const
+    {
+        return _links[size_t(t) * 4 + size_t(dir)].queueCycles;
+    }
+
+    /** Flits that traversed router @p t (forwarded or ejected). */
+    uint64_t routerFlits(TileId t) const { return _routerFlits[t]; }
+
   private:
     /** Directed link id: from router r in direction d (0..3 = E,W,N,S). */
     struct Link
     {
         Tick nextFree = 0;
         uint64_t busyCycles = 0;
+        /** Cumulative cycles packets waited for this link (heatmap). */
+        uint64_t queueCycles = 0;
     };
 
     enum Dir : int { East = 0, West = 1, North = 2, South = 3 };
@@ -200,6 +225,9 @@ class Mesh : public SimObject
     std::vector<Sink> _sinks;
     /** numTiles x 4 directed links. */
     std::vector<Link> _links;
+    /** Per-router traversed-flit counters (heatmap). */
+    std::vector<uint64_t> _routerFlits;
+    prof::Profiler *_prof = nullptr;
     TrafficStats _traffic;
     stats::Histogram _packetHops{1, 16};
     Tick _startTick;

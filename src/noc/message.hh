@@ -50,6 +50,12 @@ struct Message
     uint32_t payloadBytes = 0;
     FlitClass cls = FlitClass::Control;
     VNet vnet = VNet::Request;
+    /**
+     * Latency-attribution record handle (prof::Profiler); 0 = untracked.
+     * Rides the message so per-hop NoC time lands on the request that
+     * caused the traffic. Responses inherit the requester's handle.
+     */
+    uint32_t profId = 0;
 
     virtual ~Message() = default;
 };

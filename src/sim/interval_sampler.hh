@@ -62,6 +62,34 @@ class IntervalSampler : public SimObject
         _series.push_back({series_name, {}});
     }
 
+    /** Fills the current cumulative totals, one entry per cell. */
+    using MatrixSource = std::function<void(std::vector<uint64_t> &)>;
+
+    struct MatrixSeries
+    {
+        std::string name;
+        int rows;
+        int cols;
+        MatrixSource fn;
+        std::vector<uint64_t> prev;
+        /** One delta matrix (row-major) per sampled interval. */
+        std::vector<std::vector<uint64_t>> frames;
+    };
+
+    /**
+     * Sample a rows x cols matrix of cumulative counters every
+     * interval, recording per-interval deltas (NoC heatmaps).
+     */
+    void
+    addMatrix(const std::string &series_name, int rows, int cols,
+              MatrixSource fn)
+    {
+        _matrices.push_back({series_name, rows, cols, std::move(fn),
+                             std::vector<uint64_t>(
+                                 size_t(rows) * size_t(cols), 0),
+                             {}});
+    }
+
     /** Begin sampling (first snapshot one interval from now). */
     void
     start()
@@ -73,13 +101,21 @@ class IntervalSampler : public SimObject
             p.prevNumer = p.numer();
             p.prevDenom = p.denom ? p.denom() : 0.0;
         }
+        for (auto &m : _matrices)
+            m.fn(m.prev);
         _tick.start(_interval, [this]() { sampleOnce(); });
     }
 
-    /** Stop sampling; the pending snapshot is cancelled in place. */
+    /**
+     * Stop sampling. When the sim length is not a multiple of the
+     * interval, the tail cycles since the last snapshot are emitted
+     * as one final partial sample instead of being dropped.
+     */
     void
     stop()
     {
+        if (_running && (_ticks.empty() || _ticks.back() != curTick()))
+            sampleOnce();
         _running = false;
         _tick.stop();
     }
@@ -87,6 +123,10 @@ class IntervalSampler : public SimObject
     Cycles interval() const { return _interval; }
     const std::vector<Tick> &ticks() const { return _ticks; }
     const std::vector<Series> &series() const { return _series; }
+    const std::vector<MatrixSeries> &matrices() const
+    {
+        return _matrices;
+    }
 
   private:
     struct Probe
@@ -120,6 +160,15 @@ class IntervalSampler : public SimObject
             }
             _series[i].values.push_back(v);
         }
+        for (auto &m : _matrices) {
+            std::vector<uint64_t> cur(m.prev.size(), 0);
+            m.fn(cur);
+            std::vector<uint64_t> delta(cur.size());
+            for (size_t c = 0; c < cur.size(); ++c)
+                delta[c] = cur[c] - m.prev[c];
+            m.frames.push_back(std::move(delta));
+            m.prev = std::move(cur);
+        }
         // The recurring event re-queues itself for the next snapshot.
     }
 
@@ -128,6 +177,7 @@ class IntervalSampler : public SimObject
     std::vector<Probe> _probes;
     std::vector<Tick> _ticks;
     std::vector<Series> _series;
+    std::vector<MatrixSeries> _matrices;
     /** Fixed-period snapshot; requeues its own node each interval. */
     RecurringEvent _tick;
 };

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Output-path validation (see output_path.hh).
+ */
+
+#include "sim/output_path.hh"
+
+#include <filesystem>
+#include <system_error>
+
+#include "sim/logging.hh"
+
+namespace sf {
+
+namespace fs = std::filesystem;
+
+void
+ensureOutputDir(const std::string &dir, const char *flag)
+{
+    if (dir.empty())
+        fatal("%s: empty output directory", flag);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        fatal("%s: cannot create output directory '%s': %s", flag,
+              dir.c_str(), ec.message().c_str());
+    }
+    if (!fs::is_directory(dir, ec)) {
+        fatal("%s: output path '%s' exists but is not a directory",
+              flag, dir.c_str());
+    }
+    // Probe writability directly: permission bits alone miss
+    // read-only mounts and are meaningless for privileged users.
+    fs::path probe = fs::path(dir) / ".sf_write_probe";
+    std::ofstream f(probe);
+    bool ok = f.good();
+    f.close();
+    fs::remove(probe, ec);
+    if (!ok) {
+        fatal("%s: output directory '%s' is not writable", flag,
+              dir.c_str());
+    }
+}
+
+std::ofstream
+openOutputFile(const std::string &path, const char *flag)
+{
+    if (path.empty())
+        fatal("%s: empty output path", flag);
+    fs::path p(path);
+    fs::path parent = p.parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        if (!fs::exists(parent, ec)) {
+            fatal("%s: output directory '%s' does not exist "
+                  "(create it first or pass an existing directory)",
+                  flag, parent.string().c_str());
+        }
+        if (!fs::is_directory(parent, ec)) {
+            fatal("%s: output path parent '%s' is not a directory",
+                  flag, parent.string().c_str());
+        }
+    }
+    std::ofstream out(path);
+    if (!out.good()) {
+        fatal("%s: cannot open '%s' for writing", flag, path.c_str());
+    }
+    return out;
+}
+
+} // namespace sf

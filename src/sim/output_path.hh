@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Output-path validation shared by every artifact-writing flag
+ * (--stats-json, --trace, --profile). A missing or unwritable target
+ * used to surface as a silent empty file or a cryptic errno much
+ * later; these helpers turn it into an immediate fatal() that names
+ * the flag and the path.
+ */
+
+#ifndef SF_SIM_OUTPUT_PATH_HH
+#define SF_SIM_OUTPUT_PATH_HH
+
+#include <fstream>
+#include <string>
+
+namespace sf {
+
+/**
+ * Make sure @p dir exists (creating it if needed) and is a writable
+ * directory. fatal() with a message naming @p flag otherwise.
+ */
+void ensureOutputDir(const std::string &dir, const char *flag);
+
+/**
+ * Open @p path for writing. The parent directory must already exist
+ * and be writable; fatal() naming @p flag otherwise.
+ */
+std::ofstream openOutputFile(const std::string &path, const char *flag);
+
+} // namespace sf
+
+#endif // SF_SIM_OUTPUT_PATH_HH

@@ -59,11 +59,14 @@ class FloatControllerIf
     /**
      * Fetch indirect floated elements by (sid, index): the core cannot
      * compute their addresses, so these bypass the L1/L2 tag check and
-     * match directly in the SE_L2 buffer.
+     * match directly in the SE_L2 buffer. @p prof_id is the caller's
+     * latency-attribution record (0 = untracked); buffer park time is
+     * charged to it.
      */
     virtual void fetchFloatedElems(StreamId sid, uint64_t first_idx,
                                    uint16_t count,
-                                   std::function<void()> on_ready) = 0;
+                                   std::function<void()> on_ready,
+                                   uint32_t prof_id = 0) = 0;
 };
 
 } // namespace stream

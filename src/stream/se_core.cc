@@ -257,15 +257,29 @@ SECore::issueFetch(StreamId sid, uint64_t first_idx, uint16_t count)
     uint32_t epoch = s.epoch;
     bool floated = s.floating && first_idx >= s.floatFromElem;
 
+    // Top-down: an issue cycle is engine work; until the data lands
+    // the engine is waiting on memory.
+    if (_td) {
+        _td->tickAt(curTick(), prof::Bucket::Retired);
+        _td->setGapReason(prof::Bucket::StalledData);
+    }
+
     if (floated && s.cfg.hasIndirect) {
         ++_stats.floatedFetchesIssued;
+        // sflint: allow(T1, profiler record handle, not a tick)
+        uint32_t pid =
+            _prof ? _prof->open(_tile, sid, curTick()) : 0;
         _floatCtrl->fetchFloatedElems(
-            sid, first_idx, count, [this, sid, first_idx, count, epoch]() {
+            sid, first_idx, count,
+            [this, sid, first_idx, count, epoch, pid]() {
+                if (pid)
+                    _prof->close(pid, curTick());
                 onFetchDone(sid, first_idx, count, false);
                 auto it = _streams.find(sid);
                 if (it != _streams.end() && it->second.epoch != epoch)
                     return;
-            });
+            },
+            pid);
         return;
     }
 
@@ -289,7 +303,13 @@ SECore::issueFetch(StreamId sid, uint64_t first_idx, uint16_t count)
     if (floated) {
         ++_stats.floatedFetchesIssued;
         a.kind = mem::AccessKind::FloatedFetch;
-        a.onDone = [this, sid, first_idx, count, epoch]() {
+        // sflint: allow(T1, profiler record handle, not a tick)
+        uint32_t pid =
+            _prof ? _prof->open(_tile, sid, curTick()) : 0;
+        a.profId = pid;
+        a.onDone = [this, sid, first_idx, count, epoch, pid]() {
+            if (pid)
+                _prof->close(pid, curTick());
             auto it = _streams.find(sid);
             if (it == _streams.end() || it->second.epoch != epoch)
                 return;
@@ -303,7 +323,12 @@ SECore::issueFetch(StreamId sid, uint64_t first_idx, uint16_t count)
     a.kind = mem::AccessKind::StreamFetch;
     auto miss = std::make_shared<bool>(false);
     a.missOut = miss.get();
-    a.onDone = [this, sid, first_idx, count, epoch, miss]() {
+    // sflint: allow(T1, profiler record handle, not a tick)
+    uint32_t pid = _prof ? _prof->open(_tile, sid, curTick()) : 0;
+    a.profId = pid;
+    a.onDone = [this, sid, first_idx, count, epoch, miss, pid]() {
+        if (pid)
+            _prof->close(pid, curTick());
         auto it = _streams.find(sid);
         if (it == _streams.end() || it->second.epoch != epoch)
             return;
@@ -320,6 +345,11 @@ SECore::onFetchDone(StreamId sid, uint64_t first_idx, uint16_t count,
     if (it == _streams.end() || !it->second.active)
         return;
     StreamState &s = it->second;
+
+    if (_td) {
+        _td->tickAt(curTick(), prof::Bucket::Retired);
+        _td->setGapReason(prof::Bucket::Idle);
+    }
 
     for (uint16_t i = 0; i < count; ++i) {
         uint64_t idx = first_idx + i;
@@ -411,6 +441,8 @@ SECore::requestElems(StreamId sid, uint16_t elems,
         on_ready();
     } else {
         s.waiters.push_back({end, std::move(on_ready)});
+        if (_td)
+            _td->setGapReason(prof::Bucket::StalledData);
     }
     return first;
 }

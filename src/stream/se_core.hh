@@ -24,6 +24,7 @@
 #include "mem/phys_mem.hh"
 #include "mem/priv_cache.hh"
 #include "mem/tlb.hh"
+#include "sim/profile.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "stream/float_if.hh"
@@ -101,6 +102,18 @@ class SECore : public SimObject, public cpu::StreamEngineIf
 
     /** Invoked to wake the core when FIFO data lands. */
     void setWakeHook(std::function<void()> hook) { _wake = std::move(hook); }
+
+    /**
+     * Enable latency attribution: stream fetches get lifecycle records
+     * keyed (tile, sid) and the engine's activity lands in its own
+     * top-down account (null = off, the default).
+     */
+    void
+    setProfiler(prof::Profiler *p)
+    {
+        _prof = p;
+        _td = p ? &p->topDown(name()) : nullptr;
+    }
 
     /**
      * Attach the --verify data plane. Element byte values are captured
@@ -232,6 +245,8 @@ class SECore : public SimObject, public cpu::StreamEngineIf
     FloatControllerIf *_floatCtrl = nullptr;
     std::function<void()> _wake;
     verify::DataPlane *_verify = nullptr;
+    prof::Profiler *_prof = nullptr;
+    prof::TopDownAccount *_td = nullptr;
 
     // Ordered by StreamId: quota recomputation, context-switch
     // flushes and debug dumps iterate this table, and their order

@@ -97,6 +97,14 @@ struct SystemConfig
      */
     Cycles samplingInterval = 0;
 
+    /**
+     * Latency-attribution profiler (--profile): per-request lifecycle
+     * records, top-down cycle accounting per core/SE, and NoC heatmap
+     * sampling. Off by default; when off, no Profiler object exists
+     * and every hook is a null-pointer check.
+     */
+    bool profile = false;
+
     // --- robustness layer ---
     /**
      * Invariant-checker level (off/basic/full); the SF_CHECK env var

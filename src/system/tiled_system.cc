@@ -30,10 +30,15 @@ TiledSystem::TiledSystem(const SystemConfig &cfg) : _cfg(cfg)
         _verify = std::make_unique<verify::DataPlane>(*_as,
                                                       _cfg.numTiles());
     }
+    if (_cfg.profile)
+        _prof = std::make_unique<prof::Profiler>();
+
     noc::MeshConfig ncfg = _cfg.noc;
     ncfg.nx = _cfg.nx;
     ncfg.ny = _cfg.ny;
     _mesh = std::make_unique<noc::Mesh>(_eq, ncfg);
+    if (_prof)
+        _mesh->setProfiler(_prof.get());
     _nuca = std::make_unique<mem::NucaMap>(_cfg.nx, _cfg.ny,
                                            _cfg.nucaInterleave);
     _barrier = std::make_unique<cpu::BarrierController>(
@@ -79,6 +84,10 @@ TiledSystem::buildTiles()
             tn + ".priv", _eq, t, _cfg.priv, *_mesh, *_nuca);
         _l3[t] = std::make_unique<mem::L3Bank>(tn + ".l3", _eq, t,
                                                _cfg.l3, *_mesh, *_nuca);
+        if (_prof) {
+            _priv[t]->setProfiler(_prof.get());
+            _l3[t]->setProfiler(_prof.get());
+        }
 
         if (_verify) {
             _priv[t]->setVerify(_verify.get());
@@ -109,6 +118,8 @@ TiledSystem::buildTiles()
                 });
             if (_verify)
                 _seCores[t]->setVerify(_verify.get());
+            if (_prof)
+                _seCores[t]->setProfiler(_prof.get());
         }
         if (floats) {
             _seL2[t] = std::make_unique<flt::SEL2>(
@@ -117,6 +128,8 @@ TiledSystem::buildTiles()
             _seCores[t]->setFloatController(_seL2[t].get());
             if (_verify)
                 _seL2[t]->setVerify(_verify.get());
+            if (_prof)
+                _seL2[t]->setProfiler(_prof.get());
             _seL3[t] = std::make_unique<flt::SEL3>(
                 tn + ".sel3", _eq, t, _cfg.sel3, *_mesh, *_nuca,
                 *_l3[t], as_resolver);
@@ -252,6 +265,8 @@ TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
         }
         if (_verify)
             _cores[t]->setVerify(_verify.get());
+        if (_prof)
+            _cores[t]->setProfiler(_prof.get());
         _cores[t]->onDone = [this]() { ++_coresDone; };
     }
     for (auto &c : _cores)
@@ -294,6 +309,21 @@ TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
 
     if (!hit_limit && _checkLevel > CheckLevel::Off)
         drainAndCheck();
+
+    if (_prof) {
+        // Close the top-down accounts over exactly [0, now) and check
+        // the exact-sum invariant: every simulated cycle of every
+        // accounted component is in exactly one bucket.
+        auto violations = _prof->finalizeTopDown(_eq.curTick());
+        if (!violations.empty()) {
+            for (const auto &v : violations)
+                std::fprintf(stderr, "profile: %s\n", v.c_str());
+            fatalCode(ExitCode::InvariantViolation,
+                      "top-down cycle accounting inconsistent for %zu "
+                      "component(s), first: %s",
+                      violations.size(), violations.front().c_str());
+        }
+    }
 
     return collect(hit_limit);
 }
@@ -747,6 +777,33 @@ TiledSystem::startSampler()
             });
     }
 
+    // NoC heatmap matrices, profile runs only: the plain stats.json
+    // "series" section never includes matrices, so registering them
+    // here cannot perturb non-profiled dumps.
+    if (_prof) {
+        int n = _cfg.numTiles();
+        _sampler->addMatrix(
+            "nocLinkBusy", n, 4, [this](std::vector<uint64_t> &out) {
+                for (TileId t = 0; t < _cfg.numTiles(); ++t)
+                    for (int d = 0; d < 4; ++d)
+                        out[size_t(t) * 4 + d] =
+                            _mesh->linkBusyCycles(t, d);
+            });
+        _sampler->addMatrix(
+            "nocLinkQueue", n, 4, [this](std::vector<uint64_t> &out) {
+                for (TileId t = 0; t < _cfg.numTiles(); ++t)
+                    for (int d = 0; d < 4; ++d)
+                        out[size_t(t) * 4 + d] =
+                            _mesh->linkQueueCycles(t, d);
+            });
+        _sampler->addMatrix(
+            "nocRouterFlits", _cfg.ny, _cfg.nx,
+            [this](std::vector<uint64_t> &out) {
+                for (TileId t = 0; t < _cfg.numTiles(); ++t)
+                    out[t] = _mesh->routerFlits(t);
+            });
+    }
+
     _sampler->start();
 }
 
@@ -771,6 +828,8 @@ TiledSystem::buildStatRegistry(stats::StatRegistry &reg) const
         _faults->regStats(reg.group("faults"));
     if (_checker)
         _checker->regStats(reg.group("checker"));
+    if (_prof)
+        _prof->registerStats(reg);
 
     stats::StatGroup &eg = reg.group("sim.eventq");
     const EventQueue *eq = &_eq;
@@ -910,6 +969,91 @@ TiledSystem::dumpStatsJson(std::ostream &os, const SimResults &r) const
     w.endObject();
 
     w.endObject();
+    os << "\n";
+}
+
+void
+TiledSystem::dumpProfileJson(std::ostream &os, const SimResults &r) const
+{
+    sf_assert(_prof, "dumpProfileJson requires cfg.profile");
+
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("schema", "sf-profile");
+    w.kv("schemaVersion", 1);
+
+    w.beginObject("config");
+    w.kv("machine", machineName(_cfg.machine));
+    w.kv("core", _cfg.core.label);
+    w.kv("nx", _cfg.nx);
+    w.kv("ny", _cfg.ny);
+    w.kv("samplingInterval", uint64_t(_cfg.samplingInterval));
+    w.endObject();
+
+    w.kv("cycles", uint64_t(r.cycles));
+
+    _prof->dumpJson(w);
+
+    // NoC heatmaps: end-of-run totals always, per-interval delta
+    // frames when the sampler ran (it registers the matrices only on
+    // profile runs).
+    w.beginObject("heatmaps");
+    int n = _cfg.numTiles();
+    auto totals = [&](const std::string &name, int rows, int cols,
+                      const std::function<uint64_t(size_t)> &cell) {
+        w.beginObject(name);
+        w.kv("rows", rows);
+        w.kv("cols", cols);
+        w.beginArray("total");
+        for (size_t c = 0; c < size_t(rows) * size_t(cols); ++c)
+            w.value(cell(c));
+        w.endArray();
+        w.endObject();
+    };
+    totals("nocLinkBusy", n, 4, [this](size_t c) {
+        return _mesh->linkBusyCycles(TileId(c / 4), int(c % 4));
+    });
+    totals("nocLinkQueue", n, 4, [this](size_t c) {
+        return _mesh->linkQueueCycles(TileId(c / 4), int(c % 4));
+    });
+    totals("nocRouterFlits", _cfg.ny, _cfg.nx, [this](size_t c) {
+        return _mesh->routerFlits(TileId(c));
+    });
+    w.beginObject("frames");
+    if (_sampler) {
+        w.kv("interval", uint64_t(_sampler->interval()));
+        w.beginArray("ticks");
+        for (Tick t : _sampler->ticks())
+            w.value(uint64_t(t));
+        w.endArray();
+        w.beginObject("series");
+        for (const auto &m : _sampler->matrices()) {
+            w.beginArray(m.name);
+            for (const auto &f : m.frames) {
+                w.beginArray();
+                for (uint64_t v : f)
+                    w.value(v);
+                w.endArray();
+            }
+            w.endArray();
+        }
+        w.endObject();
+    } else {
+        w.kv("interval", uint64_t(0));
+    }
+    w.endObject();
+    w.endObject();
+
+    w.endObject();
+    os << "\n";
+}
+
+void
+TiledSystem::dumpProfileSummaryJson(std::ostream &os) const
+{
+    sf_assert(_prof, "dumpProfileSummaryJson requires cfg.profile");
+    json::Writer w(os);
+    _prof->dumpSummaryJson(w);
     os << "\n";
 }
 

@@ -30,6 +30,7 @@
 #include "sim/checker.hh"
 #include "sim/fault.hh"
 #include "sim/interval_sampler.hh"
+#include "sim/profile.hh"
 #include "sim/stat_registry.hh"
 #include "sim/watchdog.hh"
 #include "system/config.hh"
@@ -81,6 +82,24 @@ class TiledSystem
 
     /** Interval sampler of the last run(); null when sampling is off. */
     const stats::IntervalSampler *sampler() const { return _sampler.get(); }
+
+    /** The --profile latency profiler; null unless cfg.profile. */
+    prof::Profiler *profiler() { return _prof.get(); }
+
+    /**
+     * Standalone profile report (requires cfg.profile): per-(tile,
+     * stream, phase) latency histograms, per-component top-down cycle
+     * accounts, and the NoC heatmaps (interval frames when sampling
+     * was on, end-of-run totals always). Deterministic: repeated runs
+     * byte-compare.
+     */
+    void dumpProfileJson(std::ostream &os, const SimResults &r) const;
+
+    /**
+     * Compact profile summary for the sweep merge: aggregate top-down
+     * split plus per-phase p95 across all tiles and streams.
+     */
+    void dumpProfileSummaryJson(std::ostream &os) const;
 
     /** Component access for tests. */
     mem::PrivCache &privCache(TileId t) { return *_priv[t]; }
@@ -158,6 +177,8 @@ class TiledSystem
     std::vector<std::unique_ptr<cpu::Core>> _cores;
     std::vector<std::shared_ptr<isa::OpSource>> _threads;
     std::unique_ptr<stats::IntervalSampler> _sampler;
+    /** Latency-attribution profiler; null unless cfg.profile. */
+    std::unique_ptr<prof::Profiler> _prof;
 
     CheckLevel _checkLevel = CheckLevel::Off;
     std::unique_ptr<verify::DataPlane> _verify;

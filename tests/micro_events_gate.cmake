@@ -1,0 +1,164 @@
+# Profiling-overhead gate on the event-kernel microbenchmark (the
+# `perf`-label CI job, next to sweep_gate.cmake).
+#
+# Runs the BM_ProfilerHook* benchmarks from bench/micro_events.cc and
+# asserts:
+#   1. disabled-profiling overhead: BM_ProfilerHookOverheadPaired
+#      alternates hook-free and hooks-compiled-in/profiler-null bursts
+#      in ABBA order and reports the median slowdown as overheadPct;
+#      the median across repetitions must stay <= OVERHEAD_PCT
+#      (default 2, the DESIGN.md §4h budget). Pairing makes the check
+#      machine-independent: both variants run in the same process,
+#      interleaved in time;
+#   2. drift: BM_ProfilerHooksOff events/s stays within DRIFT_PCT of
+#      the checked-in bench/baselines/BENCH_micro_events.json
+#      (skippable via -DSTRICT_DRIFT=OFF on unrelated hardware).
+#
+# Invoked as:
+#   cmake -DMICRO=<exe> -DBASELINE=<json> -DOUT_DIR=<dir>
+#         [-DOVERHEAD_PCT=2] [-DDRIFT_PCT=25] [-DSTRICT_DRIFT=ON]
+#         -P micro_events_gate.cmake
+#
+# Refreshing the baseline after an intentional kernel/hook change:
+#   micro_events --benchmark_filter=ProfilerHook
+#       --benchmark_repetitions=5 --benchmark_report_aggregates_only=true
+#       --benchmark_out_format=json
+#       --benchmark_out=bench/baselines/BENCH_micro_events.json
+
+if(NOT MICRO OR NOT OUT_DIR)
+    message(FATAL_ERROR "MICRO and OUT_DIR must be set")
+endif()
+if(NOT DEFINED OVERHEAD_PCT)
+    set(OVERHEAD_PCT 2)
+endif()
+if(NOT DEFINED DRIFT_PCT)
+    set(DRIFT_PCT 25)
+endif()
+if(NOT DEFINED STRICT_DRIFT)
+    set(STRICT_DRIFT ON)
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+    COMMAND "${MICRO}"
+            --benchmark_filter=ProfilerHook
+            --benchmark_repetitions=5
+            --benchmark_report_aggregates_only=true
+            --benchmark_out_format=json
+            "--benchmark_out=${OUT_DIR}/micro_events.json"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "micro_events failed (rc=${rc}): ${out}\n${err}")
+endif()
+
+# Truncate a JSON number (decimal or scientific, optionally negative)
+# toward zero after scaling by 10^scale. CMake's math() is 64-bit-
+# integer-only, so shift the decimal point by hand.
+function(json_number_to_int val scale out)
+    string(REGEX MATCH
+        "^(-?)([0-9]+)(\\.([0-9]*))?([eE]([+-]?[0-9]+))?$" m "${val}")
+    if(NOT m)
+        message(FATAL_ERROR "not a number: '${val}'")
+    endif()
+    set(sign "${CMAKE_MATCH_1}")
+    set(int_part "${CMAKE_MATCH_2}")
+    set(frac "${CMAKE_MATCH_4}")
+    if(CMAKE_MATCH_6)
+        set(exp "${CMAKE_MATCH_6}")
+        string(REGEX REPLACE "^\\+" "" exp "${exp}")
+    else()
+        set(exp 0)
+    endif()
+    string(LENGTH "${int_part}" ilen)
+    math(EXPR pointpos "${ilen} + (${exp}) + ${scale}")
+    set(digits "${int_part}${frac}")
+    string(LENGTH "${digits}" dlen)
+    if(pointpos LESS_EQUAL 0)
+        set(result 0)
+        set(sign "")
+    elseif(pointpos GREATER_EQUAL dlen)
+        math(EXPR pad "${pointpos} - ${dlen}")
+        set(result "${digits}")
+        foreach(i RANGE 1 ${pad})
+            string(APPEND result "0")
+        endforeach()
+    else()
+        string(SUBSTRING "${digits}" 0 ${pointpos} result)
+    endif()
+    # Strip leading zeros so math() does not read the value as octal.
+    string(REGEX REPLACE "^0+([0-9])" "\\1" result "${result}")
+    if(result EQUAL 0)
+        set(sign "")
+    endif()
+    set(${out} "${sign}${result}" PARENT_SCOPE)
+endfunction()
+
+# Pull a median-aggregate counter for one benchmark out of the report,
+# scaled to an integer by 10^scale.
+function(median_counter json_text bench counter scale out)
+    string(JSON n LENGTH "${json_text}" benchmarks)
+    math(EXPR last "${n} - 1")
+    foreach(i RANGE 0 ${last})
+        string(JSON name GET "${json_text}" benchmarks ${i} name)
+        if(name STREQUAL "${bench}_median")
+            string(JSON v GET "${json_text}" benchmarks ${i}
+                   "${counter}")
+            json_number_to_int("${v}" ${scale} v_int)
+            set(${out} ${v_int} PARENT_SCOPE)
+            return()
+        endif()
+    endforeach()
+    message(FATAL_ERROR "no ${bench}_median in benchmark report")
+endfunction()
+
+file(READ "${OUT_DIR}/micro_events.json" report)
+median_counter("${report}" BM_ProfilerHooksBase "events/s" 0 base_rate)
+median_counter("${report}" BM_ProfilerHooksOff "events/s" 0 off_rate)
+median_counter("${report}" BM_ProfilerHooksOn "events/s" 0 on_rate)
+# Milli-percent so sub-1% overheads survive integer math.
+median_counter("${report}" BM_ProfilerHookOverheadPaired overheadPct 3
+               overhead_mpct)
+message(STATUS "events/s median: hook-free ${base_rate}, "
+               "hooks-off ${off_rate}, hooks-on ${on_rate}; "
+               "paired overhead ${overhead_mpct} milli-pct")
+
+# 1. Disabled-overhead budget, from the time-interleaved pairing.
+math(EXPR budget_mpct "${OVERHEAD_PCT} * 1000")
+if(overhead_mpct GREATER budget_mpct)
+    message(FATAL_ERROR "profiling-disabled overhead exceeds "
+        "${OVERHEAD_PCT}%: paired measurement ${overhead_mpct} "
+        "milli-pct (budget ${budget_mpct})")
+endif()
+message(STATUS "overhead gate passed: ${overhead_mpct} <= "
+               "${budget_mpct} milli-pct (${OVERHEAD_PCT}% budget)")
+
+# 2. Drift against the checked-in baseline.
+if(BASELINE AND EXISTS "${BASELINE}")
+    file(READ "${BASELINE}" base_report)
+    median_counter("${base_report}" BM_ProfilerHooksOff "events/s" 0
+                   baseline_off)
+    math(EXPR drift_floor "${baseline_off} * (100 - ${DRIFT_PCT}) / 100")
+    if(off_rate LESS drift_floor)
+        if(STRICT_DRIFT)
+            message(FATAL_ERROR "perf gate: hooks-off ${off_rate} "
+                "events/s fell more than ${DRIFT_PCT}% below the "
+                "baseline ${baseline_off} (floor ${drift_floor}). "
+                "Refresh bench/baselines/BENCH_micro_events.json in "
+                "the same commit if intentional (see header).")
+        else()
+            message(WARNING "perf advisory: hooks-off ${off_rate} vs "
+                "baseline ${baseline_off} (> ${DRIFT_PCT}% down)")
+        endif()
+    else()
+        message(STATUS "drift gate passed: ${off_rate} >= "
+                       "floor ${drift_floor}")
+    endif()
+else()
+    message(WARNING "no baseline at '${BASELINE}'; drift check skipped")
+endif()
+
+message(STATUS "micro_events gate passed")

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the --stats-json/--trace output-path validation
+ * (sim/output_path.hh): good paths are created/opened, bad paths fail
+ * fast with a FatalError that names the offending flag instead of a
+ * silent zero-byte file minutes into a run.
+ *
+ * Note: tests run as whatever user CI provides (often root, which
+ * ignores permission bits), so the negative cases use structural
+ * problems — a file where a directory should be, a missing parent —
+ * rather than chmod.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/output_path.hh"
+
+namespace fs = std::filesystem;
+using namespace sf;
+
+namespace {
+
+/** Fresh scratch directory per test, removed on teardown. */
+class OutputPathTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _root = fs::temp_directory_path() /
+                ("sf_output_path_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name()));
+        fs::remove_all(_root);
+        fs::create_directories(_root);
+    }
+
+    void TearDown() override { fs::remove_all(_root); }
+
+    std::string path(const std::string &rel) const
+    {
+        return (_root / rel).string();
+    }
+
+    fs::path _root;
+};
+
+/** The FatalError message must name the flag the user passed. */
+template <typename Fn>
+void
+expectFatalNaming(const char *flag, Fn fn)
+{
+    try {
+        fn();
+        FAIL() << "expected FatalError naming " << flag;
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(flag), std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+
+TEST_F(OutputPathTest, EnsureOutputDirCreatesNestedDirs)
+{
+    std::string dir = path("a/b/c");
+    ensureOutputDir(dir, "--stats-json");
+    EXPECT_TRUE(fs::is_directory(dir));
+    // Idempotent on an existing directory.
+    ensureOutputDir(dir, "--stats-json");
+    // The writability probe must not leave droppings behind.
+    EXPECT_TRUE(fs::is_empty(dir));
+}
+
+TEST_F(OutputPathTest, EnsureOutputDirRejectsEmptyPath)
+{
+    expectFatalNaming("--stats-json",
+                      [] { ensureOutputDir("", "--stats-json"); });
+}
+
+TEST_F(OutputPathTest, EnsureOutputDirRejectsExistingFile)
+{
+    std::string p = path("occupied");
+    std::ofstream(p) << "not a directory\n";
+    expectFatalNaming("--stats-json",
+                      [&] { ensureOutputDir(p, "--stats-json"); });
+}
+
+TEST_F(OutputPathTest, EnsureOutputDirRejectsFileOnParentPath)
+{
+    // A file blocking an intermediate component: create_directories
+    // itself fails, and the message must still carry the flag.
+    std::string p = path("occupied");
+    std::ofstream(p) << "x\n";
+    expectFatalNaming("--profile", [&] {
+        ensureOutputDir(p + "/sub", "--profile");
+    });
+}
+
+TEST_F(OutputPathTest, OpenOutputFileWritesIntoExistingDir)
+{
+    std::string p = path("out.json");
+    {
+        std::ofstream os = openOutputFile(p, "--stats-json");
+        ASSERT_TRUE(os.good());
+        os << "{}\n";
+    }
+    EXPECT_TRUE(fs::is_regular_file(p));
+}
+
+TEST_F(OutputPathTest, OpenOutputFileRejectsMissingParent)
+{
+    expectFatalNaming("--trace", [&] {
+        openOutputFile(path("no/such/dir/trace.json"), "--trace");
+    });
+}
+
+TEST_F(OutputPathTest, OpenOutputFileRejectsFileAsParent)
+{
+    std::string p = path("occupied");
+    std::ofstream(p) << "x\n";
+    expectFatalNaming("--trace", [&] {
+        openOutputFile(p + "/trace.json", "--trace");
+    });
+}
+
+TEST_F(OutputPathTest, OpenOutputFileRejectsEmptyPath)
+{
+    expectFatalNaming("--trace", [] { openOutputFile("", "--trace"); });
+}
+
+TEST_F(OutputPathTest, OpenOutputFileRejectsDirectoryTarget)
+{
+    // Opening a directory itself for writing must fail cleanly.
+    std::string d = path("d");
+    fs::create_directories(d);
+    expectFatalNaming("--stats-json",
+                      [&] { openOutputFile(d, "--stats-json"); });
+}
+
+TEST_F(OutputPathTest, MessagesIncludeTheOffendingPath)
+{
+    std::string p = path("occupied");
+    std::ofstream(p) << "x\n";
+    try {
+        ensureOutputDir(p, "--stats-json");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(p), std::string::npos)
+            << e.what();
+    }
+}

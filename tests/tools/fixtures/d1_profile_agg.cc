@@ -1,0 +1,46 @@
+// sflint fixture: D1 positive — a profile-style aggregation map
+// (per-(tile, stream) latency histograms) held in a hash-ordered
+// container and iterated while rendering a report. The real profiler
+// keys its aggregates with std::map precisely so profile.json is
+// byte-stable; this fixture pins the rule that guards that choice.
+#include <cstdint>
+#include <unordered_map>
+
+struct FxLatHist
+{
+    uint64_t count = 0;
+    uint64_t sum = 0;
+};
+
+struct FxAggKey
+{
+    int tile;
+    int stream;
+    bool operator==(const FxAggKey &o) const
+    {
+        return tile == o.tile && stream == o.stream;
+    }
+};
+
+struct FxAggKeyHash
+{
+    size_t
+    operator()(const FxAggKey &k) const
+    {
+        return size_t(k.tile) * 131 + size_t(k.stream);
+    }
+};
+
+struct FxD1ProfileAgg
+{
+    std::unordered_map<FxAggKey, FxLatHist, FxAggKeyHash> fxAggregates;
+
+    uint64_t
+    dumpReport() const
+    {
+        uint64_t emitted = 0;
+        for (const auto &kv : fxAggregates)
+            emitted += kv.second.count;
+        return emitted;
+    }
+};

@@ -72,6 +72,11 @@ TEST(SflintRules, DetectsSeededViolations)
     ASSERT_EQ(ptrkey.size(), 1u);
     EXPECT_NE(ptrkey[0].message.find("pointer-keyed"),
               std::string::npos);
+    // Profile-report aggregation maps must stay ordered so
+    // profile.json is byte-stable (DESIGN.md §4h).
+    auto agg = newFindings(res, "D1", "fixtures/d1_profile_agg.cc");
+    ASSERT_EQ(agg.size(), 1u);
+    EXPECT_NE(agg[0].message.find("unordered"), std::string::npos);
 
     EXPECT_EQ(newFindings(res, "D2", "fixtures/d2_banned.cc").size(),
               1u);
@@ -111,7 +116,7 @@ TEST(SflintBaseline, RoundTripAndRatchet)
     AnalysisResult res = analyze(fixtureConfig());
     Baseline b = baselineFromFindings(res);
     // Suppressed findings never enter the baseline.
-    EXPECT_EQ(b.entries.size(), 9u);
+    EXPECT_EQ(b.entries.size(), 10u);
 
     fs::path tmp =
         fs::path(::testing::TempDir()) / "sflint_baseline.json";
