@@ -18,6 +18,9 @@
  *                      the profile.* groups and (with --stats-json)
  *                      each run also writes <stem>.profile.json and
  *                      <stem>.profsum.json
+ *   --threads=N        worker threads for the tile-parallel engine
+ *                      (results byte-identical to one worker;
+ *                      DESIGN.md §4i)
  */
 
 #ifndef SF_BENCH_BENCH_UTIL_HH
@@ -33,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/arg_parse.hh"
 #include "sim/output_path.hh"
 #include "sim/stream_trace.hh"
 #include "system/tiled_system.hh"
@@ -88,6 +92,12 @@ struct BenchOptions
      * writes a standalone profile.json + profsum.json per run.
      */
     bool profile = false;
+    /**
+     * Worker threads for the tile-parallel engine (DESIGN.md §4i).
+     * Byte-identical results for any value; >1 only changes wall
+     * clock.
+     */
+    int threads = 1;
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -126,13 +136,15 @@ struct BenchOptions
                 o.verify = true;
             } else if (arg == "--profile") {
                 o.profile = true;
+            } else if (const char *v = val("--threads=")) {
+                o.threads = parseThreadCount(v, "--threads");
             } else if (arg == "--help") {
                 std::printf(
                     "options: --cores=NxN --scale=S "
                     "--workloads=a,b,c --full --stats-json=DIR "
                     "--sample-interval=N --check=off|basic|full "
                     "--faults=SPEC --watchdog-cycles=N --verify "
-                    "--profile\n");
+                    "--profile --threads=N\n");
                 std::exit(0);
             }
         }
@@ -175,6 +187,7 @@ runSim(sys::Machine machine, const cpu::CoreConfig &core,
         cfg.watchdogCycles = opt.watchdogCycles;
     cfg.verify = opt.verify;
     cfg.profile = opt.profile;
+    cfg.threads = opt.threads;
     if (const char *bug = std::getenv("SF_VERIFY_BUG"))
         cfg.verifyBug = bug;
     sys::TiledSystem system(cfg);

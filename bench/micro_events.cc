@@ -148,9 +148,9 @@ struct HookTick
             uint32_t pid =
                 prof ? prof->open(0, invalidStream, now) : 0;
             if (prof && pid)
-                prof->mark(pid, prof::Phase::PrivCache, now);
+                prof->mark(0, pid, prof::Phase::PrivCache, now);
             if (prof && pid)
-                prof->close(pid, now);
+                prof->close(0, pid, now);
         }
         ctx->eq->scheduleIn(1 + static_cast<Cycles>(ctx->budget % 8),
                             *this, EventPriority::ClockTick);

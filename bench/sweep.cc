@@ -24,7 +24,8 @@
  *   -j N / --jobs=N      worker processes (default 1)
  *   --out=DIR            output directory (default sweep_out)
  *   --cpus=a,b           core-config subset: io4,ooo4,ooo8 (default all)
- *   --machines=a,b       machine subset: Base,Stride,Bingo,SS,SF
+ *   --machines=a,b       machine subset:
+ *                        Base,Stride,Bingo,SS,SF-Aff,SF-Ind,SF
  *                        (default all five)
  *   --point-timeout=S    per-point wall-clock limit in seconds
  *                        (default 300; SIGKILL + retry on expiry)
@@ -84,12 +85,12 @@ parseSweep(int argc, char **argv)
             return nullptr;
         };
         if (arg == "-j" && i + 1 < argc) {
-            o.jobs = std::atoi(argv[++i]);
+            o.jobs = parseThreadCount(argv[++i], "-j");
         } else if (const char *v = val("--jobs=")) {
-            o.jobs = std::atoi(v);
+            o.jobs = parseThreadCount(v, "--jobs");
         } else if (const char *v = val("-j")) {
             if (*v)
-                o.jobs = std::atoi(v);
+                o.jobs = parseThreadCount(v, "-j");
         } else if (const char *v = val("--out=")) {
             o.outDir = v;
         } else if (const char *v = val("--cpus=")) {
@@ -132,6 +133,10 @@ machineByName(const std::string &name)
         return sys::Machine::BingoPf;
     if (name == "SS")
         return sys::Machine::SS;
+    if (name == "SF-Aff")
+        return sys::Machine::SFAff;
+    if (name == "SF-Ind")
+        return sys::Machine::SFInd;
     if (name == "SF")
         return sys::Machine::SF;
     throw std::runtime_error("unknown machine: " + name);

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Threaded-engine scaling benchmark (DESIGN.md §4i): run one mesh
+ * point at several worker counts and report, per count, the wall
+ * clock and the deterministic cycle count. The cycle counts double as
+ * a determinism fingerprint: they must be identical across worker
+ * counts and must match the checked-in baseline
+ * (bench/baselines/BENCH_threads.json); only the wall clock may vary
+ * between hosts. tests/threads_gate.cmake consumes the JSON report.
+ *
+ * Defaults to the paper's 8x8 mesh (the acceptance point for the
+ * >=2x-with-4-workers speedup target) rather than bench_util's 4x4.
+ *
+ * Extra options on top of bench_util.hh:
+ *   --counts=1,2,4   worker counts to run (default 1,2,4)
+ *   --reps=N         repetitions per count; wall clock is the minimum
+ *                    across reps (default 3)
+ *   --out=FILE       write the JSON report here (default stdout only)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace sf;
+
+namespace {
+
+struct Sample
+{
+    int threads = 1;
+    double wallMs = 0.0;
+    unsigned long long cycles = 0;
+};
+
+double
+runOnceMs(const bench::BenchOptions &opt, const std::string &wl,
+          int threads, unsigned long long &cycles_out)
+{
+    bench::BenchOptions one = opt;
+    one.threads = threads;
+    auto t0 = std::chrono::steady_clock::now();
+    sys::SimResults r =
+        bench::runSim(sys::Machine::SF, cpu::CoreConfig::ooo8(), wl, one);
+    auto t1 = std::chrono::steady_clock::now();
+    cycles_out = r.cycles;
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Default to the paper's 8x8 mesh unless --cores was given.
+    bool cores_given = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--cores=", 8) == 0)
+            cores_given = true;
+    }
+    bench::BenchOptions opt = bench::BenchOptions::parse(argc, argv);
+    if (!cores_given)
+        opt.nx = opt.ny = 8;
+
+    std::vector<int> counts = {1, 2, 4};
+    int reps = 3;
+    std::string out_file;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--counts=", 0) == 0) {
+            counts.clear();
+            for (const auto &c :
+                 bench::splitList(arg.c_str() + std::strlen("--counts=")))
+                counts.push_back(parseThreadCount(c, "--counts"));
+        } else if (arg.rfind("--reps=", 0) == 0) {
+            reps = parseThreadCount(arg.c_str() + std::strlen("--reps="),
+                                    "--reps");
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_file = arg.substr(std::strlen("--out="));
+        }
+    }
+
+    const std::string wl =
+        opt.workloads.empty() ? std::string("pathfinder")
+                              : opt.workloads.front();
+    const unsigned host_cores = std::thread::hardware_concurrency();
+
+    std::printf("threads scaling: %dx%d SF %s scale=%.3f "
+                "(host cores: %u, reps: %d)\n",
+                opt.nx, opt.ny, wl.c_str(), opt.scale, host_cores, reps);
+
+    std::vector<Sample> samples;
+    for (int n : counts) {
+        Sample s;
+        s.threads = n;
+        s.wallMs = 1e300;
+        for (int r = 0; r < reps; ++r) {
+            unsigned long long cycles = 0;
+            double ms = runOnceMs(opt, wl, n, cycles);
+            s.wallMs = std::min(s.wallMs, ms);
+            if (r == 0) {
+                s.cycles = cycles;
+            } else if (cycles != s.cycles) {
+                std::fprintf(stderr,
+                             "threads=%d rep %d: cycles %llu != %llu — "
+                             "the engine is not run-to-run "
+                             "deterministic\n",
+                             n, r, cycles, s.cycles);
+                return 1;
+            }
+        }
+        samples.push_back(s);
+        std::printf("  threads=%d  %10.1f ms  cycles=%llu\n", n,
+                    s.wallMs, s.cycles);
+    }
+
+    // Cross-count determinism: every worker count must simulate the
+    // exact same machine, cycle for cycle.
+    for (const Sample &s : samples) {
+        if (s.cycles != samples.front().cycles) {
+            std::fprintf(stderr,
+                         "threads=%d: cycles %llu != threads=%d's %llu "
+                         "— shard-count variance, engine bug\n",
+                         s.threads, s.cycles, samples.front().threads,
+                         samples.front().cycles);
+            return 1;
+        }
+    }
+
+    double base_ms = samples.front().wallMs;
+    std::string json = "{\n  \"schema\": \"sf.bench.threads.v1\",\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"mesh\": \"%dx%d\",\n  \"workload\": \"%s\",\n"
+                  "  \"scale\": %.4f,\n  \"hostCores\": %u,\n"
+                  "  \"reps\": %d,\n  \"runs\": [\n",
+                  opt.nx, opt.ny, wl.c_str(), opt.scale, host_cores,
+                  reps);
+    json += buf;
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"threads\": %d, \"wallMs\": %.2f, "
+                      "\"cycles\": %llu, \"speedup\": %.3f}%s\n",
+                      s.threads, s.wallMs, s.cycles,
+                      base_ms / s.wallMs,
+                      i + 1 < samples.size() ? "," : "");
+        json += buf;
+    }
+    json += "  ]\n}\n";
+
+    std::fputs(json.c_str(), stdout);
+    if (!out_file.empty()) {
+        std::ofstream os = openOutputFile(out_file, "--out");
+        os << json;
+        std::printf("wrote %s\n", out_file.c_str());
+    }
+    return 0;
+}

@@ -7,7 +7,11 @@
  *
  * Usage: quickstart [workload] [scale] [--stats-json=DIR] [--trace=FILE]
  *                   [--check=LVL] [--faults=SPEC] [--watchdog-cycles=N]
- *                   [--verify] [--profile]
+ *                   [--verify] [--profile] [--threads=N]
+ *
+ *   --threads=N       worker threads for the tile-parallel engine
+ *                     (results are byte-identical to --threads=1;
+ *                     DESIGN.md §4i)
  *
  *   --stats-json=DIR  write one schema-versioned stats.json per machine
  *                     (with interval time series) into DIR
@@ -42,6 +46,7 @@
 
 #include <vector>
 
+#include "sim/arg_parse.hh"
 #include "sim/output_path.hh"
 #include "sim/stream_trace.hh"
 #include "system/tiled_system.hh"
@@ -60,6 +65,7 @@ struct RobustnessOptions
     Tick watchdogCycles = ~0ULL; //!< ~0 = keep the config default
     bool verify = false;
     bool profile = false;
+    int threads = 1;
 };
 
 sys::SimResults
@@ -76,6 +82,7 @@ runOne(sys::Machine machine, const std::string &wl_name, double scale,
         cfg.watchdogCycles = rob.watchdogCycles;
     cfg.verify = rob.verify;
     cfg.profile = rob.profile;
+    cfg.threads = rob.threads;
     // sflint: allow(D2, verify-oracle fault-injection hook, not timed state)
     if (const char *bug = std::getenv("SF_VERIFY_BUG"))
         cfg.verifyBug = bug;
@@ -159,6 +166,13 @@ try {
             rob.verify = true;
         } else if (arg == "--profile") {
             rob.profile = true;
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            rob.threads = parseThreadCount(
+                arg.substr(std::strlen("--threads=")), "--threads");
+        } else if (arg.rfind("-j", 0) == 0 && arg != "-j") {
+            rob.threads = parseThreadCount(arg.substr(2), "-j");
+        } else if (arg == "-j" && i + 1 < argc) {
+            rob.threads = parseThreadCount(argv[++i], "-j");
         } else if (positional == 0) {
             wl = arg;
             ++positional;

@@ -374,7 +374,7 @@ Core::tryIssue(RobEntry &e)
             e.issued = true;
             uint64_t seq = e.seq;
             if (_barrier) {
-                _barrier->arrive([this, seq]() {
+                _barrier->arrive(_tile, [this, seq]() {
                     for (auto &re : _rob) {
                         if (re.seq == seq) {
                             re.completed = true;
@@ -583,7 +583,7 @@ Core::issueMemAccess(Addr vaddr, uint16_t size, bool is_write,
                 a.profId = pid;
                 a.onDone = [this, pid,
                             inner = std::move(a.onDone)]() {
-                    _prof->close(pid, curTick());
+                    _prof->close(_tile, pid, curTick());
                     if (inner)
                         inner();
                 };
@@ -751,7 +751,7 @@ Core::finishIfDrained()
     SF_DPRINTF(Core, "done: %llu ops committed",
                (unsigned long long)_stats.committedOps.value());
     if (_barrier)
-        _barrier->retire();
+        _barrier->retire(_tile);
     if (onDone)
         onDone();
 }

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,7 +39,18 @@ pageAlign(Addr a)
     return a & pageMask;
 }
 
-/** Sparse page-granularity physical memory with typed accessors. */
+/**
+ * Sparse page-granularity physical memory with typed accessors.
+ *
+ * Thread safety: with setConcurrent(true) (the tile-parallel engine,
+ * DESIGN.md §4i) the page map is guarded by a reader/writer lock, so
+ * functional accesses from different shard threads — including lazy
+ * first-touch allocation from speculative indirect-stream chasing —
+ * are safe. Page *contents* carry no locking: two simulated writers
+ * to the same line are a workload race and already nondeterministic
+ * at the protocol level. In the default serial mode every lock is
+ * skipped, keeping the hot path identical to the pre-parallel kernel.
+ */
 class PhysMem
 {
   public:
@@ -45,6 +58,7 @@ class PhysMem
     void
     read(Addr paddr, void *out, size_t size) const
     {
+        auto l = readLock();
         auto *dst = static_cast<uint8_t *>(out);
         while (size > 0) {
             Addr page = pageAlign(paddr);
@@ -62,7 +76,7 @@ class PhysMem
         }
     }
 
-    /** Write @p size bytes at @p paddr. */
+    /** Write @p size bytes at @p paddr (allocate fresh pages). */
     void
     write(Addr paddr, const void *in, size_t size)
     {
@@ -71,15 +85,44 @@ class PhysMem
             Addr page = pageAlign(paddr);
             size_t off = static_cast<size_t>(paddr - page);
             size_t chunk = std::min(size, pageBytes - off);
-            auto &storage = _pages[page];
-            if (storage.empty())
-                storage.resize(pageBytes, 0);
-            std::memcpy(storage.data() + off, src, chunk);
+            uint8_t *data = nullptr;
+            {
+                auto l = readLock();
+                auto it = _pages.find(page);
+                if (it != _pages.end())
+                    data = it->second.data();
+            }
+            if (!data) {
+                auto l = writeLock();
+                auto &storage = _pages[page];
+                if (storage.empty())
+                    storage.resize(pageBytes, 0);
+                data = storage.data();
+            }
+            std::memcpy(data + off, src, chunk);
             src += chunk;
             paddr += chunk;
             size -= chunk;
         }
     }
+
+    /** Eagerly allocate the zero-filled page backing @p paddr. */
+    void
+    materialize(Addr paddr)
+    {
+        Addr page = pageAlign(paddr);
+        auto l = writeLock();
+        auto &storage = _pages[page];
+        if (storage.empty())
+            storage.resize(pageBytes, 0);
+    }
+
+    /**
+     * Guard the page map for concurrent functional access from shard
+     * worker threads. Serial runs leave this off and never touch the
+     * lock. Flip only while no worker is running.
+     */
+    void setConcurrent(bool on) { _concurrent = on; }
 
     template <typename T>
     T
@@ -123,10 +166,35 @@ class PhysMem
         }
     }
 
-    size_t numAllocatedPages() const { return _pages.size(); }
+    size_t
+    numAllocatedPages() const
+    {
+        auto l = readLock();
+        return _pages.size();
+    }
 
   private:
+    std::shared_lock<std::shared_mutex>
+    readLock() const
+    {
+        std::shared_lock<std::shared_mutex> l(_mu, std::defer_lock);
+        if (_concurrent)
+            l.lock();
+        return l;
+    }
+
+    std::unique_lock<std::shared_mutex>
+    writeLock() const
+    {
+        std::unique_lock<std::shared_mutex> l(_mu, std::defer_lock);
+        if (_concurrent)
+            l.lock();
+        return l;
+    }
+
     std::unordered_map<Addr, std::vector<uint8_t>> _pages;
+    mutable std::shared_mutex _mu;
+    bool _concurrent = false;
 };
 
 /**
@@ -135,7 +203,18 @@ class PhysMem
  *
  * The mapping deliberately scrambles page frames (so NUCA placement of
  * consecutive virtual pages is not trivially identity) while staying
- * deterministic.
+ * deterministic. The frame is a pure hash of the virtual page number,
+ * so a lazily first-touched page (speculative indirect-stream chasing
+ * can translate any address mid-run) gets the same frame no matter
+ * which shard thread touches it first or when — placement, and hence
+ * timing, is independent of worker count. The only order-dependent
+ * path is the linear probe on a frame-hash collision; with thousands
+ * of pages hashed into a 2^28-frame window, the smoke_threads
+ * byte-compare would surface one, and none occurs in the shipped
+ * workloads.
+ *
+ * Thread safety mirrors PhysMem: setConcurrent(true) guards the page
+ * table with a reader/writer lock; serial mode skips every lock.
  */
 class AddressSpace
 {
@@ -152,6 +231,7 @@ class AddressSpace
     alloc(uint64_t bytes, const std::string &label = "")
     {
         (void)label;
+        auto l = writeLock();
         Addr base = _brk;
         uint64_t span = (bytes + pageBytes - 1) & ~uint64_t(pageBytes - 1);
         // Leave a guard page between allocations.
@@ -166,10 +246,17 @@ class AddressSpace
     translate(Addr vaddr)
     {
         Addr vpage = pageAlign(vaddr);
+        {
+            auto l = readLock();
+            auto it = _pageTable.find(vpage);
+            if (it != _pageTable.end())
+                return it->second + (vaddr - vpage);
+        }
+        auto l = writeLock();
         auto it = _pageTable.find(vpage);
-        if (it == _pageTable.end())
-            return mapPage(vpage) + (vaddr - vpage);
-        return it->second + (vaddr - vpage);
+        if (it != _pageTable.end())
+            return it->second + (vaddr - vpage);
+        return mapPage(vpage) + (vaddr - vpage);
     }
 
     /** Translate without allocating; invalidAddr when unmapped. */
@@ -177,10 +264,23 @@ class AddressSpace
     translateExisting(Addr vaddr) const
     {
         Addr vpage = pageAlign(vaddr);
+        auto l = readLock();
         auto it = _pageTable.find(vpage);
         if (it == _pageTable.end())
             return invalidAddr;
         return it->second + (vaddr - vpage);
+    }
+
+    /**
+     * Guard the page table for concurrent translation from shard
+     * worker threads (see PhysMem::setConcurrent); propagated to the
+     * backing store too. Flip only while no worker is running.
+     */
+    void
+    setConcurrent(bool on)
+    {
+        _concurrent = on;
+        _mem.setConcurrent(on);
     }
 
     // Typed functional accessors through the translation.
@@ -207,6 +307,7 @@ class AddressSpace
     PhysMem &mem() { return _mem; }
 
   private:
+    /** Map one page; the caller holds the write lock (concurrent mode). */
     Addr
     mapPage(Addr vpage)
     {
@@ -223,7 +324,28 @@ class AddressSpace
         }
         _usedFrames.insert(paddr);
         _pageTable.emplace(vpage, paddr);
+        // Materialize eagerly so the first functional access to a
+        // fresh mapping finds backing storage already in place.
+        _mem.materialize(paddr);
         return paddr;
+    }
+
+    std::shared_lock<std::shared_mutex>
+    readLock() const
+    {
+        std::shared_lock<std::shared_mutex> l(_mu, std::defer_lock);
+        if (_concurrent)
+            l.lock();
+        return l;
+    }
+
+    std::unique_lock<std::shared_mutex>
+    writeLock()
+    {
+        std::unique_lock<std::shared_mutex> l(_mu, std::defer_lock);
+        if (_concurrent)
+            l.lock();
+        return l;
     }
 
     int _asid;
@@ -231,6 +353,8 @@ class AddressSpace
     Addr _brk;
     std::unordered_map<Addr, Addr> _pageTable;
     std::unordered_set<Addr> _usedFrames;
+    mutable std::shared_mutex _mu;
+    bool _concurrent = false;
 };
 
 } // namespace mem

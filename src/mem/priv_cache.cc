@@ -62,7 +62,7 @@ PrivCache::accessL1(Access a)
             if (_streamBuf)
                 _streamBuf->onFloatedHitInCache(a.stream, a.elemIdx);
             if (_prof && a.profId)
-                _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
+                _prof->mark(_tile, a.profId, prof::Phase::PrivCache, curTick());
             if (a.onDone)
                 a.onDone();
             return;
@@ -101,7 +101,7 @@ PrivCache::accessL1(Access a)
                                         a.isWrite, false, false});
             }
             if (_prof && a.profId)
-                _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
+                _prof->mark(_tile, a.profId, prof::Phase::PrivCache, curTick());
             if (a.onDone)
                 a.onDone();
             return;
@@ -122,7 +122,7 @@ PrivCache::accessL1(Access a)
                                         a.isWrite, false, false});
             }
             if (_prof && a.profId)
-                _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
+                _prof->mark(_tile, a.profId, prof::Phase::PrivCache, curTick());
             if (a.onDone)
                 a.onDone();
             return;
@@ -165,7 +165,7 @@ PrivCache::handleFloatedAccess(const Access &a)
         if (_streamBuf)
             _streamBuf->onFloatedHitInCache(a.stream, a.elemIdx);
         if (_prof && a.profId)
-            _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
+            _prof->mark(_tile, a.profId, prof::Phase::PrivCache, curTick());
         if (a.onDone)
             a.onDone();
         return;
@@ -202,7 +202,7 @@ PrivCache::accessL2(Access a, bool l1_was_miss)
         }
         ++_stats.l2Hits;
         if (_prof && a.profId)
-            _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
+            _prof->mark(_tile, a.profId, prof::Phase::PrivCache, curTick());
         SF_DPRINTF(Cache, "L2 hit %s %llx kind=%d",
                    a.isWrite ? "st" : "ld", (unsigned long long)a.paddr,
                    (int)a.kind);
@@ -244,7 +244,7 @@ PrivCache::accessL2(Access a, bool l1_was_miss)
         if (a.kind == AccessKind::Prefetch)
             return; // demand/earlier request already in flight
         if (_prof && a.profId)
-            _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
+            _prof->mark(_tile, a.profId, prof::Phase::PrivCache, curTick());
         m.waiters.push_back(std::move(a));
         Access &queued = m.waiters.back();
         if (queued.isWrite && !m.pendingM)
@@ -298,7 +298,7 @@ PrivCache::accessL2(Access a, bool l1_was_miss)
         ++_stats.prefetchesIssued;
     }
     if (_prof && a.profId)
-        _prof->mark(a.profId, prof::Phase::PrivCache, curTick());
+        _prof->mark(_tile, a.profId, prof::Phase::PrivCache, curTick());
     m.waiters.push_back(std::move(a));
     _mshrs.emplace(line_addr, std::move(m));
 
@@ -622,7 +622,7 @@ PrivCache::handleData(const MemMsgPtr &msg)
                 continue;
             }
             if (_prof && w.profId)
-                _prof->mark(w.profId, prof::Phase::Remote, curTick());
+                _prof->mark(_tile, w.profId, prof::Phase::Remote, curTick());
             finishWaiter(w);
         }
         m.waiters = std::move(keep);
@@ -679,7 +679,7 @@ PrivCache::handleData(const MemMsgPtr &msg)
             }
         }
         if (_prof && w.profId)
-            _prof->mark(w.profId, prof::Phase::Remote, curTick());
+            _prof->mark(_tile, w.profId, prof::Phase::Remote, curTick());
         finishWaiter(w);
     }
 

@@ -14,10 +14,50 @@ Mesh::Mesh(EventQueue &eq, const MeshConfig &config)
       _sinks(static_cast<size_t>(config.nx * config.ny)),
       _links(static_cast<size_t>(config.nx * config.ny) * 4),
       _routerFlits(static_cast<size_t>(config.nx * config.ny), 0),
+      _traffic(static_cast<size_t>(config.nx * config.ny)),
+      _packetHops(static_cast<size_t>(config.nx * config.ny),
+                  stats::Histogram(1, 16)),
       _startTick(eq.curTick())
 {
     sf_assert(config.nx > 0 && config.ny > 0, "empty mesh");
     sf_assert(config.linkBits >= 8, "link too narrow");
+}
+
+void
+Mesh::scheduleHopEvent(TileId at, TileId target, Tick when,
+                       EventQueue::Handler fn)
+{
+    if (_domains) {
+        _domains->scheduleTile(target, when, _domains->nextKey(at),
+                               std::move(fn), EventPriority::Delivery);
+    } else {
+        eventQueue().schedule(when, std::move(fn),
+                              EventPriority::Delivery);
+    }
+}
+
+TrafficStats
+Mesh::traffic() const
+{
+    TrafficStats total;
+    for (const TrafficStats &t : _traffic) {
+        for (size_t c = 0; c < 3; ++c) {
+            total.flitsInjected[c] += t.flitsInjected[c];
+            total.flitHops[c] += t.flitHops[c];
+            total.packets[c] += t.packets[c];
+        }
+        total.linkBusyCycles += t.linkBusyCycles;
+    }
+    return total;
+}
+
+const stats::Histogram &
+Mesh::packetHops() const
+{
+    _packetHopsMerged = stats::Histogram(1, 16);
+    for (const stats::Histogram &h : _packetHops)
+        _packetHopsMerged.merge(h);
+    return _packetHopsMerged;
 }
 
 void
@@ -118,8 +158,10 @@ Mesh::send(const MsgPtr &msg)
             SF_DPRINTF(NoC, "fault: delaying %d -> %d by %llu",
                        (int)msg->src, (int)msg->dests.front(),
                        (unsigned long long)delay);
-            scheduleIn(delay, [this, msg] { inject(msg); },
-                       EventPriority::Delivery);
+            // Re-injection stays in the sender's execution context
+            // (same tile, so any delay is shard-safe).
+            scheduleHopEvent(msg->src, msg->src, now(msg->src) + delay,
+                             [this, msg] { inject(msg); });
             return;
           case SendAction::Duplicate:
             SF_DPRINTF(NoC, "fault: duplicating %d -> %d",
@@ -137,12 +179,16 @@ Mesh::inject(const MsgPtr &msg)
     sf_assert(!msg->dests.empty(), "message with no destination");
     uint32_t flits = flitsOf(msg->payloadBytes);
     auto cls = static_cast<size_t>(msg->cls);
-    _traffic.flitsInjected[cls] += flits;
-    ++_traffic.packets[cls];
+    // Injection-side counters belong to the sending tile's account
+    // (send() runs in the sender's execution context).
+    TrafficStats &ts = _traffic[static_cast<size_t>(msg->src)];
+    ts.flitsInjected[cls] += flits;
+    ++ts.packets[cls];
     int max_hops = 0;
     for (TileId d : msg->dests)
         max_hops = std::max(max_hops, hopDistance(msg->src, d));
-    _packetHops.sample(static_cast<uint64_t>(max_hops));
+    _packetHops[static_cast<size_t>(msg->src)].sample(
+        static_cast<uint64_t>(max_hops));
     SF_DPRINTF(NoC, "inject %d -> %d (+%zu) cls=%d flits=%u hops=%d",
                (int)msg->src, (int)msg->dests.front(),
                msg->dests.size() - 1, (int)msg->cls, flits, max_hops);
@@ -154,7 +200,7 @@ Mesh::inject(const MsgPtr &msg)
         InFlightInfo &info = _inFlight[sit->second];
         if (info.remaining == 0) {
             info.msg = msg;
-            info.injectTick = curTick();
+            info.injectTick = now(msg->src);
         }
         info.remaining += static_cast<int>(msg->dests.size());
     }
@@ -215,29 +261,29 @@ Mesh::hop(const MsgPtr &msg, TileId at, std::vector<TileId> dests,
     _routerFlits[static_cast<size_t>(at)] += flits;
 
     if (local) {
-        // Eject through the local port after the router pipeline.
-        scheduleIn(_cfg.routerLatency,
-                   [this, msg, at]() {
-                       auto &sink = _sinks[static_cast<size_t>(at)];
-                       sf_assert(static_cast<bool>(sink),
-                                 "no sink bound on tile %d", at);
-                       // Settle the conservation account before the
-                       // sink runs: the receiver may legally re-send
-                       // the same message object (forwarding).
-                       if (_trackInFlight) {
-                           auto sit = _inFlightSeq.find(msg.get());
-                           if (sit != _inFlightSeq.end()) {
-                               auto it = _inFlight.find(sit->second);
-                               if (it != _inFlight.end() &&
-                                   --it->second.remaining <= 0) {
-                                   _inFlight.erase(it);
-                                   _inFlightSeq.erase(sit);
-                               }
-                           }
-                       }
-                       sink(msg);
-                   },
-                   EventPriority::Delivery);
+        // Eject through the local port after the router pipeline
+        // (same tile, so the event stays on @p at's shard).
+        scheduleHopEvent(
+            at, at, now(at) + _cfg.routerLatency, [this, msg, at]() {
+                auto &sink = _sinks[static_cast<size_t>(at)];
+                sf_assert(static_cast<bool>(sink),
+                          "no sink bound on tile %d", at);
+                // Settle the conservation account before the
+                // sink runs: the receiver may legally re-send
+                // the same message object (forwarding).
+                if (_trackInFlight) {
+                    auto sit = _inFlightSeq.find(msg.get());
+                    if (sit != _inFlightSeq.end()) {
+                        auto it = _inFlight.find(sit->second);
+                        if (it != _inFlight.end() &&
+                            --it->second.remaining <= 0) {
+                            _inFlight.erase(it);
+                            _inFlightSeq.erase(sit);
+                        }
+                    }
+                }
+                sink(msg);
+            });
     }
 
     for (auto &[dir, sub_dests] : by_dir) {
@@ -246,34 +292,36 @@ Mesh::hop(const MsgPtr &msg, TileId at, std::vector<TileId> dests,
 
         Link &link = linkFrom(at, dir);
         // Router pipeline, then wait for the link, then serialize.
-        Tick ready = curTick() + _cfg.routerLatency;
+        Tick ready = now(at) + _cfg.routerLatency;
         Tick start = std::max(ready, link.nextFree);
         Tick depart = start + flits; // 1 flit per cycle serialization
         link.nextFree = depart;
         link.busyCycles += flits;
         link.queueCycles += start - ready;
-        _traffic.linkBusyCycles += flits;
-        _traffic.flitHops[static_cast<size_t>(msg->cls)] += flits;
+        _traffic[static_cast<size_t>(at)].linkBusyCycles += flits;
+        _traffic[static_cast<size_t>(at)]
+            .flitHops[static_cast<size_t>(msg->cls)] += flits;
 
         Tick arrive = depart + _cfg.linkLatency;
         if (_prof && msg->profId) {
             bool rsp = msg->vnet == VNet::Response;
-            _prof->add(msg->profId,
+            _prof->add(at, msg->profId,
                        rsp ? prof::Phase::NocRspQueue
                            : prof::Phase::NocReqQueue,
                        start - ready);
-            _prof->add(msg->profId,
+            _prof->add(at, msg->profId,
                        rsp ? prof::Phase::NocRspXfer
                            : prof::Phase::NocReqXfer,
                        _cfg.routerLatency + flits + _cfg.linkLatency);
         }
         auto moved = std::move(sub_dests);
-        eventQueue().schedule(
-            arrive,
-            [this, msg, next, moved, flits]() {
-                hop(msg, next, moved, flits);
-            },
-            EventPriority::Delivery);
+        // The only cross-tile event creation in the simulator: the
+        // arrival is always >= router + 1 flit + link cycles away,
+        // which is exactly the PDES lookahead (DESIGN.md §4i).
+        scheduleHopEvent(at, next, arrive,
+                         [this, msg, next, moved, flits]() {
+                             hop(msg, next, moved, flits);
+                         });
     }
 }
 

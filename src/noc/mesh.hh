@@ -29,6 +29,7 @@
 
 #include "noc/message.hh"
 #include "sim/profile.hh"
+#include "sim/shard.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -98,6 +99,16 @@ class Mesh : public SimObject
 
     Mesh(EventQueue &eq, const MeshConfig &config);
 
+    /**
+     * Route all mesh events through the tile-sharded PDES engine
+     * (DESIGN.md §4i): hop/ejection events go to the owning tile's
+     * shard queue carrying a canonical (src-tile, seq) key, so the
+     * same-tick execution order is shard-count-invariant. Null (the
+     * default) keeps the legacy single-queue behaviour for unit tests
+     * that drive the mesh standalone.
+     */
+    void setDomains(sim::TileDomains *d) { _domains = d; }
+
     /** Register the receiver for tile @p tile. */
     void bindSink(TileId tile, Sink sink);
 
@@ -146,10 +157,15 @@ class Mesh : public SimObject
     /** Manhattan hop distance between two tiles. */
     int hopDistance(TileId a, TileId b) const;
 
-    const TrafficStats &traffic() const { return _traffic; }
+    /**
+     * Aggregate traffic counters, folded over the per-tile accounts in
+     * tile order at read time (per-tile storage keeps the hot counters
+     * shard-owned under tile-parallel simulation).
+     */
+    TrafficStats traffic() const;
 
     /** Distribution of per-packet hop counts (max over multicast dests). */
-    const stats::Histogram &packetHops() const { return _packetHops; }
+    const stats::Histogram &packetHops() const;
 
     /**
      * Average link utilization: busy link-cycles over total
@@ -209,6 +225,22 @@ class Mesh : public SimObject
     /** Inject bypassing the interceptor (delayed/duplicated copies). */
     void inject(const MsgPtr &msg);
 
+    /** Current tick in tile @p at's execution context. */
+    Tick
+    now(TileId at)
+    {
+        return _domains ? _domains->queueOf(at).curTick() : curTick();
+    }
+
+    /**
+     * Schedule a mesh event in @p at's execution context targeting
+     * tile @p target (== @p at except for the next-hop handoff). Under
+     * domains the event carries a canonical key minted from @p at's
+     * per-tile counter; standalone it lands on the legacy queue.
+     */
+    void scheduleHopEvent(TileId at, TileId target, Tick when,
+                          EventQueue::Handler fn);
+
     /** Deliver one (possibly multicast) packet one hop further. */
     void hop(const MsgPtr &msg, TileId at, std::vector<TileId> dests,
              uint32_t flits);
@@ -222,14 +254,23 @@ class Mesh : public SimObject
     Link &linkFrom(TileId at, int dir);
 
     MeshConfig _cfg;
+    sim::TileDomains *_domains = nullptr;
     std::vector<Sink> _sinks;
     /** numTiles x 4 directed links. */
     std::vector<Link> _links;
     /** Per-router traversed-flit counters (heatmap). */
     std::vector<uint64_t> _routerFlits;
     prof::Profiler *_prof = nullptr;
-    TrafficStats _traffic;
-    stats::Histogram _packetHops{1, 16};
+    /**
+     * Traffic accounts indexed by the tile whose execution context
+     * mutates them (injector for injection-side counters, the hopping
+     * router otherwise); folded in tile order by traffic().
+     */
+    std::vector<TrafficStats> _traffic;
+    /** Per-injecting-tile hop histograms; folded by packetHops(). */
+    std::vector<stats::Histogram> _packetHops;
+    /** Fold cache rebuilt by packetHops() (read at dump time only). */
+    mutable stats::Histogram _packetHopsMerged{1, 16};
     Tick _startTick;
     SendInterceptor _interceptor;
     bool _trackInFlight = false;

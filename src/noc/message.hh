@@ -40,7 +40,16 @@ enum class FlitClass : uint8_t
     NumClasses = 3,
 };
 
-/** Base class of anything travelling on the mesh. */
+/**
+ * Base class of anything travelling on the mesh.
+ *
+ * Delivery ordering contract: every hop/ejection event the mesh
+ * schedules for a message carries a canonical (src-tile, sequence) key
+ * minted in the scheduling router's execution context, so same-cycle
+ * deliveries execute in a shard-count-invariant order under the
+ * tile-parallel engine (DESIGN.md §4i). Senders must therefore inject
+ * with `src` set to the tile whose execution context calls send().
+ */
 struct Message
 {
     TileId src = invalidTile;

@@ -17,8 +17,18 @@
  *    (DRAM round trips never reach it; watchdog / checker / sampler
  *    periods do);
  *  - a small "now" heap holding the events of the tick being drained,
- *    ordered by (when, priority, sequence) so same-tick scheduling
- *    during execution stays exact.
+ *    ordered by (when, priority, key, sequence) so same-tick
+ *    scheduling during execution stays exact.
+ *
+ * The optional per-event `key` (scheduleKeyed) exists for the
+ * tile-parallel engine (sim/shard.hh): events that may be inserted
+ * from different host threads or at different wall-clock moments
+ * (directly mid-window vs. merged at a quantum barrier) carry a
+ * canonical key derived from (scheduling tile, per-tile counter), so
+ * their same-tick order is a pure function of simulated history and
+ * never of insertion sequence. Unkeyed events (key 0) order before
+ * all keyed events at the same (when, priority) and retain exact
+ * insertion-sequence order among themselves.
  *
  * Event nodes come from a slab arena with an intrusive free list, so
  * steady-state scheduling performs zero allocations. Fixed-period
@@ -118,6 +128,32 @@ class EventQueue
     }
 
     /**
+     * Schedule with an explicit same-tick ordering key (see the file
+     * header): at equal (when, priority), events execute in ascending
+     * key order regardless of which host thread inserted them or
+     * whether they arrived directly or via a quantum-barrier merge.
+     * @p key must be nonzero (zero marks unkeyed events).
+     */
+    EventId
+    scheduleKeyed(Tick when, uint64_t key, Handler fn,
+                  EventPriority prio = EventPriority::Default)
+    {
+        sf_assert(key != 0, "scheduleKeyed needs a nonzero key");
+        sf_assert(when >= _curTick,
+                  "scheduling in the past: %llu < %llu",
+                  (unsigned long long)when, (unsigned long long)_curTick);
+        Event *e = allocEvent();
+        e->when = when;
+        e->prio = static_cast<int32_t>(prio);
+        e->key = key;
+        e->seq = _nextSeq++;
+        e->fn = std::move(fn);
+        enqueue(e);
+        ++_numPending;
+        return e->seq;
+    }
+
+    /**
      * Cancel a previously scheduled event. Lazy: the node stays queued
      * but is skipped (and recycled) when popped; once the tombstone
      * set passes the compaction threshold, cancelled nodes are removed
@@ -158,13 +194,63 @@ class EventQueue
             if (e->when > limit)
                 break;
             popNow();
-            sf_assert(e->when >= _curTick, "event queue went backwards");
+            sf_assert(e->when >= _curTick,
+                      "event queue went backwards: event at %llu "
+                      "(prio %d key %llx seq %llu) behind tick %llu",
+                      (unsigned long long)e->when, (int)e->prio,
+                      (unsigned long long)e->key,
+                      (unsigned long long)e->seq,
+                      (unsigned long long)_curTick);
             _curTick = e->when;
             --_numPending;
             ++_numExecuted;
             execute(e);
         }
         return _curTick;
+    }
+
+    /**
+     * Tick of the earliest live pending event, or maxTick when the
+     * queue is empty. Lazily discards tombstones it encounters, so the
+     * answer is exact (never a cancelled event's tick).
+     */
+    Tick
+    nextTick()
+    {
+        for (;;) {
+            Event *e = next();
+            if (!e)
+                return maxTick;
+            if (isDead(e)) {
+                popNow();
+                discard(e);
+                continue;
+            }
+            return e->when;
+        }
+    }
+
+    /**
+     * Advance the clock to @p t without executing anything. Only legal
+     * when no live event is pending before @p t; events at exactly
+     * @p t stay runnable. The parallel engine uses this to park every
+     * queue on the same (partition-independent) window boundary so
+     * end-of-run clock reads are deterministic.
+     */
+    void
+    advanceTo(Tick t)
+    {
+        if (t <= _curTick)
+            return;
+        sf_assert(nextTick() >= t,
+                  "advanceTo(%llu) would skip a pending event at %llu",
+                  (unsigned long long)t,
+                  (unsigned long long)nextTick());
+        // Pull events at exactly t into the now-heap first: the wheel
+        // front scan starts at curTick + 1 and would miss them after
+        // the jump.
+        collectTick(t);
+        _curTick = t;
     }
 
     /** Execute exactly one event; @return false if the queue is empty. */
@@ -210,6 +296,8 @@ class EventQueue
     {
         Tick when = 0;
         int32_t prio = 0;
+        /** Canonical same-tick order (scheduleKeyed); 0 = unkeyed. */
+        uint64_t key = 0;
         EventId seq = 0;
         /** Intrusive link: wheel bucket chain or arena free list. */
         Event *next = nullptr;
@@ -227,7 +315,7 @@ class EventQueue
         Event *tail = nullptr;
     };
 
-    /** Min-first comparison by (when, priority, sequence). */
+    /** Min-first comparison by (when, priority, key, sequence). */
     static bool
     later(const Event *a, const Event *b)
     {
@@ -235,6 +323,8 @@ class EventQueue
             return a->when > b->when;
         if (a->prio != b->prio)
             return a->prio > b->prio;
+        if (a->key != b->key)
+            return a->key > b->key;
         return a->seq > b->seq;
     }
 
@@ -250,6 +340,7 @@ class EventQueue
         e->next = nullptr;
         e->rec = nullptr;
         e->cancelled = false;
+        e->key = 0;
         return e;
     }
 
@@ -406,10 +497,19 @@ class EventQueue
         if (now_tick == _curTick)
             return _now.front();
         Tick out_tick = peekOutsideTick();
-        if (now_tick <= out_tick)
-            return now_tick == maxTick ? nullptr : _now.front();
-        // out_tick was minimal, so after collecting it the now-heap
-        // front is the global minimum: no rescan needed.
+        if (now_tick < out_tick)
+            return _now.front();
+        if (out_tick == maxTick)
+            return nullptr;
+        // out_tick is minimal, so after collecting it the now-heap
+        // front is the global minimum: no rescan needed. On a tick tie
+        // the bucket must be collected too: an event scheduled for a
+        // tick whose bucket was already drained (run(limit) stops with
+        // that tick's events parked in the now-heap, then an insert
+        // for the same tick lands in the wheel) would otherwise sit in
+        // a bucket the front scan can no longer see once _curTick
+        // reaches it — and same-tick (prio, key, seq) ordering demands
+        // the merge regardless.
         collectTick(out_tick);
         return _now.front();
     }

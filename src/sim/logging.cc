@@ -18,6 +18,8 @@ struct HookEntry
 std::vector<HookEntry> &
 hookRegistry()
 {
+    // Workers never add or fire diagnostic hooks.
+    // sflint: allow(S1, registry touched by the main thread only)
     static std::vector<HookEntry> hooks;
     return hooks;
 }
@@ -52,10 +54,9 @@ emitDiagnostics(std::FILE *out)
     // A hook that itself fatal()s/panic()s must not recurse into a
     // second dump; the guard also keeps a hook exception from masking
     // the error that triggered the snapshot.
-    static bool emitting = false;
-    if (emitting || hookRegistry().empty())
+    static std::atomic<bool> emitting{false};
+    if (hookRegistry().empty() || emitting.exchange(true))
         return;
-    emitting = true;
     std::fprintf(out, "=== diagnostic snapshot ===\n");
     for (const auto &h : hookRegistry()) {
         std::fprintf(out, "--- %s ---\n", h.name.c_str());

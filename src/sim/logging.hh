@@ -12,6 +12,7 @@
 #ifndef SF_SIM_LOGGING_HH
 #define SF_SIM_LOGGING_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -165,9 +166,9 @@ inform(const char *fmt, Args... args)
  */
 #define warn_once(...)                                                     \
     do {                                                                   \
-        static bool _sf_warned_once = false;                               \
-        if (!_sf_warned_once) {                                            \
-            _sf_warned_once = true;                                        \
+        static std::atomic<bool> _sf_warned_once{false};                   \
+        if (!_sf_warned_once.exchange(true,                                \
+                                      std::memory_order_relaxed)) {        \
             ::sf::warn("(repeats suppressed) " __VA_ARGS__);               \
         }                                                                  \
     } while (0)

@@ -91,30 +91,67 @@ TopDownAccount::verify(const std::string &name) const
     return "";
 }
 
+void
+Profiler::configureTiles(int numTiles)
+{
+    if (numTiles > int(maxTiles))
+        numTiles = int(maxTiles);
+    if (size_t(numTiles) > _tiles.size())
+        _tiles.resize(size_t(numTiles));
+}
+
 uint32_t
 Profiler::open(TileId tile, StreamId sid, Tick now)
 {
-    uint32_t slot;
-    if (!_freeSlots.empty()) {
-        slot = _freeSlots.back();
-        _freeSlots.pop_back();
-    } else {
-        if (_recs.size() >= (1u << slotBits) - 2)
-            return 0;
-        _recs.push_back(Rec{});
-        slot = static_cast<uint32_t>(_recs.size() - 1);
+    if (tile < 0 || uint32_t(tile) >= maxTiles)
+        return 0;
+    if (size_t(tile) >= _tiles.size()) {
+        // Lazy growth is only safe serially; the engine pre-sizes via
+        // configureTiles() before any worker exists.
+        _tiles.resize(size_t(tile) + 1);
     }
-    Rec &r = _recs[slot];
+    TileState &t = _tiles[size_t(tile)];
+    uint32_t slot;
+    if (!t.freeSlots.empty()) {
+        slot = t.freeSlots.back();
+        t.freeSlots.pop_back();
+    } else {
+        if (t.recs.size() >= slotMask - 1)
+            return 0;
+        t.recs.push_back(Rec{});
+        slot = static_cast<uint32_t>(t.recs.size() - 1);
+    }
+    Rec &r = t.recs[slot];
     r.openTick = now;
     r.lastMark = now;
-    r.agg = &_agg[{tile, sid}];
+    r.agg = &t.agg[sid];
     r.live = true;
-    ++_open;
-    return ((slot + 1) << 8) | r.gen;
+    ++t.open;
+    return (uint32_t(tile) << tileShift) | ((slot + 1) << slotShift) |
+           r.gen;
 }
 
 void
-Profiler::close(uint32_t id, Tick now, Phase residual)
+Profiler::markNow(uint32_t id, Phase p, Tick now)
+{
+    Rec *r = resolve(id);
+    if (!r)
+        return;
+    (*r->agg)[size_t(p)].sample(now - r->lastMark);
+    r->lastMark = now;
+}
+
+void
+Profiler::addNow(uint32_t id, Phase p, uint64_t cycles)
+{
+    Rec *r = resolve(id);
+    if (!r)
+        return;
+    (*r->agg)[size_t(p)].sample(cycles);
+}
+
+void
+Profiler::closeNow(uint32_t id, Tick now, Phase residual)
 {
     Rec *r = resolve(id);
     if (!r)
@@ -124,9 +161,41 @@ Profiler::close(uint32_t id, Tick now, Phase residual)
     r->live = false;
     r->gen = (r->gen + 1) & genMask;
     r->agg = nullptr;
-    --_open;
-    _freeSlots.push_back(
-        static_cast<uint32_t>(r - _recs.data()));
+    TileState &t = _tiles[size_t(tileOf(id))];
+    --t.open;
+    t.freeSlots.push_back(static_cast<uint32_t>(r - t.recs.data()));
+}
+
+void
+Profiler::flushDeferred()
+{
+    for (TileState &t : _tiles) {
+        for (const DeferredOp &op : t.deferred) {
+            switch (op.kind) {
+              case OpKind::Mark:
+                markNow(op.id, op.phase, Tick(op.value));
+                break;
+              case OpKind::Add:
+                addNow(op.id, op.phase, op.value);
+                break;
+              case OpKind::Close:
+                closeNow(op.id, Tick(op.value), op.residual);
+                break;
+            }
+        }
+        t.deferred.clear();
+    }
+}
+
+std::map<std::pair<TileId, StreamId>, Profiler::PhaseHists>
+Profiler::aggregates() const
+{
+    std::map<std::pair<TileId, StreamId>, PhaseHists> out;
+    for (size_t t = 0; t < _tiles.size(); ++t) {
+        for (const auto &kv : _tiles[t].agg)
+            out.emplace(std::make_pair(TileId(t), kv.first), kv.second);
+    }
+    return out;
 }
 
 TopDownAccount &
@@ -158,24 +227,26 @@ Profiler::verifyTopDown() const
 void
 Profiler::registerStats(stats::StatRegistry &reg) const
 {
-    for (const auto &kv : _agg) {
-        const auto &[tile, sid] = kv.first;
-        const PhaseHists &hists = kv.second;
-        stats::StatGroup &g =
-            reg.group("profile.tile" + std::to_string(tile));
-        std::string stem = streamLabel(sid) + ".";
-        for (size_t p = 0; p < numPhases; ++p) {
-            const LatHist &h = hists[p];
-            if (!h.count())
-                continue;
-            std::string pn = stem + phaseName(Phase(p));
-            g.regFormula(pn + ".count",
-                         [&h]() { return double(h.count()); });
-            g.regFormula(pn + ".mean", [&h]() { return h.mean(); });
-            g.regFormula(pn + ".p50", [&h]() { return h.p50(); });
-            g.regFormula(pn + ".p95", [&h]() { return h.p95(); });
-            g.regFormula(pn + ".max",
-                         [&h]() { return double(h.max()); });
+    for (size_t tile = 0; tile < _tiles.size(); ++tile) {
+        for (const auto &kv : _tiles[tile].agg) {
+            StreamId sid = kv.first;
+            const PhaseHists &hists = kv.second;
+            stats::StatGroup &g =
+                reg.group("profile.tile" + std::to_string(tile));
+            std::string stem = streamLabel(sid) + ".";
+            for (size_t p = 0; p < numPhases; ++p) {
+                const LatHist &h = hists[p];
+                if (!h.count())
+                    continue;
+                std::string pn = stem + phaseName(Phase(p));
+                g.regFormula(pn + ".count",
+                             [&h]() { return double(h.count()); });
+                g.regFormula(pn + ".mean", [&h]() { return h.mean(); });
+                g.regFormula(pn + ".p50", [&h]() { return h.p50(); });
+                g.regFormula(pn + ".p95", [&h]() { return h.p95(); });
+                g.regFormula(pn + ".max",
+                             [&h]() { return double(h.max()); });
+            }
         }
     }
     stats::StatGroup &g = reg.group("profile.topdown");
@@ -199,46 +270,40 @@ Profiler::dumpJson(json::Writer &w) const
     w.endArray();
 
     w.beginObject("latency");
-    TileId cur_tile = invalidTile;
-    bool tile_open = false;
-    for (const auto &kv : _agg) {
-        const auto &[tile, sid] = kv.first;
-        if (tile != cur_tile) {
-            if (tile_open)
+    for (size_t tile = 0; tile < _tiles.size(); ++tile) {
+        if (_tiles[tile].agg.empty())
+            continue;
+        w.beginObject("tile" + std::to_string(tile));
+        for (const auto &kv : _tiles[tile].agg) {
+            w.beginObject(streamLabel(kv.first));
+            for (size_t p = 0; p < numPhases; ++p) {
+                const LatHist &h = kv.second[p];
+                if (!h.count())
+                    continue;
+                w.beginObject(phaseName(Phase(p)));
+                w.kv("count", h.count());
+                w.kv("sum", h.sum());
+                w.kv("max", h.max());
+                w.kv("mean", h.mean());
+                w.kv("p50", h.p50());
+                w.kv("p95", h.p95());
+                // Trim trailing zero buckets: the boundary scheme is
+                // fixed, so the prefix alone is unambiguous.
+                int last = -1;
+                for (int b = 0; b < LatHist::numBuckets; ++b) {
+                    if (h.buckets()[b])
+                        last = b;
+                }
+                w.beginArray("buckets");
+                for (int b = 0; b <= last; ++b)
+                    w.value(h.buckets()[b]);
+                w.endArray();
                 w.endObject();
-            w.beginObject("tile" + std::to_string(tile));
-            cur_tile = tile;
-            tile_open = true;
-        }
-        w.beginObject(streamLabel(sid));
-        for (size_t p = 0; p < numPhases; ++p) {
-            const LatHist &h = kv.second[p];
-            if (!h.count())
-                continue;
-            w.beginObject(phaseName(Phase(p)));
-            w.kv("count", h.count());
-            w.kv("sum", h.sum());
-            w.kv("max", h.max());
-            w.kv("mean", h.mean());
-            w.kv("p50", h.p50());
-            w.kv("p95", h.p95());
-            // Trim trailing zero buckets: the boundary scheme is
-            // fixed, so the prefix alone is unambiguous.
-            int last = -1;
-            for (int b = 0; b < LatHist::numBuckets; ++b) {
-                if (h.buckets()[b])
-                    last = b;
             }
-            w.beginArray("buckets");
-            for (int b = 0; b <= last; ++b)
-                w.value(h.buckets()[b]);
-            w.endArray();
             w.endObject();
         }
         w.endObject();
     }
-    if (tile_open)
-        w.endObject();
     w.endObject();
 
     w.beginObject("topdown");
@@ -252,8 +317,8 @@ Profiler::dumpJson(json::Writer &w) const
     }
     w.endObject();
 
-    w.kv("openRecords", static_cast<uint64_t>(_open));
-    w.kv("staleMarks", _stale);
+    w.kv("openRecords", static_cast<uint64_t>(openRecords()));
+    w.kv("staleMarks", staleMarks());
 }
 
 void
@@ -271,9 +336,10 @@ Profiler::dumpSummaryJson(json::Writer &w) const
     w.endObject();
     // Per-phase p95 over the merge of all (tile, stream) aggregates.
     PhaseHists merged{};
-    for (const auto &kv : _agg)
-        for (size_t p = 0; p < numPhases; ++p)
-            merged[p].merge(kv.second[p]);
+    for (const TileState &t : _tiles)
+        for (const auto &kv : t.agg)
+            for (size_t p = 0; p < numPhases; ++p)
+                merged[p].merge(kv.second[p]);
     w.beginObject("p95");
     for (size_t p = 0; p < numPhases; ++p) {
         if (merged[p].count())

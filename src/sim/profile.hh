@@ -241,53 +241,121 @@ class TopDownAccount
 };
 
 /**
- * The profiler: a record arena for in-flight lifecycle tracking plus
- * the per-(tile, stream, phase) aggregates and top-down accounts.
- * Components receive a `Profiler *` (null when profiling is off) and
- * guard every hook with a single null check.
+ * The profiler: per-tile record arenas for in-flight lifecycle
+ * tracking plus the per-(tile, stream, phase) aggregates and top-down
+ * accounts. Components receive a `Profiler *` (null when profiling is
+ * off) and guard every hook with a single null check.
  *
- * Record handles are 32-bit: 24-bit arena slot plus an 8-bit
- * generation, so a stale mark on a recycled slot is detected and
- * counted instead of corrupting another record. Handle 0 is "no
+ * Record handles are 32-bit: 8-bit owner tile, 16-bit arena slot, and
+ * an 8-bit generation, so a stale mark on a recycled slot is detected
+ * and counted instead of corrupting another record. Handle 0 is "no
  * record" and is ignored by every entry point.
+ *
+ * Threading (DESIGN.md §4i): every mutable structure is owned by the
+ * tile encoded in the handle. mark/add/close take the tile whose
+ * execution context makes the call; with setDeferCrossTile(true) (the
+ * PDES engine, any shard count) an op touching another tile's record
+ * is queued on the calling tile and applied at the window barrier in
+ * (tile, FIFO) order. Two tiles never touch one record in the same
+ * window — consecutive touches are separated by at least the NoC
+ * lookahead — so the applied per-record op sequence, including stale
+ * classification, is shard-count-invariant.
  */
 class Profiler
 {
   public:
     Profiler() = default;
 
-    /** Begin tracking one request/element. sid == invalidStream means
-     *  a plain demand access. Returns 0 when the arena is full. */
+    /**
+     * Pre-size the per-tile arenas (at most 256 tiles). Required
+     * before deferred (engine) operation so no structure reallocates
+     * mid-run; optional for serial standalone use, where tiles grow on
+     * first open().
+     */
+    void configureTiles(int numTiles);
+
+    /**
+     * Defer cross-tile mark/add/close ops to flushDeferred() instead
+     * of applying them inline. The PDES engine turns this on for every
+     * shard count (including 1) so the op application order is
+     * engine-invariant; standalone serial users leave it off.
+     */
+    void setDeferCrossTile(bool on) { _deferCrossTile = on; }
+
+    /** Apply queued cross-tile ops in (tile, FIFO) order. Call at the
+     *  window barrier (never concurrently with shard execution). */
+    void flushDeferred();
+
+    /** Begin tracking one request/element on @p tile (the calling
+     *  execution context). sid == invalidStream means a plain demand
+     *  access. Returns 0 when the tile's arena is full. */
     uint32_t open(TileId tile, StreamId sid, Tick now);
 
-    /** Fold [lastMark, now) into @p p and advance the mark. */
+    /** Fold [lastMark, now) into @p p and advance the mark. @p exec
+     *  is the tile whose execution context calls. */
     void
-    mark(uint32_t id, Phase p, Tick now)
+    mark(TileId exec, uint32_t id, Phase p, Tick now)
     {
-        Rec *r = resolve(id);
-        if (!r)
+        if (!id)
             return;
-        (*r->agg)[size_t(p)].sample(now - r->lastMark);
-        r->lastMark = now;
+        if (_deferCrossTile && tileOf(id) != exec) {
+            _tiles[size_t(exec)].deferred.push_back(
+                {id, OpKind::Mark, p, Phase::Fill, now});
+            return;
+        }
+        markNow(id, p, now);
     }
 
     /** Attribute @p cycles to @p p without moving the phase mark
      *  (overlapping sub-interval, e.g. one NoC hop). */
     void
-    add(uint32_t id, Phase p, uint64_t cycles)
+    add(TileId exec, uint32_t id, Phase p, uint64_t cycles)
     {
-        Rec *r = resolve(id);
-        if (!r)
+        if (!id)
             return;
-        (*r->agg)[size_t(p)].sample(cycles);
+        if (_deferCrossTile && tileOf(id) != exec) {
+            _tiles[size_t(exec)].deferred.push_back(
+                {id, OpKind::Add, p, Phase::Fill, cycles});
+            return;
+        }
+        addNow(id, p, cycles);
     }
 
     /** Finish a record: residual time becomes @p residual, the
      *  end-to-end latency lands in Phase::Total, the slot recycles. */
-    void close(uint32_t id, Tick now, Phase residual = Phase::Fill);
+    void
+    close(TileId exec, uint32_t id, Tick now,
+          Phase residual = Phase::Fill)
+    {
+        if (!id)
+            return;
+        if (_deferCrossTile && tileOf(id) != exec) {
+            _tiles[size_t(exec)].deferred.push_back(
+                {id, OpKind::Close, Phase::Total, residual, now});
+            return;
+        }
+        closeNow(id, now, residual);
+    }
 
-    size_t openRecords() const { return _open; }
-    uint64_t staleMarks() const { return _stale; }
+    /** Live records over all tiles (folded in tile order). */
+    size_t
+    openRecords() const
+    {
+        size_t n = 0;
+        for (const TileState &t : _tiles)
+            n += t.open;
+        return n;
+    }
+
+    /** Stale-handle touches over all tiles (folded in tile order). */
+    uint64_t
+    staleMarks() const
+    {
+        uint64_t n = 0;
+        for (const TileState &t : _tiles)
+            n += t.stale;
+        return n;
+    }
 
     /** Get-or-create the named top-down account (ordered by name). */
     TopDownAccount &topDown(const std::string &name);
@@ -304,12 +372,9 @@ class Profiler
     }
 
     using PhaseHists = std::array<LatHist, numPhases>;
-    /** Aggregates keyed (tile, sid); ordered for deterministic dumps. */
-    const std::map<std::pair<TileId, StreamId>, PhaseHists> &
-    aggregates() const
-    {
-        return _agg;
-    }
+    /** Aggregates keyed (tile, sid), assembled from the per-tile maps
+     *  in tile order; ordered for deterministic dumps. */
+    std::map<std::pair<TileId, StreamId>, PhaseHists> aggregates() const;
 
     /** Register `profile.tile{N}` stat groups with p50/p95/max/mean
      *  formulas per (stream, phase); the profiler must outlive @p reg. */
@@ -333,28 +398,64 @@ class Profiler
         bool live = false;
     };
 
-    static constexpr uint32_t slotBits = 24;
+    enum class OpKind : uint8_t { Mark, Add, Close };
+
+    /** A cross-tile op captured at issue, applied at the barrier. */
+    struct DeferredOp
+    {
+        uint32_t id;
+        OpKind kind;
+        Phase phase;    //!< mark/add target (unused for close)
+        Phase residual; //!< close residual phase
+        uint64_t value; //!< mark/close: now; add: cycles
+    };
+
+    /** All state owned by one tile's execution context. */
+    struct TileState
+    {
+        std::vector<Rec> recs;
+        std::vector<uint32_t> freeSlots;
+        size_t open = 0;
+        uint64_t stale = 0;
+        std::map<StreamId, PhaseHists> agg;
+        /** Ops this tile issued against other tiles' records. */
+        std::vector<DeferredOp> deferred;
+    };
+
+    // Handle layout: [31:24] owner tile, [23:8] slot+1, [7:0] gen.
+    static constexpr uint32_t tileShift = 24;
+    static constexpr uint32_t slotShift = 8;
+    static constexpr uint32_t slotMask = 0xffff;
     static constexpr uint32_t genMask = 0xff;
+    static constexpr uint32_t maxTiles = 256;
+
+    static TileId
+    tileOf(uint32_t id)
+    {
+        return TileId(id >> tileShift);
+    }
 
     Rec *
     resolve(uint32_t id)
     {
         if (!id)
             return nullptr;
-        uint32_t slot = (id >> 8) - 1;
-        if (slot >= _recs.size() || !_recs[slot].live ||
-            _recs[slot].gen != (id & genMask)) {
-            ++_stale;
+        TileState &t = _tiles[size_t(tileOf(id))];
+        uint32_t slot = ((id >> slotShift) & slotMask) - 1;
+        if (slot >= t.recs.size() || !t.recs[slot].live ||
+            t.recs[slot].gen != (id & genMask)) {
+            ++t.stale;
             return nullptr;
         }
-        return &_recs[slot];
+        return &t.recs[slot];
     }
 
-    std::vector<Rec> _recs;
-    std::vector<uint32_t> _freeSlots;
-    size_t _open = 0;
-    uint64_t _stale = 0;
-    std::map<std::pair<TileId, StreamId>, PhaseHists> _agg;
+    void markNow(uint32_t id, Phase p, Tick now);
+    void addNow(uint32_t id, Phase p, uint64_t cycles);
+    void closeNow(uint32_t id, Tick now, Phase residual);
+
+    std::vector<TileState> _tiles;
+    bool _deferCrossTile = false;
     std::map<std::string, TopDownAccount> _topDown;
 };
 

@@ -80,6 +80,18 @@ class Histogram
         _sum += v;
     }
 
+    /** Fold another histogram of identical geometry into this one. */
+    void
+    merge(const Histogram &o)
+    {
+        if (_buckets.size() != o._buckets.size() || _width != o._width)
+            return; // incompatible geometry: drop rather than corrupt
+        for (size_t i = 0; i < _buckets.size(); ++i)
+            _buckets[i] += o._buckets[i];
+        _count += o._count;
+        _sum += o._sum;
+    }
+
     uint64_t count() const { return _count; }
     double mean() const { return _count ? double(_sum) / _count : 0.0; }
     const std::vector<uint64_t> &buckets() const { return _buckets; }

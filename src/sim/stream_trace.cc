@@ -36,6 +36,8 @@ StreamLifecycleTracer::StreamLifecycleTracer()
 StreamLifecycleTracer &
 StreamLifecycleTracer::instance()
 {
+    // Tracing forces the engine down to a single worker thread.
+    // sflint: allow(S1, process-wide singleton behind serial fallback)
     static StreamLifecycleTracer tracer;
     return tracer;
 }

@@ -273,7 +273,7 @@ SECore::issueFetch(StreamId sid, uint64_t first_idx, uint16_t count)
             sid, first_idx, count,
             [this, sid, first_idx, count, epoch, pid]() {
                 if (pid)
-                    _prof->close(pid, curTick());
+                    _prof->close(_tile, pid, curTick());
                 onFetchDone(sid, first_idx, count, false);
                 auto it = _streams.find(sid);
                 if (it != _streams.end() && it->second.epoch != epoch)
@@ -309,7 +309,7 @@ SECore::issueFetch(StreamId sid, uint64_t first_idx, uint16_t count)
         a.profId = pid;
         a.onDone = [this, sid, first_idx, count, epoch, pid]() {
             if (pid)
-                _prof->close(pid, curTick());
+                _prof->close(_tile, pid, curTick());
             auto it = _streams.find(sid);
             if (it == _streams.end() || it->second.epoch != epoch)
                 return;
@@ -328,7 +328,7 @@ SECore::issueFetch(StreamId sid, uint64_t first_idx, uint16_t count)
     a.profId = pid;
     a.onDone = [this, sid, first_idx, count, epoch, miss, pid]() {
         if (pid)
-            _prof->close(pid, curTick());
+            _prof->close(_tile, pid, curTick());
         auto it = _streams.find(sid);
         if (it == _streams.end() || it->second.epoch != epoch)
             return;

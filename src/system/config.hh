@@ -98,6 +98,16 @@ struct SystemConfig
     Cycles samplingInterval = 0;
 
     /**
+     * Worker threads for the tile-parallel engine (--threads). Tiles
+     * are sharded tile%threads across workers; results are
+     * byte-identical to threads=1 by construction (DESIGN.md §4i).
+     * Clamped to numTiles(); modes that need a single execution
+     * context (verify, fault injection, stream tracing, full checks)
+     * fall back to one worker with a warning.
+     */
+    int threads = 1;
+
+    /**
      * Latency-attribution profiler (--profile): per-request lifecycle
      * records, top-down cycle accounting per core/SE, and NoC heatmap
      * sampling. Off by default; when off, no Profiler object exists

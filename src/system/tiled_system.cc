@@ -7,10 +7,49 @@
 #include <unordered_map>
 
 #include "flt/stream_msg.hh"
+#include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "sim/stream_trace.hh"
 
 namespace sf {
 namespace sys {
+
+namespace {
+
+/**
+ * Worker count actually used: cfg.threads clamped to the tile count,
+ * forced down to 1 by every mode that needs a single execution
+ * context. The engine itself is identical either way (S==1 runs the
+ * same window loop inline), so the fallback changes wall-clock only,
+ * never results.
+ */
+int
+effectiveThreadCount(const SystemConfig &cfg, CheckLevel check)
+{
+    int threads = std::max(1, cfg.threads);
+    threads = std::min(threads, cfg.numTiles());
+    auto force_serial = [&threads](const char *why) {
+        if (threads > 1) {
+            warn("--threads=%d ignored: %s needs a single execution "
+                 "context; running with one worker",
+                 threads, why);
+            threads = 1;
+        }
+    };
+    if (cfg.verify)
+        force_serial("--verify");
+    if (cfg.faults.enabled())
+        force_serial("fault injection");
+    if (check >= CheckLevel::Full)
+        force_serial("full invariant checking");
+    if (trace::StreamLifecycleTracer::instance().enabled())
+        force_serial("stream lifecycle tracing");
+    if (debug::flagMask != 0)
+        force_serial("debug output (SF_DEBUG_FLAGS)");
+    return threads;
+}
+
+} // namespace
 
 TiledSystem::TiledSystem(const SystemConfig &cfg) : _cfg(cfg)
 {
@@ -25,24 +64,45 @@ TiledSystem::TiledSystem(const SystemConfig &cfg) : _cfg(cfg)
     if (_cfg.faults.noRetry)
         _cfg.sel2.retryEnabled = false;
 
+    // The PDES lookahead: a router pass, at least one flit of link
+    // serialization, and the link latency separate any event from the
+    // earliest cross-tile event it can create (noc/mesh.cc::hop).
+    Cycles lookahead = _cfg.noc.routerLatency + _cfg.noc.linkLatency + 1;
+    _domains = std::make_unique<sim::TileDomains>(
+        _eq, _cfg.numTiles(),
+        effectiveThreadCount(_cfg, _checkLevel), lookahead);
+
     _as = std::make_unique<mem::AddressSpace>(0, _physMem);
+    // Lazy first-touch (speculative indirect chasing) can translate
+    // from any shard thread; arm the page-table/page-map locks when
+    // more than one worker will run.
+    _as->setConcurrent(_domains->shards() > 1);
     if (_cfg.verify) {
         _verify = std::make_unique<verify::DataPlane>(*_as,
                                                       _cfg.numTiles());
     }
-    if (_cfg.profile)
+    if (_cfg.profile) {
         _prof = std::make_unique<prof::Profiler>();
+        _prof->configureTiles(_cfg.numTiles());
+        // Cross-tile record touches are deferred and applied at the
+        // window barrier in canonical order regardless of the worker
+        // count, so profile.json stays shard-count-invariant.
+        _prof->setDeferCrossTile(true);
+        _domains->setBarrierHook([this]() { _prof->flushDeferred(); });
+    }
 
     noc::MeshConfig ncfg = _cfg.noc;
     ncfg.nx = _cfg.nx;
     ncfg.ny = _cfg.ny;
     _mesh = std::make_unique<noc::Mesh>(_eq, ncfg);
+    _mesh->setDomains(_domains.get());
     if (_prof)
         _mesh->setProfiler(_prof.get());
     _nuca = std::make_unique<mem::NucaMap>(_cfg.nx, _cfg.ny,
                                            _cfg.nucaInterleave);
     _barrier = std::make_unique<cpu::BarrierController>(
         _eq, _cfg.numTiles());
+    _barrier->setDomains(_domains.get());
     buildTiles();
     setupRobustness();
 }
@@ -80,9 +140,10 @@ TiledSystem::buildTiles()
         // L1 TLB 64/8w; L2 TLB 2k/16w, 8-cycle; ~80-cycle walk.
         _tlbs[t] = std::make_unique<mem::TlbHierarchy>(64, 8, 2048, 16,
                                                        8, 80);
+        EventQueue &teq = _domains->queueOf(t);
         _priv[t] = std::make_unique<mem::PrivCache>(
-            tn + ".priv", _eq, t, _cfg.priv, *_mesh, *_nuca);
-        _l3[t] = std::make_unique<mem::L3Bank>(tn + ".l3", _eq, t,
+            tn + ".priv", teq, t, _cfg.priv, *_mesh, *_nuca);
+        _l3[t] = std::make_unique<mem::L3Bank>(tn + ".l3", teq, t,
                                                _cfg.l3, *_mesh, *_nuca);
         if (_prof) {
             _priv[t]->setProfiler(_prof.get());
@@ -111,7 +172,7 @@ TiledSystem::buildTiles()
         if (streams) {
             stream::SECoreConfig sc = _cfg.seCore;
             _seCores[t] = std::make_unique<stream::SECore>(
-                tn + ".se", _eq, t, sc, *_priv[t], *_tlbs[t], *_as);
+                tn + ".se", teq, t, sc, *_priv[t], *_tlbs[t], *_as);
             _priv[t]->setStreamReuseHook(
                 [se = _seCores[t].get()](StreamId sid) {
                     se->notifyStreamReuse(sid);
@@ -123,7 +184,7 @@ TiledSystem::buildTiles()
         }
         if (floats) {
             _seL2[t] = std::make_unique<flt::SEL2>(
-                tn + ".sel2", _eq, t, _cfg.sel2, *_mesh, *_nuca,
+                tn + ".sel2", teq, t, _cfg.sel2, *_mesh, *_nuca,
                 *_priv[t], *_tlbs[t], *_as, *_seCores[t]);
             _seCores[t]->setFloatController(_seL2[t].get());
             if (_verify)
@@ -131,7 +192,7 @@ TiledSystem::buildTiles()
             if (_prof)
                 _seL2[t]->setProfiler(_prof.get());
             _seL3[t] = std::make_unique<flt::SEL3>(
-                tn + ".sel3", _eq, t, _cfg.sel3, *_mesh, *_nuca,
+                tn + ".sel3", teq, t, _cfg.sel3, *_mesh, *_nuca,
                 *_l3[t], as_resolver);
         }
 
@@ -175,7 +236,7 @@ TiledSystem::buildTiles()
         const auto &ctrls = _nuca->memCtrls();
         if (std::find(ctrls.begin(), ctrls.end(), t) != ctrls.end()) {
             _memCtrls[t] = std::make_unique<mem::MemCtrl>(
-                tn + ".mc", _eq, t, _cfg.dram, *_mesh);
+                tn + ".mc", teq, t, _cfg.dram, *_mesh);
             if (_verify)
                 _memCtrls[t]->setVerify(_verify.get());
         }
@@ -256,8 +317,8 @@ TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
     for (TileId t = 0; t < _cfg.numTiles(); ++t) {
         std::string cn = "tile" + std::to_string(t) + ".core";
         _cores[t] = std::make_unique<cpu::Core>(
-            cn, _eq, t, _cfg.core, *_priv[t], *_tlbs[t], *_as,
-            _barrier.get(), _threads[t].get());
+            cn, _domains->queueOf(t), t, _cfg.core, *_priv[t],
+            *_tlbs[t], *_as, _barrier.get(), _threads[t].get());
         if (_seCores[t]) {
             _cores[t]->setStreamEngine(_seCores[t].get());
             _seCores[t]->setWakeHook(
@@ -282,18 +343,21 @@ TiledSystem::run(const std::vector<std::shared_ptr<isa::OpSource>> &threads)
     bool hit_limit = false;
     // sflint: allow(D2, host-seconds stat only; excluded from det.json)
     auto host_start = std::chrono::steady_clock::now();
-    while (_coresDone < _cfg.numTiles()) {
-        if (_eq.empty()) {
-            panic("deadlock: %d/%d cores done, no pending events",
-                  _coresDone, _cfg.numTiles());
-        }
-        if (_eq.curTick() > _cfg.maxCycles) {
-            hit_limit = true;
-            warn("cycle limit reached (%llu)",
-                 (unsigned long long)_cfg.maxCycles);
-            break;
-        }
-        _eq.step();
+    auto exit = _domains->runWindows(
+        [this]() { return _coresDone.load(std::memory_order_acquire) >=
+                          _cfg.numTiles(); },
+        _cfg.maxCycles);
+    switch (exit) {
+      case sim::TileDomains::Exit::Stopped:
+        break;
+      case sim::TileDomains::Exit::Empty:
+        panic("deadlock: %d/%d cores done, no pending events",
+              _coresDone.load(), _cfg.numTiles());
+      case sim::TileDomains::Exit::Limit:
+        hit_limit = true;
+        warn("cycle limit reached (%llu)",
+             (unsigned long long)_cfg.maxCycles);
+        break;
     }
     _hostSeconds = std::chrono::duration<double>(
                        // sflint: allow(D2, host-seconds stat only)
@@ -587,11 +651,25 @@ TiledSystem::registerDiagnostics()
         "event-queue", [this](std::FILE *f) {
             std::fprintf(f,
                          "tick=%llu pending=%llu executed=%llu "
-                         "coresDone=%d/%d\n",
+                         "coresDone=%d/%d shards=%d\n",
                          (unsigned long long)_eq.curTick(),
-                         (unsigned long long)_eq.numPending(),
-                         (unsigned long long)_eq.numExecuted(),
-                         _coresDone, _cfg.numTiles());
+                         (unsigned long long)(
+                             _eq.numPending() +
+                             _domains->shardEventsPending()),
+                         (unsigned long long)(
+                             _eq.numExecuted() +
+                             _domains->shardEventsExecuted()),
+                         _coresDone.load(), _cfg.numTiles(),
+                         _domains->shards());
+            for (int sh = 0; sh < _domains->shards(); ++sh) {
+                const EventQueue &q = _domains->shardQueue(sh);
+                std::fprintf(f,
+                             "  shard %d: tick=%llu pending=%llu "
+                             "executed=%llu\n",
+                             sh, (unsigned long long)q.curTick(),
+                             (unsigned long long)q.numPending(),
+                             (unsigned long long)q.numExecuted());
+            }
         }));
     if (_watchdog) {
         _diagHooks.push_back(addDiagnosticHook(
@@ -638,14 +716,13 @@ TiledSystem::drainAndCheck()
     // streams re-arm their own scans, so bound the drain instead of
     // insisting on an empty queue.
     Tick limit = _eq.curTick() + 1'000'000 + _cfg.samplingInterval;
-    while (!_eq.empty() && _eq.curTick() < limit)
-        _eq.step();
+    _domains->runWindows([]() { return false; }, limit);
 
     std::vector<std::string> residue;
-    if (!_eq.empty()) {
-        residue.push_back(
-            "event queue not empty after drain (" +
-            std::to_string(_eq.numPending()) + " pending)");
+    uint64_t pending = _eq.numPending() + _domains->shardEventsPending();
+    if (pending > 0) {
+        residue.push_back("event queue not empty after drain (" +
+                          std::to_string(pending) + " pending)");
     }
     for (TileId t = 0; t < _cfg.numTiles(); ++t) {
         std::string tn = "tile" + std::to_string(t);
@@ -833,15 +910,38 @@ TiledSystem::buildStatRegistry(stats::StatRegistry &reg) const
 
     stats::StatGroup &eg = reg.group("sim.eventq");
     const EventQueue *eq = &_eq;
-    eg.regFormula("executed",
-                  [eq]() { return double(eq->numExecuted()); });
-    eg.regFormula("pending", [eq]() { return double(eq->numPending()); });
-    eg.regFormula("tombstones",
-                  [eq]() { return double(eq->tombstones()); });
-    eg.regFormula("compactions",
-                  [eq]() { return double(eq->compactions()); });
-    eg.regFormula("arenaCapacity",
-                  [eq]() { return double(eq->arenaCapacity()); });
+    eg.regFormula("executed", [this]() {
+        return double(_eq.numExecuted() +
+                      _domains->shardEventsExecuted());
+    });
+    eg.regFormula("pending", [this]() {
+        return double(_eq.numPending() +
+                      _domains->shardEventsPending());
+    });
+    // Wheel-internals are per-queue quantities: how events spread over
+    // the shard queues (and hence tombstone/compaction dynamics)
+    // depends on the worker count, so they live with the other
+    // host-variant stats and stay out of the determinism contract.
+    if (_hostStatsInJson) {
+        eg.regFormula("tombstones", [this]() {
+            double n = double(_eq.tombstones());
+            for (int sh = 0; sh < _domains->shards(); ++sh)
+                n += double(_domains->shardQueue(sh).tombstones());
+            return n;
+        });
+        eg.regFormula("compactions", [this]() {
+            double n = double(_eq.compactions());
+            for (int sh = 0; sh < _domains->shards(); ++sh)
+                n += double(_domains->shardQueue(sh).compactions());
+            return n;
+        });
+        eg.regFormula("arenaCapacity", [this]() {
+            double n = double(_eq.arenaCapacity());
+            for (int sh = 0; sh < _domains->shards(); ++sh)
+                n += double(_domains->shardQueue(sh).arenaCapacity());
+            return n;
+        });
+    }
 
     // Host throughput is wall-clock, hence nondeterministic; off by
     // default so stat dumps stay byte-comparable (opt in via
@@ -1155,7 +1255,8 @@ TiledSystem::collect(bool hit_limit)
     r.energyNj = r.energy.total();
 
     r.hostSeconds = _hostSeconds;
-    r.eventsExecuted = _eq.numExecuted();
+    r.eventsExecuted = _eq.numExecuted() +
+                       _domains->shardEventsExecuted();
     return r;
 }
 

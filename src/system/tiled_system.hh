@@ -9,6 +9,7 @@
 #ifndef SF_SYSTEM_TILED_SYSTEM_HH
 #define SF_SYSTEM_TILED_SYSTEM_HH
 
+#include <atomic>
 #include <functional>
 #include <ostream>
 #include <memory>
@@ -31,6 +32,7 @@
 #include "sim/fault.hh"
 #include "sim/interval_sampler.hh"
 #include "sim/profile.hh"
+#include "sim/shard.hh"
 #include "sim/stat_registry.hh"
 #include "sim/watchdog.hh"
 #include "system/config.hh"
@@ -49,7 +51,15 @@ class TiledSystem
 
     /** The shared address space all workload threads run in. */
     mem::AddressSpace &addressSpace() { return *_as; }
+    /** Global-service queue (also the simulation clock at barriers). */
     EventQueue &eventQueue() { return _eq; }
+    /** Tile-parallel engine: shard queues + the window loop. */
+    sim::TileDomains &domains() { return *_domains; }
+    /**
+     * Worker threads actually used (cfg.threads clamped to the tile
+     * count, forced to 1 by modes that need one execution context).
+     */
+    int effectiveThreads() const { return _domains->shards(); }
     const SystemConfig &config() const { return _cfg; }
     noc::Mesh &mesh() { return *_mesh; }
 
@@ -158,7 +168,14 @@ class TiledSystem
     void drainAndCheck();
 
     SystemConfig _cfg;
+    /** Global-service queue (watchdog / checker / sampler / barrier). */
     EventQueue _eq;
+    /**
+     * Shard partition and window loop; every per-tile component is
+     * wired to _domains->queueOf(tile). Destroyed after the
+     * components (declared before them), created first in the ctor.
+     */
+    std::unique_ptr<sim::TileDomains> _domains;
     mem::PhysMem _physMem;
     std::unique_ptr<mem::AddressSpace> _as;
     std::unique_ptr<noc::Mesh> _mesh;
@@ -188,7 +205,10 @@ class TiledSystem
     /** Diagnostic-hook ids to unregister on destruction. */
     std::vector<int> _diagHooks;
 
-    int _coresDone = 0;
+    /** Incremented from shard threads as cores drain; read at window
+     *  boundaries (a partition-invariant point), so the stop decision
+     *  is identical for every worker count. */
+    std::atomic<int> _coresDone{0};
     double _hostSeconds = 0.0;
     bool _hostStatsInJson = false;
 };

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "mem/phys_mem.hh"
 
@@ -50,6 +52,84 @@ TEST(PhysMem, ReadIntSignExtends)
     EXPECT_EQ(m.readInt(128, 4), -5);
     m.writeT<int64_t>(256, -123456789012345ll);
     EXPECT_EQ(m.readInt(256, 8), -123456789012345ll);
+}
+
+TEST(PhysMem, MaterializeAllocatesZeroFilledPage)
+{
+    PhysMem m;
+    m.materialize(0x2000 + 12);
+    EXPECT_EQ(m.numAllocatedPages(), 1u);
+    EXPECT_EQ(m.readT<uint64_t>(0x2000), 0u);
+    // Idempotent and preserves existing contents.
+    m.writeT<uint32_t>(0x2000, 7u);
+    m.materialize(0x2000);
+    EXPECT_EQ(m.readT<uint32_t>(0x2000), 7u);
+    EXPECT_EQ(m.numAllocatedPages(), 1u);
+}
+
+TEST(PhysMem, ConcurrentModeIsFunctionallyIdentical)
+{
+    PhysMem m;
+    m.setConcurrent(true);
+    m.writeT<uint32_t>(0x1000, 1u);
+    EXPECT_EQ(m.readT<uint32_t>(0x1000), 1u);
+    // Fresh pages still zero-fill on read without allocating.
+    EXPECT_EQ(m.readT<uint64_t>(0x9000), 0u);
+    EXPECT_EQ(m.numAllocatedPages(), 1u);
+    m.materialize(0x9000);
+    EXPECT_EQ(m.numAllocatedPages(), 2u);
+}
+
+TEST(AddressSpace, MapPageMaterializesEagerly)
+{
+    PhysMem m;
+    AddressSpace as(0, m);
+    as.alloc(4 * pageBytes);
+    EXPECT_EQ(m.numAllocatedPages(), 4u);
+}
+
+TEST(AddressSpace, FirstTouchFrameIsTouchOrderIndependent)
+{
+    // The frame is a pure hash of the virtual page, so the physical
+    // placement of a lazily touched page cannot depend on which shard
+    // thread translated it first (DESIGN.md §4i).
+    PhysMem m1, m2;
+    AddressSpace a(0, m1), b(0, m2);
+    Addr va1 = 0x10000000, va2 = 0x10300000, va3 = 0x13370000;
+    Addr f1 = a.translate(va1), f2 = a.translate(va2),
+         f3 = a.translate(va3);
+    EXPECT_EQ(b.translate(va3), f3);
+    EXPECT_EQ(b.translate(va1), f1);
+    EXPECT_EQ(b.translate(va2), f2);
+}
+
+TEST(AddressSpace, ConcurrentFirstTouchIsSafe)
+{
+    PhysMem m;
+    AddressSpace as(0, m);
+    as.setConcurrent(true);
+    Addr base = 0x10000000;
+    constexpr int nThreads = 4, pagesPerThread = 64;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < nThreads; ++t) {
+        threads.emplace_back([&as, base, t]() {
+            for (int p = 0; p < pagesPerThread; ++p) {
+                // Disjoint pages plus a contended shared page per
+                // iteration: both must map and read back safely.
+                Addr mine = base + Addr(t * pagesPerThread + p) * pageBytes;
+                as.writeT<uint32_t>(mine, uint32_t(t * 1000 + p));
+                as.readT<uint64_t>(base + Addr(p) * 0x40000);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < nThreads; ++t) {
+        for (int p = 0; p < pagesPerThread; ++p) {
+            Addr mine = base + Addr(t * pagesPerThread + p) * pageBytes;
+            EXPECT_EQ(as.readT<uint32_t>(mine), uint32_t(t * 1000 + p));
+        }
+    }
 }
 
 TEST(AddressSpace, AllocReturnsPageAlignedDistinctRegions)

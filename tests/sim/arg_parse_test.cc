@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the --threads/-j worker-count validation
+ * (sim/arg_parse.hh): valid counts parse, everything else fails fast
+ * with a FatalError that names the offending flag instead of a
+ * silently clamped value deep inside the engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/arg_parse.hh"
+#include "sim/logging.hh"
+
+using namespace sf;
+
+namespace {
+
+/** The FatalError message must name the flag the user typed. */
+void
+expectFatalNaming(const std::string &value, const char *flag)
+{
+    try {
+        parseThreadCount(value, flag);
+        FAIL() << "expected FatalError for '" << value << "'";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(flag), std::string::npos)
+            << "message does not name " << flag << ": " << e.what();
+    }
+}
+
+} // namespace
+
+TEST(ParseThreadCount, AcceptsPositiveIntegers)
+{
+    EXPECT_EQ(parseThreadCount("1", "--threads"), 1);
+    EXPECT_EQ(parseThreadCount("4", "--threads"), 4);
+    EXPECT_EQ(parseThreadCount("64", "-j"), 64);
+    EXPECT_EQ(parseThreadCount("4096", "--threads"), 4096);
+}
+
+TEST(ParseThreadCount, RejectsZeroAndNegative)
+{
+    expectFatalNaming("0", "--threads");
+    expectFatalNaming("-1", "--threads");
+    expectFatalNaming("-4", "-j");
+}
+
+TEST(ParseThreadCount, RejectsNonNumeric)
+{
+    expectFatalNaming("", "--threads");
+    expectFatalNaming("four", "--threads");
+    expectFatalNaming("4x", "--threads");
+    expectFatalNaming("1.5", "-j");
+    expectFatalNaming(" 4 ", "--threads");
+}
+
+TEST(ParseThreadCount, RejectsOutOfRange)
+{
+    expectFatalNaming("4097", "--threads");
+    expectFatalNaming("99999999999999999999", "--threads");
+}

@@ -1,0 +1,109 @@
+# Equivalence tier for the tile-parallel engine (DESIGN.md §4i): a
+# --threads=4 run must be BYTE-identical to --threads=1 — same
+# stats.json, same profile.json, same merged sweep report — across all
+# 12 workloads and the stream-machine variants. This is the
+# determinism contract the PDES window scheme promises; any divergence
+# is an engine bug, never an acceptable tolerance.
+#
+# Invoked by ctest as:
+#   cmake -DSWEEP=<exe> -DQUICKSTART=<exe> -DOUT_DIR=<dir>
+#         -P smoke_threads.cmake
+
+if(NOT SWEEP OR NOT QUICKSTART OR NOT OUT_DIR)
+    message(FATAL_ERROR "SWEEP, QUICKSTART and OUT_DIR must be set")
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+# --- 1. Sweep grid: 12 workloads x {Stride, SS, SF-Ind, SF} ---------
+# One io4 cpu at small scale keeps the 96-sim grid fast; the machine
+# set covers plain prefetching, stream specialization, and both
+# floating variants (with and without confluence).
+
+set(grid
+    --cores=2x2 --scale=0.01
+    --cpus=io4 --machines=Stride,SS,SF-Ind,SF)
+
+foreach(threads 1 4)
+    execute_process(
+        COMMAND "${SWEEP}" ${grid} "--threads=${threads}" -j 1
+                "--out=${OUT_DIR}/t${threads}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "sweep --threads=${threads} failed "
+                            "(rc=${rc}): ${out}\n${err}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/t1/BENCH_sweep.det.json"
+            "${OUT_DIR}/t4/BENCH_sweep.det.json"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "BENCH_sweep.det.json differs between "
+                        "--threads=1 and --threads=4: the parallel "
+                        "engine is not shard-count-invariant")
+endif()
+
+# Every per-point stats.json must match too, not just the merge.
+file(GLOB points RELATIVE "${OUT_DIR}/t1"
+     "${OUT_DIR}/t1/points/*.stats.json")
+list(LENGTH points n_points)
+if(n_points LESS 48)
+    message(FATAL_ERROR "expected >=48 sweep points (12 workloads x 4 "
+                        "machines), found ${n_points}")
+endif()
+foreach(f ${points})
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                "${OUT_DIR}/t1/${f}" "${OUT_DIR}/t4/${f}"
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR "${f} differs between --threads=1 and "
+                            "--threads=4")
+    endif()
+endforeach()
+
+message(STATUS "threads smoke: ${n_points}-point sweep byte-identical")
+
+# --- 2. Quickstart with the profiler ---------------------------------
+# The latency profiler's cross-tile records are the hardest artifact
+# to keep shard-count-invariant (they are deferred and merged at the
+# window barrier); profile.json must still byte-compare.
+
+foreach(threads 1 4)
+    execute_process(
+        COMMAND "${QUICKSTART}" pathfinder 0.02 --profile
+                "--stats-json=${OUT_DIR}/q${threads}"
+                "--threads=${threads}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "quickstart --threads=${threads} failed "
+                            "(rc=${rc}): ${out}\n${err}")
+    endif()
+endforeach()
+
+file(GLOB qfiles RELATIVE "${OUT_DIR}/q1" "${OUT_DIR}/q1/*.json")
+list(LENGTH qfiles n_q)
+if(n_q LESS 4)
+    message(FATAL_ERROR "expected >=4 quickstart artifacts, got ${n_q}")
+endif()
+foreach(f ${qfiles})
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                "${OUT_DIR}/q1/${f}" "${OUT_DIR}/q4/${f}"
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR "quickstart artifact ${f} differs between "
+                            "--threads=1 and --threads=4")
+    endif()
+endforeach()
+
+message(STATUS "threads smoke passed: sweep + quickstart artifacts "
+               "byte-identical across worker counts")

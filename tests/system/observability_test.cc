@@ -83,15 +83,18 @@ TEST(StatsJson, EventQueueGroupAndHostStatsOptIn)
     wl->init(sys.addressSpace());
     SimResults r = sys.run(wl->makeAllThreads());
 
-    // The kernel's counters ride along in every dump.
+    // The kernel's live counters ride along in every dump.
     std::ostringstream off;
     sys.dumpStatsJson(off, r);
     auto j = test_json::parse(off.str());
     const auto &eq = j.at("groups").at("sim.eventq");
     EXPECT_GE(eq.at("executed").number, double(r.eventsExecuted));
     EXPECT_GT(eq.at("executed").number, 0.0);
-    EXPECT_GE(eq.at("arenaCapacity").number, 512.0);
-    EXPECT_GE(eq.at("compactions").number, 0.0);
+    // Kernel-internal gauges (arena capacity, tombstone compactions)
+    // vary with the worker count, so like wall-clock they only enter
+    // the dump on the host-stats opt-in.
+    EXPECT_EQ(off.str().find("arenaCapacity"), std::string::npos);
+    EXPECT_EQ(off.str().find("compactions"), std::string::npos);
 
     // Host timing is measured on every run but, being wall-clock and
     // hence nondeterministic, only enters the dump on opt-in.
@@ -106,6 +109,9 @@ TEST(StatsJson, EventQueueGroupAndHostStatsOptIn)
     EXPECT_NEAR(j2.at("groups").at("host").at("seconds").number,
                 r.hostSeconds, 1e-9);
     EXPECT_GT(j2.at("groups").at("host").at("eventsPerSec").number, 0.0);
+    const auto &eq2 = j2.at("groups").at("sim.eventq");
+    EXPECT_GE(eq2.at("arenaCapacity").number, 512.0);
+    EXPECT_GE(eq2.at("compactions").number, 0.0);
 }
 
 TEST(StatsJson, GroupTotalsMatchAggregates)

@@ -1,0 +1,119 @@
+# Scaling + determinism gate on the tile-parallel engine (the
+# `perf`-label CI job, next to sweep_gate.cmake). Runs bench/threads
+# on the paper's 8x8 mesh and asserts:
+#
+#   1. determinism fingerprint: the simulated cycle count is identical
+#      across worker counts AND matches the checked-in
+#      bench/baselines/BENCH_threads.json — a silent divergence in
+#      either direction is an engine or config regression;
+#   2. scaling: with 4 workers the wall clock improves by at least
+#      MIN_SPEEDUP_X100/100 (default 2.0x, the DESIGN.md §4i target).
+#      The speedup check is HOST-AWARE: on runners with fewer than 4
+#      hardware threads it degrades to a warning, because conservative
+#      PDES cannot beat serial without real parallelism. The
+#      fingerprint check always runs.
+#
+# Invoked as:
+#   cmake -DTHREADS_BENCH=<exe> -DBASELINE=<json> -DOUT_DIR=<dir>
+#         [-DMIN_SPEEDUP_X100=200] -P threads_gate.cmake
+#
+# Refreshing the baseline after an intentional timing-model change:
+#   bench/threads --scale=0.01 --counts=1,4 --reps=2 \
+#       --out=bench/baselines/BENCH_threads.json
+
+if(NOT THREADS_BENCH OR NOT OUT_DIR)
+    message(FATAL_ERROR "THREADS_BENCH and OUT_DIR must be set")
+endif()
+if(NOT DEFINED MIN_SPEEDUP_X100)
+    set(MIN_SPEEDUP_X100 200)
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+    COMMAND "${THREADS_BENCH}" --scale=0.01 --counts=1,4 --reps=2
+            "--out=${OUT_DIR}/BENCH_threads.json"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+message(STATUS "bench/threads:\n${out}")
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench/threads failed (rc=${rc}): ${err}")
+endif()
+
+file(READ "${OUT_DIR}/BENCH_threads.json" report)
+string(JSON host_cores GET "${report}" hostCores)
+string(JSON n_runs LENGTH "${report}" runs)
+math(EXPR last "${n_runs} - 1")
+
+# --- 1. Determinism fingerprint --------------------------------------
+string(JSON cycles0 GET "${report}" runs 0 cycles)
+foreach(i RANGE 0 ${last})
+    string(JSON c GET "${report}" runs ${i} cycles)
+    if(NOT c EQUAL cycles0)
+        message(FATAL_ERROR "cycle count varies with worker count "
+                            "(${c} vs ${cycles0}): engine bug")
+    endif()
+endforeach()
+
+if(BASELINE AND EXISTS "${BASELINE}")
+    file(READ "${BASELINE}" base_report)
+    string(JSON base_cycles GET "${base_report}" runs 0 cycles)
+    if(NOT cycles0 EQUAL base_cycles)
+        message(FATAL_ERROR "cycle fingerprint ${cycles0} differs from "
+            "the checked-in baseline ${base_cycles}. If the timing "
+            "model changed intentionally, refresh "
+            "bench/baselines/BENCH_threads.json in the same commit "
+            "(see header).")
+    endif()
+    message(STATUS "fingerprint gate passed: ${cycles0} cycles on "
+                   "every worker count, matches baseline")
+else()
+    message(WARNING "no baseline at '${BASELINE}'; fingerprint checked "
+                    "across worker counts only")
+endif()
+
+# --- 2. Host-aware speedup gate --------------------------------------
+# speedup is printed as %.3f; lower it to milli-x integer for cmake's
+# 64-bit-integer-only math().
+function(speedup_milli json_text idx out)
+    string(JSON v GET "${json_text}" runs ${idx} speedup)
+    string(REGEX MATCH "^([0-9]+)\\.([0-9]+)$" m "${v}")
+    if(NOT m)
+        message(FATAL_ERROR "bad speedup value: '${v}'")
+    endif()
+    set(whole "${CMAKE_MATCH_1}")
+    string(SUBSTRING "${CMAKE_MATCH_2}000" 0 3 frac)
+    # CMake reads leading-zero literals as octal; REGEX REPLACE also
+    # clobbers CMAKE_MATCH_*, hence the saved `whole`.
+    string(REGEX REPLACE "^0+([0-9])" "\\1" frac "${frac}")
+    math(EXPR milli "${whole} * 1000 + ${frac}")
+    set(${out} ${milli} PARENT_SCOPE)
+endfunction()
+
+set(speedup4 "")
+foreach(i RANGE 0 ${last})
+    string(JSON t GET "${report}" runs ${i} threads)
+    if(t EQUAL 4)
+        speedup_milli("${report}" ${i} speedup4)
+    endif()
+endforeach()
+if(speedup4 STREQUAL "")
+    message(FATAL_ERROR "no threads=4 run in the report")
+endif()
+
+math(EXPR min_milli "${MIN_SPEEDUP_X100} * 10")
+if(host_cores LESS 4)
+    message(WARNING "host has only ${host_cores} hardware threads; "
+        "speedup gate skipped (measured ${speedup4} milli-x with 4 "
+        "workers, target ${min_milli})")
+elseif(speedup4 LESS min_milli)
+    message(FATAL_ERROR "4-worker speedup ${speedup4} milli-x below "
+        "the ${min_milli} milli-x target on a ${host_cores}-core host")
+else()
+    message(STATUS "speedup gate passed: ${speedup4} milli-x with 4 "
+                   "workers (target ${min_milli})")
+endif()
+
+message(STATUS "threads gate passed")

@@ -1,0 +1,41 @@
+// sflint fixture: S1 — mutable static state at namespace and
+// function scope; the exempt shapes below must stay silent.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+static int fxGlobalCounter = 0; // finding: namespace-scope mutable
+
+inline int
+fxMemoized(int v)
+{
+    static std::vector<int> fxCache; // finding: function-local mutable
+    fxCache.push_back(v);
+    return static_cast<int>(fxCache.size());
+}
+
+// None of these are findings:
+static const int fxLimit = 8;
+static constexpr double fxRatio = 0.5;
+static thread_local int fxPerThread = 0;
+static std::atomic<int> fxHits{0};
+static std::mutex fxMu;
+
+static int
+fxHelper(int a)
+{
+    return a + fxLimit + fxPerThread + fxHits.load() + fxGlobalCounter;
+}
+
+struct FxFactory
+{
+    static FxFactory make();
+    int payload = 0;
+};
+
+int
+fxUse()
+{
+    std::scoped_lock lk(fxMu);
+    return fxHelper(FxFactory::make().payload);
+}

@@ -1,0 +1,10 @@
+// sflint fixture: S1 suppressed — justified process-wide registry.
+#include <vector>
+
+inline std::vector<int> &
+fxRegistry()
+{
+    // sflint: allow(S1, fixture: main-thread-only registry)
+    static std::vector<int> fxEntries;
+    return fxEntries;
+}

@@ -92,6 +92,14 @@ TEST(SflintRules, DetectsSeededViolations)
               3u);
     EXPECT_EQ(newFindings(res, "E1", "fixtures/e1_raw_new.cc").size(),
               1u);
+
+    // s1_static.cc seeds one namespace-scope and one function-local
+    // mutable static; its const/constexpr/thread_local/atomic/mutex/
+    // function shapes must all stay silent.
+    auto s1 = newFindings(res, "S1", "fixtures/s1_static.cc");
+    ASSERT_EQ(s1.size(), 2u);
+    EXPECT_EQ(s1[0].context, "fxGlobalCounter");
+    EXPECT_EQ(s1[1].context, "fxCache");
 }
 
 TEST(SflintRules, SuppressionsAndCleanFile)
@@ -108,7 +116,7 @@ TEST(SflintRules, SuppressionsAndCleanFile)
         EXPECT_NE(fd.file, "fixtures/clean.cc");
     }
     // One suppressed case per rule class.
-    EXPECT_EQ(suppressedSeen, 5);
+    EXPECT_EQ(suppressedSeen, 6);
 }
 
 TEST(SflintBaseline, RoundTripAndRatchet)
@@ -116,7 +124,7 @@ TEST(SflintBaseline, RoundTripAndRatchet)
     AnalysisResult res = analyze(fixtureConfig());
     Baseline b = baselineFromFindings(res);
     // Suppressed findings never enter the baseline.
-    EXPECT_EQ(b.entries.size(), 10u);
+    EXPECT_EQ(b.entries.size(), 12u);
 
     fs::path tmp =
         fs::path(::testing::TempDir()) / "sflint_baseline.json";

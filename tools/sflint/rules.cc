@@ -1,6 +1,6 @@
 /**
  * @file
- * sflint rule passes D1/D2/P1/T1/E1 (see sflint.hh for the registry
+ * sflint rule passes D1/D2/P1/T1/E1/S1 (see sflint.hh for the registry
  * of what each rule enforces and why).
  */
 
@@ -494,6 +494,94 @@ ruleE1(const SourceFile &f, const Config &cfg,
     }
 }
 
+// ------------------------------------------------------------------ S1
+
+/**
+ * Types whose statics are inherently thread-safe (synchronization
+ * primitives) and therefore exempt from S1.
+ */
+const std::set<std::string> kSyncTypes = {
+    "atomic",           "atomic_flag",
+    "mutex",            "shared_mutex",
+    "recursive_mutex",  "timed_mutex",
+    "once_flag",        "condition_variable",
+    "condition_variable_any",
+    "barrier",          "latch",
+    "counting_semaphore", "binary_semaphore"};
+
+/**
+ * Mutable `static` (or namespace-scope `thread_local`-free) state.
+ * Token-level heuristic: for each `static` keyword, locate the
+ * declared name — the last identifier before the first `(`, `=`, `{`
+ * or `;` of the declaration — and flag unless
+ *   - a qualifier near the `static` makes it immutable (const,
+ *     constexpr, constinit) or per-thread (thread_local), or
+ *   - the declaration's type mentions a synchronization primitive
+ *     (kSyncTypes), or
+ *   - the name is immediately followed by `(`: a function definition,
+ *     a prototype, or (accepted false negative) a paren-initialized
+ *     variable — all left to human review.
+ */
+void
+ruleS1(const SourceFile &f, std::vector<Finding> &out)
+{
+    const std::vector<Token> &toks = f.toks;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks[i], "static"))
+            continue;
+        // Qualifiers may precede the keyword: `const static int x;`.
+        bool exempt = false;
+        for (size_t j = i >= 2 ? i - 2 : 0; j < i; ++j) {
+            if (isIdent(toks[j], "const") ||
+                isIdent(toks[j], "constexpr") ||
+                isIdent(toks[j], "constinit") ||
+                isIdent(toks[j], "thread_local"))
+                exempt = true;
+        }
+        // Walk the declaration head up to its first initializer /
+        // parameter-list / terminator, tracking the declared name.
+        std::string name;
+        std::string typeHit;
+        size_t stop = toks.size();
+        int angle = 0;
+        for (size_t j = i + 1; j < toks.size(); ++j) {
+            const Token &t = toks[j];
+            if (isPunct(t, "<")) {
+                ++angle;
+            } else if (isPunct(t, ">")) {
+                --angle;
+            } else if (angle == 0 &&
+                       (isPunct(t, "(") || isPunct(t, "=") ||
+                        isPunct(t, "{") || isPunct(t, ";"))) {
+                stop = j;
+                break;
+            } else if (t.kind == TokKind::Ident) {
+                if (t.text == "const" || t.text == "constexpr" ||
+                    t.text == "constinit" || t.text == "thread_local")
+                    exempt = true;
+                if (kSyncTypes.count(t.text))
+                    typeHit = t.text;
+                if (angle == 0)
+                    name = t.text;
+            }
+        }
+        if (exempt || name.empty() || stop >= toks.size())
+            continue;
+        if (isPunct(toks[stop], "(") && toks[stop - 1].kind ==
+            TokKind::Ident && toks[stop - 1].text == name)
+            continue; // function (or paren-init, accepted miss)
+        if (!typeHit.empty())
+            continue; // synchronization primitive
+        emit(out, f, "S1", toks[i].line, name,
+             "mutable static '" + name +
+                 "': shared state races under the tile-parallel "
+                 "engine and can make results depend on the worker "
+                 "count; scope it per tile/system, make it "
+                 "const/atomic, or annotate "
+                 "`// sflint: allow(S1, <reason>)`");
+    }
+}
+
 bool
 suppressed(const SourceFile &f, Finding &fd)
 {
@@ -527,6 +615,7 @@ runRules(const SourceFile &f, const Config &cfg, const Registry &reg,
     ruleP1(f, cfg, reg, raw);
     ruleT1(f, raw);
     ruleE1(f, cfg, raw);
+    ruleS1(f, raw);
     for (Finding &fd : raw) {
         fd.suppressed = suppressed(f, fd);
         out.push_back(std::move(fd));

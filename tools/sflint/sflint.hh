@@ -18,7 +18,8 @@
  *   D2  no rand()/srand()/std::random_device, no wall-clock reads
  *       (time(), gettimeofday, system_clock/steady_clock/
  *       high_resolution_clock), no getenv() outside the approved
- *       host-timing/config allowlist (bench_util.hh, sweep.cc).
+ *       host-timing/config allowlist (bench_util.hh, sweep.cc,
+ *       threads.cc — the wall-clock scaling benchmark).
  *   P1  every switch over a monitored message/coherence enum
  *       (MemMsgType, MsgType, StreamMsgType, LineState, plus any
  *       enum annotated `// sflint: exhaustive`) must be exhaustive
@@ -28,6 +29,13 @@
  *       that narrow a tick-ish expression to int/unsigned/…
  *   E1  no raw `new` of event objects outside the PR-3 slab arena
  *       (src/sim/event_queue.hh).
+ *   S1  no mutable namespace-scope or function-local `static` state:
+ *       with the tile-parallel engine (DESIGN.md §4i) any hidden
+ *       global is a data race and a shard-count-variance hazard.
+ *       const/constexpr, thread_local, and synchronization types
+ *       (std::atomic, mutexes, once_flag, …) are exempt; functions
+ *       (internal linkage, static members) are not state. Suppress
+ *       with `// sflint: allow(S1, <reason>)`.
  *
  * Generic suppression for any rule:
  *   `// sflint: allow(<RULE>, <reason>)` on the finding line or the
@@ -122,7 +130,8 @@ struct Config
     std::vector<std::string> inputs;
     /** Files where D2 host-timing/config reads are approved. */
     std::set<std::string> d2Allow = {"bench/bench_util.hh",
-                                     "bench/sweep.cc"};
+                                     "bench/sweep.cc",
+                                     "bench/threads.cc"};
     /** Files allowed to place event objects (the slab arena). */
     std::set<std::string> e1Allow = {"src/sim/event_queue.hh"};
     /** Enums whose switches must be exhaustive (P1). */
