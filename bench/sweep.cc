@@ -16,9 +16,19 @@
  * after a crash or timeout. Points that still fail are recorded as
  * `"status": "failed"` entries in the merged report instead of
  * aborting the whole sweep; when nothing fails the report bytes are
- * unchanged. `--resume` skips any grid point whose per-point
- * stats.json and host report already exist and parse, so an
- * interrupted sweep finishes only the missing points.
+ * unchanged. `--resume` VALIDATES existing point results before
+ * skipping them: each completed child drops a `<stem>.ok` sidecar
+ * carrying CRC32s of its stats.json and host report (the snapshot
+ * library's checksum, DESIGN.md §4j), and a point is only reused when
+ * the recomputed CRCs match — a torn or corrupted result re-runs.
+ *
+ * Checkpointing (`--checkpoint-every=N`, DESIGN.md §4j): each point
+ * periodically writes an sf-snap-v1 snapshot to
+ * `points/<stem>.sfsnap`. A killed/timed-out/resumed point restarts
+ * from its last good snapshot (deterministic replay + byte
+ * verification); a corrupt, truncated or version-mismatched snapshot
+ * is logged (the validator exits 68 and names the bad section when
+ * run standalone), deleted, and the point re-runs from scratch.
  *
  * Extra options on top of the common bench flags:
  *   -j N / --jobs=N      worker processes (default 1)
@@ -29,11 +39,19 @@
  *                        (default all five)
  *   --point-timeout=S    per-point wall-clock limit in seconds
  *                        (default 300; SIGKILL + retry on expiry)
- *   --resume             skip points with valid existing results
+ *   --resume             skip points with validated existing results
+ *   --checkpoint-every=N periodic per-point snapshots every N ticks
+ *                        (paths are derived; --checkpoint/--restore
+ *                        themselves are rejected here)
  *
- * Test hooks (used by tests/smoke_sweep.cmake): a child whose point
- * stem equals $SF_SWEEP_TEST_CRASH aborts, $SF_SWEEP_TEST_HANG spins
- * forever, and $SF_SWEEP_TEST_FLAKY aborts on the first attempt only.
+ * Test hooks (used by tests/smoke_sweep.cmake and
+ * tests/smoke_checkpoint.cmake): a child whose point stem equals
+ * $SF_SWEEP_TEST_CRASH aborts, $SF_SWEEP_TEST_HANG spins forever,
+ * $SF_SWEEP_TEST_FLAKY aborts on the first attempt only,
+ * $SF_SWEEP_TEST_KILL_AFTER_CKPT (a stem, or `*` for every point)
+ * makes first attempts SIGKILL themselves right after their first
+ * snapshot, and $SF_SWEEP_TEST_PARENT_KILL_AFTER=<n> SIGKILLs the
+ * whole sweep after n completed points (crash-recovery CI).
  */
 
 #include <sys/types.h>
@@ -50,6 +68,7 @@
 #include <stdexcept>
 
 #include "bench/bench_util.hh"
+#include "sim/snapshot.hh"
 
 using namespace sf;
 using namespace sf::bench;
@@ -64,8 +83,11 @@ struct SweepOptions
     /** Per-point wall-clock limit in seconds; expired children are
      *  SIGKILLed and retried once. */
     double pointTimeout = 300.0;
-    /** Skip points whose stats.json + host report already parse. */
+    /** Skip points whose `.ok` sidecar CRCs still validate. */
     bool resume = false;
+    /** Per-point sf-snap-v1 checkpoint interval in ticks; 0 = off.
+     *  Snapshot paths are derived (`points/<stem>.sfsnap`). */
+    Tick checkpointEvery = 0;
     std::vector<std::string> cpus = {"io4", "ooo4", "ooo8"};
     std::vector<std::string> machines = {"Base", "Stride", "Bingo", "SS",
                                          "SF"};
@@ -75,7 +97,33 @@ SweepOptions
 parseSweep(int argc, char **argv)
 {
     SweepOptions o;
-    o.bench = BenchOptions::parse(argc, argv);
+    // The sweep derives per-point snapshot paths itself, so the only
+    // checkpoint flag it takes is the interval. Strip it (and reject
+    // the path-style flags) before handing the rest to the shared
+    // BenchOptions parser, whose pairing validation would otherwise
+    // demand a --checkpoint=PATH.
+    std::vector<char *> bargv;
+    bargv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--checkpoint-every=", 0) == 0) {
+            o.checkpointEvery = parseTickCount(
+                arg.substr(std::strlen("--checkpoint-every=")),
+                "--checkpoint-every");
+            continue;
+        }
+        if (arg.rfind("--checkpoint=", 0) == 0 ||
+            arg == "--checkpoint-stop" ||
+            arg.rfind("--restore=", 0) == 0) {
+            fatal("%s: the sweep manages per-point snapshots itself; "
+                  "use --checkpoint-every=N (and --resume to reuse "
+                  "results)",
+                  argv[i]);
+        }
+        bargv.push_back(argv[i]);
+    }
+    o.bench =
+        BenchOptions::parse(static_cast<int>(bargv.size()), bargv.data());
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto val = [&](const char *key) -> const char * {
@@ -182,6 +230,20 @@ struct HostReport
     uint64_t cycles = 0;
 };
 
+/** CRC32 (the snapshot library's checksum) of a file's raw bytes. */
+bool
+fileCrc(const std::string &path, uint32_t &crc)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string &s = ss.str();
+    crc = snap::crc32(s.data(), s.size());
+    return true;
+}
+
 /** Run one point to completion; only ever called in a forked child. */
 int
 runPoint(const Point &p, const SweepOptions &o,
@@ -202,7 +264,45 @@ runPoint(const Point &p, const SweepOptions &o,
     try {
         BenchOptions bo = o.bench;
         bo.statsJsonDir = points_dir;
+        std::string snap_path = points_dir + "/" + p.stem + ".sfsnap";
+        bool kill_after_ckpt = false;
+        if (o.checkpointEvery > 0) {
+            bo.checkpointPath = snap_path;
+            bo.checkpointEvery = o.checkpointEvery;
+            if (const char *v =
+                    std::getenv("SF_SWEEP_TEST_KILL_AFTER_CKPT"))
+                if (attempt == 1 &&
+                    (std::string(v) == "*" || p.stem == v)) {
+                    bo.checkpointStop = true;
+                    kill_after_ckpt = true;
+                }
+            if (std::ifstream(snap_path).good()) {
+                // A previous attempt (or a killed earlier sweep, under
+                // --resume) left a snapshot: restart from it when it
+                // validates, otherwise log, delete it, and re-run from
+                // scratch.
+                try {
+                    snap::readSnapshot(snap_path);
+                    bo.restorePath = snap_path;
+                    std::printf("sweep: point %s restarting from %s\n",
+                                p.stem.c_str(), snap_path.c_str());
+                    // The child leaves via _Exit (no stdio flush).
+                    std::fflush(stdout);
+                } catch (const FatalError &e) {
+                    std::fprintf(stderr,
+                                 "sweep: point %s has a bad snapshot "
+                                 "(%s), re-running from scratch\n",
+                                 p.stem.c_str(), e.what());
+                    ::unlink(snap_path.c_str());
+                }
+            }
+        }
         sys::SimResults r = runSim(p.machine, p.core, p.workload, bo);
+        if (r.stoppedAtCheckpoint && kill_after_ckpt) {
+            // Die exactly as if SIGKILLed the instant the snapshot
+            // landed on disk: no outputs, no sidecar.
+            raise(SIGKILL);
+        }
         std::ofstream host(points_dir + "/" + p.stem + ".host");
         char buf[160];
         std::snprintf(buf, sizeof(buf),
@@ -212,7 +312,35 @@ runPoint(const Point &p, const SweepOptions &o,
                       static_cast<unsigned long long>(r.cycles));
         host << buf;
         host.flush();
-        return host.good() ? 0 : 1;
+        if (!host.good())
+            return 1;
+        // Validation sidecar, written last: --resume only reuses this
+        // point when the CRCs recorded here still match the recomputed
+        // ones, so a SIGKILL at any earlier instant leaves a point
+        // that re-runs.
+        uint32_t stats_crc = 0, host_crc = 0, prof_crc = 0;
+        if (!fileCrc(points_dir + "/" + p.stem + ".stats.json",
+                     stats_crc) ||
+            !fileCrc(points_dir + "/" + p.stem + ".host", host_crc))
+            return 1;
+        if (o.bench.profile &&
+            !fileCrc(points_dir + "/" + p.stem + ".profsum.json",
+                     prof_crc))
+            return 1;
+        char okbuf[128];
+        if (o.bench.profile) {
+            std::snprintf(okbuf, sizeof(okbuf),
+                          "stats_crc=%08x host_crc=%08x prof_crc=%08x\n",
+                          stats_crc, host_crc, prof_crc);
+        } else {
+            std::snprintf(okbuf, sizeof(okbuf),
+                          "stats_crc=%08x host_crc=%08x\n", stats_crc,
+                          host_crc);
+        }
+        std::ofstream okf(points_dir + "/" + p.stem + ".ok");
+        okf << okbuf;
+        okf.flush();
+        return okf.good() ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "sweep: point %s failed: %s\n",
                      p.stem.c_str(), e.what());
@@ -238,22 +366,39 @@ readHostReport(const std::string &path, HostReport &h)
 }
 
 /**
- * A point's results are reusable under --resume when its stats.json
- * looks like a complete JSON object (a SIGKILLed child leaves a
- * truncated one) and its host report parses.
+ * A point's results are reusable under --resume only when its `.ok`
+ * sidecar exists and the CRC32s it recorded still match the
+ * recomputed checksums of stats.json, the host report, and (for
+ * profile sweeps) profsum.json. The sidecar is the last file a child
+ * writes, so a SIGKILL at any instant leaves a point that fails this
+ * check and re-runs; a torn or bit-flipped result file fails the CRC
+ * comparison the same way.
  */
 bool
-pointComplete(const std::string &points_dir, const std::string &stem)
+pointComplete(const SweepOptions &o, const std::string &points_dir,
+              const std::string &stem)
 {
-    std::ifstream in(points_dir + "/" + stem + ".stats.json");
+    std::ifstream in(points_dir + "/" + stem + ".ok");
     if (!in)
         return false;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    std::string s = ss.str();
-    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
-        s.pop_back();
-    if (s.empty() || s.front() != '{' || s.back() != '}')
+    std::string line;
+    std::getline(in, line);
+    unsigned stored_stats = 0, stored_host = 0, stored_prof = 0;
+    int n = std::sscanf(line.c_str(),
+                        "stats_crc=%x host_crc=%x prof_crc=%x",
+                        &stored_stats, &stored_host, &stored_prof);
+    if (n < 2 || (o.bench.profile && n != 3))
+        return false;
+    uint32_t crc = 0;
+    if (!fileCrc(points_dir + "/" + stem + ".stats.json", crc) ||
+        crc != stored_stats)
+        return false;
+    if (!fileCrc(points_dir + "/" + stem + ".host", crc) ||
+        crc != stored_host)
+        return false;
+    if (o.bench.profile &&
+        (!fileCrc(points_dir + "/" + stem + ".profsum.json", crc) ||
+         crc != stored_prof))
         return false;
     HostReport h;
     return readHostReport(points_dir + "/" + stem + ".host", h);
@@ -422,13 +567,14 @@ main(int argc, char **argv)
     auto wall_start = std::chrono::steady_clock::now();
 
     // Work queue in fixed grid order; crashed/timed-out points requeue
-    // once at the tail. --resume drops points whose results already
-    // parse, so an interrupted sweep only runs what is missing.
+    // once at the tail. --resume drops points whose results still pass
+    // their recorded CRCs, so an interrupted sweep re-runs exactly the
+    // missing or damaged points.
     std::deque<size_t> queue;
     std::vector<int> attempts(points.size(), 0);
     std::vector<char> failed(points.size(), 0);
     for (size_t i = 0; i < points.size(); ++i) {
-        if (opt.resume && pointComplete(points_dir, points[i].stem)) {
+        if (opt.resume && pointComplete(opt, points_dir, points[i].stem)) {
             std::printf("sweep: resume skip %s\n",
                         points[i].stem.c_str());
             continue;
@@ -442,6 +588,13 @@ main(int argc, char **argv)
     // parent can enforce each child's wall-clock deadline.
     std::map<pid_t, Child> running;
     int failures = 0;
+    // Crash-recovery test hook (tests/smoke_checkpoint.cmake): SIGKILL
+    // the whole sweep after n completed points, as an OOM-killed or
+    // rebooted host would.
+    long parent_kill_after = 0;
+    if (const char *v = std::getenv("SF_SWEEP_TEST_PARENT_KILL_AFTER"))
+        parent_kill_after = std::atol(v);
+    long completed = 0;
     const auto timeout = std::chrono::duration_cast<
         std::chrono::steady_clock::duration>(
         std::chrono::duration<double>(opt.pointTimeout));
@@ -503,6 +656,12 @@ main(int argc, char **argv)
         bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
         if (ok) {
             std::printf("sweep: done %s\n", p.stem.c_str());
+            ++completed;
+            if (parent_kill_after > 0 && completed >= parent_kill_after) {
+                std::fflush(stdout);
+                killAll(running);
+                raise(SIGKILL);
+            }
             continue;
         }
         const char *why = c.killed             ? "timed out"

@@ -8,6 +8,8 @@
  * Usage: quickstart [workload] [scale] [--stats-json=DIR] [--trace=FILE]
  *                   [--check=LVL] [--faults=SPEC] [--watchdog-cycles=N]
  *                   [--verify] [--profile] [--threads=N]
+ *                   [--checkpoint=PATH --checkpoint-every=N]
+ *                   [--restore=PATH]
  *
  *   --threads=N       worker threads for the tile-parallel engine
  *                     (results are byte-identical to --threads=1;
@@ -29,14 +31,21 @@
  *   --verify          run the functional reference executor after each
  *                     sim and diff the final memory image (exit 67 on
  *                     divergence; SF_VERIFY_BUG injects protocol bugs)
+ *   --checkpoint=PATH --checkpoint-every=N
+ *                     periodic sf-snap-v1 snapshots (DESIGN.md §4j);
+ *                     each machine writes PATH.<machine>
+ *   --restore=PATH    replay-verify PATH.<machine> per machine, then
+ *                     run to completion (byte-identical stats)
  *
  * Exits with the FatalError exit code on watchdog timeouts (64),
- * invariant violations (65), drain failures (66) and verify
- * divergences (67).
+ * invariant violations (65), drain failures (66), verify
+ * divergences (67) and snapshot errors (68: corrupt, truncated or
+ * config-mismatched snapshot files).
  *
  * Set SF_DEBUG_FLAGS (e.g. StreamFloat,SEL3) to watch components live.
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,7 +75,26 @@ struct RobustnessOptions
     bool verify = false;
     bool profile = false;
     int threads = 1;
+    /**
+     * Checkpoint/restore (DESIGN.md §4j). The quickstart runs two
+     * machines, so PATH is suffixed per machine (PATH.<machine>).
+     */
+    std::string checkpointPath;
+    Tick checkpointEvery = 0;
+    std::string restorePath;
 };
+
+/** Per-machine snapshot filename: base path + "." + machine token. */
+std::string
+machineSnapPath(const std::string &base, sys::Machine machine)
+{
+    std::string tok = sys::machineName(machine);
+    for (char &c : tok) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return base + "." + tok;
+}
 
 sys::SimResults
 runOne(sys::Machine machine, const std::string &wl_name, double scale,
@@ -83,6 +111,13 @@ runOne(sys::Machine machine, const std::string &wl_name, double scale,
     cfg.verify = rob.verify;
     cfg.profile = rob.profile;
     cfg.threads = rob.threads;
+    if (!rob.checkpointPath.empty()) {
+        cfg.checkpointPath = machineSnapPath(rob.checkpointPath, machine);
+        cfg.checkpointEvery = rob.checkpointEvery;
+    }
+    if (!rob.restorePath.empty())
+        cfg.restorePath = machineSnapPath(rob.restorePath, machine);
+    cfg.workloadTag = wl_name;
     // sflint: allow(D2, verify-oracle fault-injection hook, not timed state)
     if (const char *bug = std::getenv("SF_VERIFY_BUG"))
         cfg.verifyBug = bug;
@@ -173,6 +208,18 @@ try {
             rob.threads = parseThreadCount(arg.substr(2), "-j");
         } else if (arg == "-j" && i + 1 < argc) {
             rob.threads = parseThreadCount(argv[++i], "-j");
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            rob.checkpointPath = arg.substr(std::strlen("--checkpoint="));
+            if (rob.checkpointPath.empty())
+                fatal("--checkpoint: empty snapshot path");
+        } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+            rob.checkpointEvery = parseTickCount(
+                arg.substr(std::strlen("--checkpoint-every=")),
+                "--checkpoint-every");
+        } else if (arg.rfind("--restore=", 0) == 0) {
+            rob.restorePath = arg.substr(std::strlen("--restore="));
+            if (rob.restorePath.empty())
+                fatal("--restore: empty snapshot path");
         } else if (positional == 0) {
             wl = arg;
             ++positional;
@@ -181,6 +228,13 @@ try {
             ++positional;
         }
     }
+
+    if (!rob.checkpointPath.empty() && rob.checkpointEvery == 0) {
+        fatal("--checkpoint requires --checkpoint-every=N "
+              "(ticks between snapshots)");
+    }
+    if (rob.checkpointPath.empty() && rob.checkpointEvery != 0)
+        fatal("--checkpoint-every requires --checkpoint=PATH");
 
     // Validate output targets up front: a bad --stats-json or --trace
     // path should fail immediately, not after minutes of simulation.
@@ -232,6 +286,7 @@ try {
 } catch (const FatalError &e) {
     // The message and diagnostic snapshot already went to stderr;
     // surface the distinct exit code (watchdog 64, invariant 65,
-    // drain 66, config 1) to scripts and ctest.
+    // drain 66, verify 67, snapshot 68, config 1) to scripts and
+    // ctest.
     return e.exitStatus();
 }

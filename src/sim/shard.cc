@@ -228,6 +228,8 @@ TileDomains::Exit
 TileDomains::runWindows(const std::function<bool()> &stop, Tick limit)
 {
     for (;;) {
+        if (_boundaryHook)
+            _boundaryHook(_global.curTick());
         if (stop && stop())
             return Exit::Stopped;
         Tick smin = earliestShardTick();

@@ -1,0 +1,442 @@
+#include "sim/snapshot.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace sf {
+namespace snap {
+
+// ------------------------------------------------------------------ crc32
+
+namespace {
+
+struct CrcTable
+{
+    uint32_t t[256];
+
+    constexpr CrcTable() : t()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+constexpr CrcTable kCrc;
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t n, uint32_t seed)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < n; ++i)
+        c = kCrc.t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------- Encoder
+
+void
+Encoder::f64(double v)
+{
+    // Bit-exact: copy the IEEE-754 pattern byte-wise, not the object.
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(uint64_t));
+    u64(bits);
+}
+
+void
+Encoder::str(const std::string &s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    raw(s.data(), s.size());
+}
+
+void
+Encoder::raw(const void *data, size_t n)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    _buf.insert(_buf.end(), p, p + n);
+}
+
+// ---------------------------------------------------------------- Decoder
+
+namespace {
+
+[[noreturn]] void
+underflow(const std::string &section)
+{
+    fatalCode(ExitCode::SnapshotError,
+              "snapshot section '%s' truncated (decode underflow)",
+              section.c_str());
+}
+
+} // namespace
+
+uint8_t
+Decoder::u8()
+{
+    if (_pos + 1 > _len)
+        underflow(_section);
+    return _buf[_pos++];
+}
+
+uint16_t
+Decoder::u16()
+{
+    uint16_t lo = u8();
+    uint16_t hi = u8();
+    return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+uint32_t
+Decoder::u32()
+{
+    uint32_t lo = u16();
+    uint32_t hi = u16();
+    return lo | (hi << 16);
+}
+
+uint64_t
+Decoder::u64()
+{
+    uint64_t lo = u32();
+    uint64_t hi = u32();
+    return lo | (hi << 32);
+}
+
+double
+Decoder::f64()
+{
+    uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(double));
+    return v;
+}
+
+std::string
+Decoder::str()
+{
+    uint32_t n = u32();
+    if (_pos + n > _len)
+        underflow(_section);
+    std::string s(reinterpret_cast<const char *>(_buf + _pos), n);
+    _pos += n;
+    return s;
+}
+
+void
+Decoder::raw(void *out, size_t n)
+{
+    if (_pos + n > _len)
+        underflow(_section);
+    std::memcpy(out, _buf + _pos, n);
+    _pos += n;
+}
+
+void
+Decoder::done() const
+{
+    if (_pos != _len) {
+        fatalCode(ExitCode::SnapshotError,
+                  "snapshot section '%s' has %zu trailing bytes",
+                  _section.c_str(), _len - _pos);
+    }
+}
+
+// --------------------------------------------------------------- Snapshot
+
+const Section *
+Snapshot::find(const std::string &name) const
+{
+    for (const Section &s : sections) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+const Section &
+Snapshot::require(const std::string &name) const
+{
+    const Section *s = find(name);
+    if (!s) {
+        fatalCode(ExitCode::SnapshotError,
+                  "snapshot is missing required section '%s'",
+                  name.c_str());
+    }
+    return *s;
+}
+
+// ------------------------------------------------------- render and parse
+
+std::vector<uint8_t>
+renderSnapshot(const Snapshot &s)
+{
+    Encoder e;
+    e.raw(kMagic, sizeof(kMagic));
+    e.u32(kVersion);
+    e.u32(static_cast<uint32_t>(s.sections.size()));
+    for (const Section &sec : s.sections) {
+        e.str(sec.name);
+        e.u64(sec.payload.size());
+        e.raw(sec.payload.data(), sec.payload.size());
+        e.u32(crc32(sec.payload.data(), sec.payload.size()));
+    }
+    // Footer: whole-file CRC over everything so far, then end magic.
+    const std::vector<uint8_t> &body = e.bytes();
+    uint32_t fileCrc = crc32(body.data(), body.size());
+    e.u32(fileCrc);
+    e.raw(kEndMagic, sizeof(kEndMagic));
+    return e.take();
+}
+
+namespace {
+
+/** Bounded big-file reader: a section table must fit what's on disk. */
+class Walker
+{
+  public:
+    Walker(const std::vector<uint8_t> &bytes, const std::string &origin)
+        : _b(bytes.data()), _len(bytes.size()), _origin(origin)
+    {}
+
+    [[noreturn]] void
+    malformed(const char *what) const
+    {
+        fatalCode(ExitCode::SnapshotError,
+                  "snapshot '%s': section table malformed/truncated (%s)",
+                  _origin.c_str(), what);
+    }
+
+    uint8_t
+    u8()
+    {
+        if (_pos + 1 > _len)
+            malformed("unexpected end of data");
+        return _b[_pos++];
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::string
+    bytes(size_t n, const char *what)
+    {
+        if (n > _len - _pos)
+            malformed(what);
+        std::string s(reinterpret_cast<const char *>(_b + _pos), n);
+        _pos += n;
+        return s;
+    }
+
+    size_t pos() const { return _pos; }
+    size_t len() const { return _len; }
+
+  private:
+    const uint8_t *_b;
+    size_t _len;
+    size_t _pos = 0;
+    const std::string &_origin;
+};
+
+} // namespace
+
+Snapshot
+parseSnapshot(const std::vector<uint8_t> &bytes, const std::string &origin)
+{
+    constexpr size_t kHeader = sizeof(kMagic) + 4 + 4;
+    constexpr size_t kFooter = 4 + sizeof(kEndMagic);
+
+    // 1. Magic.
+    if (bytes.size() < sizeof(kMagic) ||
+        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+        fatalCode(ExitCode::SnapshotError,
+                  "'%s' is not an sf-snap file (bad magic)",
+                  origin.c_str());
+    }
+
+    // 2. Version (validated before anything layout-dependent).
+    if (bytes.size() < kHeader) {
+        fatalCode(ExitCode::SnapshotError, "truncated snapshot '%s'",
+                  origin.c_str());
+    }
+    uint32_t version = 0;
+    for (int i = 0; i < 4; ++i)
+        version |= static_cast<uint32_t>(bytes[sizeof(kMagic) + i])
+                   << (8 * i);
+    if (version != kVersion) {
+        fatalCode(ExitCode::SnapshotError,
+                  "snapshot '%s': unsupported snapshot version %u "
+                  "(expected %u)",
+                  origin.c_str(), version, kVersion);
+    }
+
+    // 3. Footer presence: end magic must close the file.
+    if (bytes.size() < kHeader + kFooter ||
+        std::memcmp(bytes.data() + bytes.size() - sizeof(kEndMagic),
+                    kEndMagic, sizeof(kEndMagic)) != 0) {
+        fatalCode(ExitCode::SnapshotError,
+                  "truncated snapshot '%s' (missing footer)",
+                  origin.c_str());
+    }
+
+    // 4. Section walk with bounds checks + per-section CRC.
+    Walker w(bytes, origin);
+    w.bytes(sizeof(kMagic), "magic");
+    w.u32(); // version, already validated
+    uint32_t count = w.u32();
+
+    Snapshot snap;
+    size_t bodyEnd = bytes.size() - kFooter;
+    for (uint32_t i = 0; i < count; ++i) {
+        if (w.pos() >= bodyEnd)
+            w.malformed("section count exceeds data");
+        uint32_t nameLen = w.u32();
+        std::string name = w.bytes(nameLen, "section name");
+        uint64_t payloadLen = w.u64();
+        if (payloadLen > bodyEnd - w.pos())
+            w.malformed("section payload exceeds data");
+        std::string payload = w.bytes(payloadLen, "section payload");
+        uint32_t storedCrc = w.u32();
+        uint32_t actualCrc = crc32(payload.data(), payload.size());
+        if (storedCrc != actualCrc) {
+            fatalCode(ExitCode::SnapshotError,
+                      "snapshot '%s': section '%s' checksum mismatch "
+                      "(stored %08x, computed %08x)",
+                      origin.c_str(), name.c_str(), storedCrc, actualCrc);
+        }
+        std::vector<uint8_t> pv(payload.begin(), payload.end());
+        snap.add(std::move(name), std::move(pv));
+    }
+    if (w.pos() != bodyEnd)
+        w.malformed("trailing bytes after last section");
+
+    // 5. Whole-file CRC over everything before the footer.
+    uint32_t storedFileCrc = 0;
+    for (int i = 0; i < 4; ++i)
+        storedFileCrc |= static_cast<uint32_t>(bytes[bodyEnd + i])
+                         << (8 * i);
+    uint32_t actualFileCrc = crc32(bytes.data(), bodyEnd);
+    if (storedFileCrc != actualFileCrc) {
+        fatalCode(ExitCode::SnapshotError,
+                  "snapshot '%s': whole-file checksum mismatch "
+                  "(stored %08x, computed %08x)",
+                  origin.c_str(), storedFileCrc, actualFileCrc);
+    }
+
+    return snap;
+}
+
+// ------------------------------------------------------------------- I/O
+
+void
+writeSnapshotAtomic(const Snapshot &s, const std::string &path)
+{
+    std::vector<uint8_t> bytes = renderSnapshot(s);
+
+    // Temp file in the same directory so rename() stays atomic.
+    size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos
+                          ? std::string(".")
+                          : path.substr(0, slash);
+    std::string tmp = path + ".tmp";
+
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        fatalCode(ExitCode::SnapshotError,
+                  "cannot create snapshot temp file '%s': %s",
+                  tmp.c_str(), std::strerror(errno));
+    }
+    size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            fatalCode(ExitCode::SnapshotError,
+                      "write to snapshot temp file '%s' failed: %s",
+                      tmp.c_str(), std::strerror(err));
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        fatalCode(ExitCode::SnapshotError,
+                  "fsync of snapshot temp file '%s' failed: %s",
+                  tmp.c_str(), std::strerror(err));
+    }
+    ::close(fd);
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        fatalCode(ExitCode::SnapshotError,
+                  "rename '%s' -> '%s' failed: %s", tmp.c_str(),
+                  path.c_str(), std::strerror(err));
+    }
+
+    // Persist the rename itself.
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+Snapshot
+readSnapshot(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        fatalCode(ExitCode::SnapshotError,
+                  "cannot open snapshot '%s': %s", path.c_str(),
+                  std::strerror(errno));
+    }
+    std::vector<uint8_t> bytes;
+    uint8_t chunk[1 << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + n);
+    bool readErr = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readErr) {
+        fatalCode(ExitCode::SnapshotError,
+                  "read error on snapshot '%s'", path.c_str());
+    }
+    return parseSnapshot(bytes, path);
+}
+
+} // namespace snap
+} // namespace sf

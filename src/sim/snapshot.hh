@@ -1,0 +1,193 @@
+/**
+ * @file
+ * sf-snap-v1 — versioned, checksummed simulator snapshots
+ * (DESIGN.md §4j).
+ *
+ * A snapshot is an ordered list of named sections, each an opaque
+ * byte payload produced by the field-wise Encoder below. On disk:
+ *
+ *   "SFSNAPv1"                        8-byte magic
+ *   u32 version (= 1)
+ *   u32 sectionCount
+ *   per section:
+ *     u32  nameLen, name bytes
+ *     u64  payloadLen, payload bytes
+ *     u32  crc32(payload)
+ *   u32 fileCrc                       crc32 over ALL preceding bytes
+ *   "SFSNAPend"[0..7]                 8-byte end magic ("SFSNPEND")
+ *
+ * All integers are little-endian, written byte-by-byte — never a raw
+ * memcpy/fwrite of a struct, so padding bytes can't leak host
+ * nondeterminism into the image (sflint rule S2).
+ *
+ * writeSnapshotAtomic() writes to a temp file in the destination
+ * directory, fsync()s it, rename()s over the target, then fsync()s
+ * the directory: a kill at any instant leaves either the old or the
+ * new snapshot, never a torn one.
+ *
+ * readSnapshot() validates in a fixed order — magic, version, footer
+ * presence, per-section bounds + CRC (diagnostics name the bad
+ * section), whole-file CRC — and reports every failure as
+ * fatalCode(ExitCode::SnapshotError) (exit 68).
+ *
+ * Versioning policy: the on-disk version is bumped whenever a
+ * section's encoding changes incompatibly; readers accept exactly one
+ * version and reject everything else with exit 68 (no silent
+ * migration — a sweep treats the point as "re-run from scratch").
+ */
+
+#ifndef SF_SIM_SNAPSHOT_HH
+#define SF_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sf {
+namespace snap {
+
+/** Magic strings and the single accepted on-disk version. */
+constexpr char kMagic[8] = {'S', 'F', 'S', 'N', 'A', 'P', 'v', '1'};
+constexpr char kEndMagic[8] = {'S', 'F', 'S', 'N', 'P', 'E', 'N', 'D'};
+constexpr uint32_t kVersion = 1;
+
+/** CRC-32 (IEEE 802.3, reflected) of @p n bytes at @p data. */
+uint32_t crc32(const void *data, size_t n, uint32_t seed = 0);
+
+/**
+ * Field-wise little-endian encoder. Every integer is decomposed into
+ * bytes explicitly; doubles travel as their IEEE-754 bit pattern.
+ */
+class Encoder
+{
+  public:
+    void u8(uint8_t v) { _buf.push_back(v); }
+
+    void
+    u16(uint16_t v)
+    {
+        u8(static_cast<uint8_t>(v));
+        u8(static_cast<uint8_t>(v >> 8));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        u16(static_cast<uint16_t>(v));
+        u16(static_cast<uint16_t>(v >> 16));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        u32(static_cast<uint32_t>(v));
+        u32(static_cast<uint32_t>(v >> 32));
+    }
+
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+
+    /** IEEE-754 bit pattern; bit-exact round trip. */
+    void f64(double v);
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Length-prefixed UTF-8/byte string. */
+    void str(const std::string &s);
+
+    /** Raw byte run (page images, line data). Length NOT prefixed. */
+    void raw(const void *data, size_t n);
+
+    const std::vector<uint8_t> &bytes() const { return _buf; }
+    std::vector<uint8_t> take() { return std::move(_buf); }
+
+  private:
+    std::vector<uint8_t> _buf;
+};
+
+/**
+ * Field-wise decoder over one section payload. Any underflow is a
+ * corruption of that section and fatals with exit 68 naming it; call
+ * done() after the last field to reject trailing garbage.
+ */
+class Decoder
+{
+  public:
+    Decoder(const std::vector<uint8_t> &buf, std::string section)
+        : _buf(buf.data()), _len(buf.size()), _section(std::move(section))
+    {}
+
+    uint8_t u8();
+    uint16_t u16();
+    uint32_t u32();
+    uint64_t u64();
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+    double f64();
+    bool b() { return u8() != 0; }
+    std::string str();
+    void raw(void *out, size_t n);
+
+    size_t remaining() const { return _len - _pos; }
+
+    /** Fatal (68) if any bytes remain unconsumed. */
+    void done() const;
+
+  private:
+    const uint8_t *_buf;
+    size_t _len;
+    size_t _pos = 0;
+    std::string _section;
+};
+
+struct Section
+{
+    std::string name;
+    std::vector<uint8_t> payload;
+};
+
+/** An in-memory snapshot: ordered named sections. */
+struct Snapshot
+{
+    std::vector<Section> sections;
+
+    void
+    add(std::string name, std::vector<uint8_t> payload)
+    {
+        sections.push_back({std::move(name), std::move(payload)});
+    }
+
+    /** nullptr when absent. */
+    const Section *find(const std::string &name) const;
+
+    /** Fatal (68) when absent. */
+    const Section &require(const std::string &name) const;
+};
+
+/** Serialize to the on-disk byte layout (header..end magic). */
+std::vector<uint8_t> renderSnapshot(const Snapshot &s);
+
+/**
+ * Parse + validate a byte image. Every defect — bad magic, wrong
+ * version, truncation, malformed section table, section CRC mismatch,
+ * file CRC mismatch — is a fatalCode(SnapshotError) whose message
+ * names the failing piece. @p origin labels diagnostics (a path).
+ */
+Snapshot parseSnapshot(const std::vector<uint8_t> &bytes,
+                       const std::string &origin);
+
+/**
+ * Atomically write @p s to @p path: temp file in the same directory,
+ * fsync, rename, directory fsync. I/O failures are fatal (68).
+ */
+void writeSnapshotAtomic(const Snapshot &s, const std::string &path);
+
+/** Read + validate @p path; missing/unreadable file is fatal (68). */
+Snapshot readSnapshot(const std::string &path);
+
+} // namespace snap
+} // namespace sf
+
+#endif // SF_SIM_SNAPSHOT_HH

@@ -54,6 +54,14 @@ class StatRegistry
 
     size_t size() const { return _groups.size(); }
 
+    /** Visit every group in registration order (snapshot capture). */
+    void
+    forEachGroup(const std::function<void(const StatGroup &)> &fn) const
+    {
+        for (const auto &g : _groups)
+            fn(*g);
+    }
+
     /** Classic flat text dump of every registered group. */
     void
     dump(std::ostream &os) const

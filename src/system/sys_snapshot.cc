@@ -1,0 +1,410 @@
+/**
+ * @file
+ * TiledSystem checkpoint capture and restore verification
+ * (DESIGN.md §4j).
+ *
+ * A snapshot is captured at a quantum-window boundary — the one point
+ * where no event is mid-flight inside a component call chain — and
+ * records every piece of data-centric architectural state the
+ * simulation carries forward: memory images, page tables, cache tag
+ * arrays + directories, stream-engine tables (including the SE_L3
+ * replay-filter frontiers), NoC counters, the full stats registry,
+ * and RNG state. Event closures and MSHR callbacks are transient
+ * control state and are NOT serialized; restore instead replays
+ * deterministically from tick 0 to the anchor and byte-verifies every
+ * recomputed section against the snapshot, which proves the captured
+ * state is exact before the run continues.
+ *
+ * Everything is encoded field-by-field through snap::Encoder — never
+ * a raw memcpy/fwrite of a struct object (sflint rule S2), so padding
+ * bytes can't make two equal states compare unequal.
+ */
+
+#include "system/tiled_system.hh"
+
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace sf {
+namespace sys {
+
+namespace {
+
+/** Section names, in capture order. */
+constexpr const char *kMeta = "META";
+constexpr const char *kProgress = "PROGRESS";
+constexpr const char *kPhysMem = "PHYSMEM";
+constexpr const char *kAddrSpace = "ADDRSPACE";
+constexpr const char *kCaches = "CACHES";
+constexpr const char *kL3Dir = "L3DIR";
+constexpr const char *kStreams = "STREAMS";
+constexpr const char *kNoc = "NOC";
+constexpr const char *kStats = "STATS";
+constexpr const char *kRng = "RNG";
+
+void
+encodeArray(snap::Encoder &e, const mem::CacheArray &arr)
+{
+    // Count first (two passes keeps the encoding self-describing).
+    uint64_t n = 0;
+    arr.forEachValidIndexed([&](size_t, const mem::CacheLine &) { ++n; });
+    e.u64(n);
+    arr.forEachValidIndexed([&](size_t idx, const mem::CacheLine &l) {
+        e.u64(idx);
+        e.u64(l.tag);
+        e.u8(static_cast<uint8_t>(l.state));
+        e.b(l.dirty);
+        e.b(l.reused);
+        e.b(l.prefetched);
+        e.i32(l.fillStream);
+        e.b(l.streamEligible);
+        e.u16(l.seqNum);
+        e.u64(l.sharers);
+        e.i32(l.owner);
+    });
+}
+
+[[noreturn]] void
+metaMismatch(const char *field, const std::string &snapVal,
+             const std::string &runVal)
+{
+    fatalCode(ExitCode::SnapshotError,
+              "snapshot META mismatch: field '%s' is '%s' in the "
+              "snapshot but '%s' in this run", field, snapVal.c_str(),
+              runVal.c_str());
+}
+
+void
+checkStr(const char *field, const std::string &snapVal,
+         const std::string &runVal)
+{
+    if (snapVal != runVal)
+        metaMismatch(field, snapVal, runVal);
+}
+
+void
+checkU64(const char *field, uint64_t snapVal, uint64_t runVal)
+{
+    if (snapVal != runVal)
+        metaMismatch(field, std::to_string(snapVal),
+                     std::to_string(runVal));
+}
+
+} // namespace
+
+snap::Snapshot
+TiledSystem::captureSnapshot(Tick now)
+{
+    snap::Snapshot s;
+    const int tiles = _cfg.numTiles();
+
+    // META — everything restore needs to prove "same simulation".
+    {
+        snap::Encoder e;
+        e.u64(now);
+        e.str(machineName(_cfg.machine));
+        e.str(_cfg.core.label);
+        e.i32(_cfg.nx);
+        e.i32(_cfg.ny);
+        e.u64(_cfg.seed);
+        e.u64(_cfg.maxCycles);
+        e.u64(_cfg.samplingInterval);
+        e.i32(static_cast<int32_t>(_checkLevel));
+        e.u64(_cfg.watchdogCycles);
+        e.str(_cfg.faults.describe());
+        e.b(_cfg.verify);
+        e.b(_cfg.profile);
+        e.str(_cfg.workloadTag);
+        s.add(kMeta, e.take());
+    }
+
+    // PROGRESS — coarse counters a diverged replay trips over fast.
+    {
+        snap::Encoder e;
+        e.u64(static_cast<uint64_t>(_coresDone.load()));
+        e.u64(_domains->shardEventsExecuted());
+        e.u64(_eq.numExecuted());
+        s.add(kProgress, e.take());
+    }
+
+    // PHYSMEM — every allocated page image, ascending address order.
+    {
+        snap::Encoder e;
+        e.u64(_physMem.numAllocatedPages());
+        _physMem.forEachPageSorted([&](Addr a, const uint8_t *data) {
+            e.u64(a);
+            e.raw(data, mem::pageBytes);
+        });
+        s.add(kPhysMem, e.take());
+    }
+
+    // ADDRSPACE — bump-allocator break + sorted page table.
+    {
+        snap::Encoder e;
+        e.u64(_as->brk());
+        std::vector<std::pair<Addr, Addr>> maps;
+        _as->forEachMappingSorted(
+            [&](Addr v, Addr p) { maps.emplace_back(v, p); });
+        e.u64(maps.size());
+        for (const auto &m : maps) {
+            e.u64(m.first);
+            e.u64(m.second);
+        }
+        s.add(kAddrSpace, e.take());
+    }
+
+    // CACHES — private L1+L2 tag/state arrays per tile.
+    {
+        snap::Encoder e;
+        for (TileId t = 0; t < tiles; ++t) {
+            encodeArray(e, _priv[t]->l1Array());
+            encodeArray(e, _priv[t]->l2Array());
+        }
+        s.add(kCaches, e.take());
+    }
+
+    // L3DIR — shared-bank arrays including directory sharers/owner.
+    {
+        snap::Encoder e;
+        for (TileId t = 0; t < tiles; ++t)
+            encodeArray(e, _l3[t]->array());
+        s.add(kL3Dir, e.take());
+    }
+
+    // STREAMS — SE_L2 floated views + generation counters, SE_L3
+    // resident streams + replay-filter departure frontiers.
+    {
+        snap::Encoder e;
+        for (TileId t = 0; t < tiles; ++t) {
+            const flt::SEL2 *l2 = _seL2[t].get();
+            e.b(l2 != nullptr);
+            if (l2) {
+                std::vector<flt::SEL2::FloatedView> views;
+                l2->forEachFloated([&](const flt::SEL2::FloatedView &v) {
+                    views.push_back(v);
+                });
+                e.u32(static_cast<uint32_t>(views.size()));
+                for (const auto &v : views) {
+                    e.i32(v.sid);
+                    e.u32(v.gen);
+                    e.b(v.isChild);
+                    e.b(v.aliased);
+                    e.u64(v.grantedUpTo);
+                    e.u64(v.consumedUpTo);
+                    e.u64(v.capacityElems);
+                    e.u64(v.waiters);
+                }
+                std::vector<std::pair<StreamId, uint32_t>> gens;
+                l2->forEachGen([&](StreamId sid, uint32_t gen) {
+                    gens.emplace_back(sid, gen);
+                });
+                e.u32(static_cast<uint32_t>(gens.size()));
+                for (const auto &g : gens) {
+                    e.i32(g.first);
+                    e.u32(g.second);
+                }
+            }
+            const flt::SEL3 *l3 = _seL3[t].get();
+            e.b(l3 != nullptr);
+            if (l3) {
+                struct Resident
+                {
+                    GlobalStreamId gsid;
+                    uint32_t gen;
+                    uint64_t issuePos;
+                    uint64_t creditLimit;
+                };
+                std::vector<Resident> res;
+                l3->forEachResident([&](const GlobalStreamId &gsid,
+                                        uint32_t gen, uint64_t issue_pos,
+                                        uint64_t credit_limit) {
+                    res.push_back({gsid, gen, issue_pos, credit_limit});
+                });
+                e.u32(static_cast<uint32_t>(res.size()));
+                for (const auto &r : res) {
+                    e.i32(r.gsid.core);
+                    e.i32(r.gsid.sid);
+                    e.u32(r.gen);
+                    e.u64(r.issuePos);
+                    e.u64(r.creditLimit);
+                }
+                std::vector<std::pair<GlobalStreamId,
+                                      std::pair<uint32_t, uint64_t>>>
+                    dep;
+                l3->forEachDeparted([&](const GlobalStreamId &gsid,
+                                        uint32_t gen, uint64_t frontier) {
+                    dep.push_back({gsid, {gen, frontier}});
+                });
+                e.u32(static_cast<uint32_t>(dep.size()));
+                for (const auto &d : dep) {
+                    e.i32(d.first.core);
+                    e.i32(d.first.sid);
+                    e.u32(d.second.first);
+                    e.u64(d.second.second);
+                }
+            }
+        }
+        s.add(kStreams, e.take());
+    }
+
+    // NOC — traffic counters, per-link busy/queue cycles, per-router
+    // flit counts, and the tracked in-flight packet count. Packet
+    // *contents* are transient control state reproduced by replay.
+    {
+        snap::Encoder e;
+        noc::TrafficStats tr = _mesh->traffic();
+        for (int c = 0; c < 3; ++c)
+            e.u64(tr.flitsInjected[c]);
+        for (int c = 0; c < 3; ++c)
+            e.u64(tr.flitHops[c]);
+        for (int c = 0; c < 3; ++c)
+            e.u64(tr.packets[c]);
+        e.u64(tr.linkBusyCycles);
+        for (TileId t = 0; t < tiles; ++t) {
+            for (int dir = 0; dir < 4; ++dir) {
+                e.u64(_mesh->linkBusyCycles(t, dir));
+                e.u64(_mesh->linkQueueCycles(t, dir));
+            }
+            e.u64(_mesh->routerFlits(t));
+        }
+        e.u64(_mesh->inFlightCount());
+        s.add(kNoc, e.take());
+    }
+
+    // STATS — the full registry except the nondeterministic host
+    // group. Doubles travel as IEEE-754 bit patterns (bit-exact).
+    {
+        snap::Encoder e;
+        stats::StatRegistry reg;
+        buildStatRegistry(reg);
+        uint32_t groups = 0;
+        reg.forEachGroup([&](const stats::StatGroup &g) {
+            if (g.name() != "host")
+                ++groups;
+        });
+        e.u32(groups);
+        reg.forEachGroup([&](const stats::StatGroup &g) {
+            if (g.name() == "host")
+                return;
+            e.str(g.name());
+            e.u32(static_cast<uint32_t>(g.scalars().size()));
+            for (const auto &[n, sc] : g.scalars()) {
+                e.str(n);
+                e.u64(sc->value());
+            }
+            e.u32(static_cast<uint32_t>(g.averages().size()));
+            for (const auto &[n, a] : g.averages()) {
+                e.str(n);
+                e.f64(a->mean());
+                e.u64(a->count());
+            }
+            e.u32(static_cast<uint32_t>(g.histograms().size()));
+            for (const auto &[n, h] : g.histograms()) {
+                e.str(n);
+                e.u64(h->count());
+                e.f64(h->mean());
+                e.u64(h->bucketWidth());
+                e.u32(static_cast<uint32_t>(h->buckets().size()));
+                for (uint64_t b : h->buckets())
+                    e.u64(b);
+            }
+            e.u32(static_cast<uint32_t>(g.formulas().size()));
+            for (const auto &[n, f] : g.formulas()) {
+                e.str(n);
+                e.f64(f());
+            }
+        });
+        s.add(kStats, e.take());
+    }
+
+    // RNG — config seed plus the fault injector's live stream state.
+    {
+        snap::Encoder e;
+        e.u64(_cfg.seed);
+        e.b(_faults != nullptr);
+        if (_faults) {
+            for (uint64_t w : _faults->rngState())
+                e.u64(w);
+        }
+        s.add(kRng, e.take());
+    }
+
+    return s;
+}
+
+void
+TiledSystem::writeCheckpoint(const std::string &path, Tick now)
+{
+    snap::Snapshot s = captureSnapshot(now);
+    snap::writeSnapshotAtomic(s, path);
+    inform("checkpoint: wrote '%s' at tick %llu", path.c_str(),
+           static_cast<unsigned long long>(now));
+}
+
+Tick
+TiledSystem::restoreAnchor(const snap::Snapshot &s)
+{
+    const snap::Section &meta = s.require(kMeta);
+    snap::Decoder d(meta.payload, kMeta);
+    Tick anchor = d.u64();
+    checkStr("machine", d.str(), machineName(_cfg.machine));
+    checkStr("core", d.str(), _cfg.core.label);
+    checkU64("nx", static_cast<uint64_t>(d.i32()),
+             static_cast<uint64_t>(_cfg.nx));
+    checkU64("ny", static_cast<uint64_t>(d.i32()),
+             static_cast<uint64_t>(_cfg.ny));
+    checkU64("seed", d.u64(), _cfg.seed);
+    checkU64("maxCycles", d.u64(), _cfg.maxCycles);
+    checkU64("samplingInterval", d.u64(), _cfg.samplingInterval);
+    checkU64("checkLevel", static_cast<uint64_t>(d.i32()),
+             static_cast<uint64_t>(_checkLevel));
+    checkU64("watchdogCycles", d.u64(), _cfg.watchdogCycles);
+    checkStr("faults", d.str(), _cfg.faults.describe());
+    checkU64("verify", d.b() ? 1 : 0, _cfg.verify ? 1 : 0);
+    checkU64("profile", d.b() ? 1 : 0, _cfg.profile ? 1 : 0);
+    checkStr("workload", d.str(), _cfg.workloadTag);
+    d.done();
+    if (anchor == 0) {
+        fatalCode(ExitCode::SnapshotError,
+                  "snapshot META has anchor tick 0 (never a valid "
+                  "checkpoint boundary)");
+    }
+    return anchor;
+}
+
+void
+TiledSystem::verifyRestore(const snap::Snapshot &s, Tick now)
+{
+    snap::Snapshot replayed = captureSnapshot(now);
+    for (const snap::Section &want : s.sections) {
+        const snap::Section *got = replayed.find(want.name);
+        if (!got) {
+            fatalCode(ExitCode::SnapshotError,
+                      "restore verification failed: section '%s' "
+                      "missing from the replayed state",
+                      want.name.c_str());
+        }
+        if (got->payload != want.payload) {
+            fatalCode(ExitCode::SnapshotError,
+                      "restore verification failed: section '%s' "
+                      "differs between the snapshot and the replayed "
+                      "state at anchor tick %llu",
+                      want.name.c_str(),
+                      static_cast<unsigned long long>(now));
+        }
+    }
+    if (replayed.sections.size() != s.sections.size()) {
+        fatalCode(ExitCode::SnapshotError,
+                  "restore verification failed: replayed state has %zu "
+                  "sections, snapshot has %zu",
+                  replayed.sections.size(), s.sections.size());
+    }
+    inform("restore: replay verified against snapshot at tick %llu "
+           "(%zu sections byte-identical)",
+           static_cast<unsigned long long>(now), s.sections.size());
+}
+
+} // namespace sys
+} // namespace sf

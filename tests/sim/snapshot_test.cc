@@ -1,0 +1,284 @@
+/**
+ * @file
+ * sf-snap-v1 unit tests (DESIGN.md §4j): field-wise encoder/decoder
+ * round trips, the on-disk render/parse/atomic-write cycle, every
+ * corruption class failing with exit 68 and a section-naming
+ * diagnostic, and an in-process checkpoint-stop/restore run whose
+ * final stats.json is byte-identical to an uninterrupted run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/snapshot.hh"
+#include "system/tiled_system.hh"
+#include "workload/workload.hh"
+
+namespace fs = std::filesystem;
+using namespace sf;
+using namespace sf::snap;
+
+namespace {
+
+/** EXPECT that @p fn throws a FatalError with exit 68 whose message
+ *  contains @p needle. */
+template <typename Fn>
+void
+expectSnapshotError(Fn &&fn, const std::string &needle)
+{
+    try {
+        fn();
+        FAIL() << "expected FatalError mentioning '" << needle << "'";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(e.exitStatus(), 68);
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+Snapshot
+sampleSnapshot()
+{
+    Snapshot s;
+    Encoder a;
+    a.u32(0xdeadbeef);
+    a.str("alpha");
+    s.add("FIRST", a.take());
+    Encoder b;
+    b.u64(42);
+    b.f64(2.5);
+    s.add("SECOND", b.take());
+    return s;
+}
+
+} // namespace
+
+TEST(SnapshotCodec, EncoderDecoderRoundTrip)
+{
+    Encoder e;
+    e.u8(0x12);
+    e.u16(0x3456);
+    e.u32(0x789abcde);
+    e.u64(0x0123456789abcdefULL);
+    e.i32(-7);
+    e.i64(-1234567890123LL);
+    e.f64(-0.1);
+    e.b(true);
+    e.b(false);
+    e.str("hello");
+    const uint8_t raw[3] = {9, 8, 7};
+    e.raw(raw, sizeof(raw));
+
+    std::vector<uint8_t> buf = e.take();
+    Decoder d(buf, "TEST");
+    EXPECT_EQ(d.u8(), 0x12);
+    EXPECT_EQ(d.u16(), 0x3456);
+    EXPECT_EQ(d.u32(), 0x789abcdeu);
+    EXPECT_EQ(d.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(d.i32(), -7);
+    EXPECT_EQ(d.i64(), -1234567890123LL);
+    EXPECT_EQ(d.f64(), -0.1);
+    EXPECT_TRUE(d.b());
+    EXPECT_FALSE(d.b());
+    EXPECT_EQ(d.str(), "hello");
+    uint8_t back[3] = {};
+    d.raw(back, sizeof(back));
+    EXPECT_EQ(back[0], 9);
+    EXPECT_EQ(back[2], 7);
+    EXPECT_EQ(d.remaining(), 0u);
+    d.done();
+}
+
+TEST(SnapshotCodec, LittleEndianLayout)
+{
+    Encoder e;
+    e.u32(0x04030201);
+    ASSERT_EQ(e.bytes().size(), 4u);
+    EXPECT_EQ(e.bytes()[0], 0x01);
+    EXPECT_EQ(e.bytes()[3], 0x04);
+}
+
+TEST(SnapshotCodec, DecoderUnderflowNamesSection)
+{
+    Encoder e;
+    e.u16(7);
+    std::vector<uint8_t> buf = e.take();
+    Decoder d(buf, "CACHES");
+    expectSnapshotError([&] { d.u64(); }, "CACHES");
+}
+
+TEST(SnapshotCodec, TrailingBytesNameSection)
+{
+    Encoder e;
+    e.u32(1);
+    std::vector<uint8_t> buf = e.take();
+    Decoder d(buf, "STREAMS");
+    d.u16();
+    expectSnapshotError([&] { d.done(); }, "STREAMS");
+}
+
+TEST(SnapshotFile, RenderParseRoundTrip)
+{
+    Snapshot s = sampleSnapshot();
+    std::vector<uint8_t> img = renderSnapshot(s);
+    Snapshot back = parseSnapshot(img, "mem");
+    ASSERT_EQ(back.sections.size(), 2u);
+    EXPECT_EQ(back.sections[0].name, "FIRST");
+    EXPECT_EQ(back.sections[0].payload, s.sections[0].payload);
+    EXPECT_EQ(back.sections[1].name, "SECOND");
+    EXPECT_EQ(back.sections[1].payload, s.sections[1].payload);
+    EXPECT_EQ(back.find("MISSING"), nullptr);
+    expectSnapshotError([&] { back.require("MISSING"); }, "MISSING");
+}
+
+TEST(SnapshotFile, AtomicWriteReadBack)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / "snap_atomic";
+    fs::create_directories(dir);
+    std::string path = (dir / "t.sfsnap").string();
+    Snapshot s = sampleSnapshot();
+    writeSnapshotAtomic(s, path);
+    EXPECT_FALSE(fs::exists(path + ".tmp")) << "temp file left behind";
+    Snapshot back = readSnapshot(path);
+    ASSERT_EQ(back.sections.size(), 2u);
+    EXPECT_EQ(back.sections[1].payload, s.sections[1].payload);
+}
+
+TEST(SnapshotFile, BitFlipNamesBadSection)
+{
+    std::vector<uint8_t> img = renderSnapshot(sampleSnapshot());
+    // Flip one byte of SECOND's payload (locate its first byte: the
+    // u64 value 42 encoded little-endian).
+    bool flipped = false;
+    for (size_t i = 0; i + 7 < img.size(); ++i) {
+        if (img[i] == 42 && img[i + 1] == 0 && img[i + 2] == 0 &&
+            img[i + 3] == 0 && img[i + 4] == 0) {
+            img[i] ^= 0xff;
+            flipped = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(flipped);
+    expectSnapshotError([&] { parseSnapshot(img, "mem"); },
+                        "section 'SECOND' checksum mismatch");
+}
+
+TEST(SnapshotFile, TruncationFails)
+{
+    std::vector<uint8_t> img = renderSnapshot(sampleSnapshot());
+    img.resize(img.size() - 9);
+    expectSnapshotError([&] { parseSnapshot(img, "mem"); }, "truncat");
+}
+
+TEST(SnapshotFile, VersionMismatchFails)
+{
+    std::vector<uint8_t> img = renderSnapshot(sampleSnapshot());
+    img[8] = 9; // little-endian u32 version directly after the magic
+    expectSnapshotError([&] { parseSnapshot(img, "mem"); },
+                        "unsupported snapshot version 9");
+}
+
+TEST(SnapshotFile, BadMagicFails)
+{
+    std::vector<uint8_t> img = renderSnapshot(sampleSnapshot());
+    img[0] = 'X';
+    expectSnapshotError([&] { parseSnapshot(img, "mem"); },
+                        "not an sf-snap file");
+}
+
+TEST(SnapshotFile, MissingFileFails)
+{
+    expectSnapshotError([] { readSnapshot("/nonexistent/x.sfsnap"); },
+                        "x.sfsnap");
+}
+
+// ---------------------------------------------------------- end to end
+
+namespace {
+
+sys::SystemConfig
+smallConfig()
+{
+    sys::SystemConfig cfg = sys::SystemConfig::make(
+        sys::Machine::SF, cpu::CoreConfig::ooo4(), 2, 2);
+    cfg.samplingInterval = 10'000;
+    cfg.workloadTag = "pathfinder";
+    return cfg;
+}
+
+std::string
+runToStats(sys::SystemConfig cfg, sys::SimResults *out = nullptr)
+{
+    sys::TiledSystem system(cfg);
+    workload::WorkloadParams wp;
+    wp.numThreads = cfg.numTiles();
+    wp.scale = 0.02;
+    wp.useStreams = true;
+    auto wl = workload::makeWorkload("pathfinder", wp);
+    wl->init(system.addressSpace());
+    sys::SimResults r = system.run(wl->makeAllThreads());
+    if (out)
+        *out = r;
+    if (r.stoppedAtCheckpoint)
+        return {};
+    std::ostringstream os;
+    system.dumpStatsJson(os, r);
+    return os.str();
+}
+
+} // namespace
+
+TEST(SnapshotSystem, CheckpointStopThenRestoreIsByteIdentical)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / "snap_e2e";
+    fs::create_directories(dir);
+    std::string snap = (dir / "pf.sfsnap").string();
+
+    std::string uninterrupted = runToStats(smallConfig());
+    ASSERT_FALSE(uninterrupted.empty());
+
+    // Run 2: stop right after the first snapshot (partial run).
+    sys::SystemConfig ckpt = smallConfig();
+    ckpt.checkpointPath = snap;
+    ckpt.checkpointEvery = 10'000;
+    ckpt.checkpointStop = true;
+    sys::SimResults stopped;
+    EXPECT_TRUE(runToStats(ckpt, &stopped).empty());
+    EXPECT_TRUE(stopped.stoppedAtCheckpoint);
+    ASSERT_TRUE(fs::exists(snap));
+
+    // Run 3: restore (replay to the anchor, byte-verify every
+    // section, continue); final stats must byte-match run 1.
+    sys::SystemConfig rest = smallConfig();
+    rest.restorePath = snap;
+    std::string restored = runToStats(rest);
+    EXPECT_EQ(restored, uninterrupted);
+}
+
+TEST(SnapshotSystem, ConfigMismatchOnRestoreFails)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / "snap_meta";
+    fs::create_directories(dir);
+    std::string snap = (dir / "pf.sfsnap").string();
+
+    sys::SystemConfig ckpt = smallConfig();
+    ckpt.checkpointPath = snap;
+    ckpt.checkpointEvery = 10'000;
+    ckpt.checkpointStop = true;
+    runToStats(ckpt);
+    ASSERT_TRUE(fs::exists(snap));
+
+    // Same snapshot, different sampling config: restore must refuse
+    // with a field-naming META diagnostic instead of replaying into a
+    // divergent run.
+    sys::SystemConfig rest = smallConfig();
+    rest.restorePath = snap;
+    rest.samplingInterval = 0;
+    expectSnapshotError([&] { runToStats(rest); },
+                        "META mismatch: field 'samplingInterval'");
+}

@@ -1,0 +1,176 @@
+# Crash-safe checkpoint/restore tier (DESIGN.md §4j): across all 12
+# workloads x {Stride, SS, SF-Ind, SF},
+#   1. a sweep that periodically snapshots must produce a merged
+#      report byte-identical to a plain sweep (the boundary hook is
+#      purely observational), and
+#   2. killing every point right after its first snapshot (the
+#      SF_SWEEP_TEST_KILL_AFTER_CKPT hook) must leave retries that
+#      restore from the snapshot and still converge to the identical
+#      report, and
+#   3. SIGKILLing the whole sweep mid-run and re-running with --resume
+#      must validate the surviving per-point results by CRC and emit
+#      the identical merged report.
+# Any byte of divergence is a snapshot-capture or replay bug, never an
+# acceptable tolerance.
+#
+# Invoked by ctest as:
+#   cmake -DSWEEP=<exe> -DOUT_DIR=<dir> -P smoke_checkpoint.cmake
+
+if(NOT SWEEP OR NOT OUT_DIR)
+    message(FATAL_ERROR "SWEEP and OUT_DIR must be set")
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+set(grid
+    --cores=2x2 --scale=0.01
+    --cpus=io4 --machines=Stride,SS,SF-Ind,SF)
+
+# --- 1. Reference sweep vs checkpointing sweep ----------------------
+
+execute_process(
+    COMMAND "${SWEEP}" ${grid} -j 2 "--out=${OUT_DIR}/ref"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "reference sweep failed (rc=${rc}): "
+                        "${out}\n${err}")
+endif()
+
+execute_process(
+    COMMAND "${SWEEP}" ${grid} -j 2 --checkpoint-every=10000
+            "--out=${OUT_DIR}/ckpt"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "checkpointing sweep failed (rc=${rc}): "
+                        "${out}\n${err}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/ref/BENCH_sweep.det.json"
+            "${OUT_DIR}/ckpt/BENCH_sweep.det.json"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "checkpointing perturbed the sweep report: "
+                        "the snapshot hook must be observation-only")
+endif()
+
+file(GLOB snaps "${OUT_DIR}/ckpt/points/*.sfsnap")
+list(LENGTH snaps n_snaps)
+if(n_snaps LESS 24)
+    message(FATAL_ERROR "expected >=24 per-point snapshots, found "
+                        "${n_snaps}: the checkpoint interval never "
+                        "fired for most points")
+endif()
+
+# Every per-point stats.json must match too, not just the merge.
+file(GLOB points RELATIVE "${OUT_DIR}/ref"
+     "${OUT_DIR}/ref/points/*.stats.json")
+list(LENGTH points n_points)
+if(n_points LESS 48)
+    message(FATAL_ERROR "expected >=48 sweep points (12 workloads x 4 "
+                        "machines), found ${n_points}")
+endif()
+foreach(f ${points})
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                "${OUT_DIR}/ref/${f}" "${OUT_DIR}/ckpt/${f}"
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR "${f} differs between the plain and the "
+                            "checkpointing sweep")
+    endif()
+endforeach()
+
+message(STATUS "checkpoint smoke 1/3: ${n_points}-point checkpointing "
+               "sweep byte-identical (${n_snaps} snapshots)")
+
+# --- 2. Kill every point after its first snapshot -------------------
+# Attempt 1 of every point SIGKILLs itself the instant its first
+# snapshot lands; the retry must restore from that snapshot and the
+# merged report must still byte-match the reference.
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env SF_SWEEP_TEST_KILL_AFTER_CKPT=*
+            "${SWEEP}" ${grid} -j 2 --checkpoint-every=10000
+            "--out=${OUT_DIR}/kill"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "kill-after-checkpoint sweep failed (rc=${rc}): "
+                        "${out}\n${err}")
+endif()
+if(NOT out MATCHES "restarting from")
+    message(FATAL_ERROR "no point restored from its snapshot; the "
+                        "kill-after-checkpoint hook never engaged:\n"
+                        "${out}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/ref/BENCH_sweep.det.json"
+            "${OUT_DIR}/kill/BENCH_sweep.det.json"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "restored points diverged from uninterrupted "
+                        "runs (kill-after-checkpoint report differs)")
+endif()
+
+message(STATUS "checkpoint smoke 2/3: kill-after-checkpoint retries "
+               "restored byte-identically")
+
+# --- 3. SIGKILL the whole sweep, then --resume -----------------------
+# The parent dies after 5 completed points; the resumed sweep must
+# CRC-validate the survivors, re-run the rest (restoring where a
+# snapshot exists), and emit the identical merged report.
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env SF_SWEEP_TEST_PARENT_KILL_AFTER=5
+            "${SWEEP}" ${grid} -j 2 --checkpoint-every=10000
+            "--out=${OUT_DIR}/resume"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "sweep survived SF_SWEEP_TEST_PARENT_KILL_AFTER;"
+                        " the crash hook never engaged")
+endif()
+if(EXISTS "${OUT_DIR}/resume/BENCH_sweep.det.json")
+    message(FATAL_ERROR "killed sweep still wrote a merged report")
+endif()
+
+# Corrupt one surviving result: --resume must detect the CRC mismatch
+# and re-run that point instead of trusting it.
+file(GLOB oks "${OUT_DIR}/resume/points/*.ok")
+list(LENGTH oks n_oks)
+if(n_oks LESS 5)
+    message(FATAL_ERROR "expected >=5 completed points before the "
+                        "parent kill, found ${n_oks}")
+endif()
+list(GET oks 0 first_ok)
+string(REPLACE ".ok" ".stats.json" first_stats "${first_ok}")
+file(APPEND "${first_stats}" "x")
+
+execute_process(
+    COMMAND "${SWEEP}" ${grid} -j 2 --checkpoint-every=10000 --resume
+            "--out=${OUT_DIR}/resume"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed sweep failed (rc=${rc}): "
+                        "${out}\n${err}")
+endif()
+if(NOT out MATCHES "resume skip")
+    message(FATAL_ERROR "resume revalidated nothing; expected surviving "
+                        "points to be skipped:\n${out}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/ref/BENCH_sweep.det.json"
+            "${OUT_DIR}/resume/BENCH_sweep.det.json"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "resumed sweep report differs from the "
+                        "uninterrupted reference")
+endif()
+
+message(STATUS "checkpoint smoke 3/3: kill -9 + --resume merged report "
+               "byte-identical (corrupted survivor re-ran)")

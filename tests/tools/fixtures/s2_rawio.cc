@@ -1,0 +1,38 @@
+// sflint fixture: S2 — raw byte-image copies of whole structs; the
+// padding-free primitive idioms below must stay silent.
+#include <cstdio>
+#include <cstring>
+#include <cstdint>
+
+struct FxHeader
+{
+    uint32_t magic;
+    uint64_t length; // 4 padding bytes before this on LP64
+};
+
+inline void
+fxCopyHeader(FxHeader &dst, const FxHeader &src)
+{
+    std::memcpy(&dst, &src, sizeof(FxHeader)); // finding: padding
+}
+
+inline void
+fxWriteHeader(const FxHeader &h, std::FILE *fp)
+{
+    std::fwrite(&h, sizeof(h), 1, fp); // finding: padding
+}
+
+// None of these are findings:
+inline uint64_t
+fxDoubleBits(double v)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(uint64_t)); // primitive bit pattern
+    return bits;
+}
+
+inline void
+fxWriteBuf(const uint8_t *buf, size_t n, std::FILE *fp)
+{
+    std::fwrite(buf, 1, n, fp); // no &obj, no struct sizeof
+}

@@ -1,0 +1,17 @@
+// sflint fixture: S2 suppressed — justified whole-struct copy of a
+// type verified to have no padding.
+#include <cstring>
+#include <cstdint>
+
+struct FxPacked
+{
+    uint64_t a;
+    uint64_t b;
+};
+
+inline void
+fxClonePacked(FxPacked &dst, const FxPacked &src)
+{
+    // sflint: allow(S2, fixture: static_asserted padding-free POD)
+    std::memcpy(&dst, &src, sizeof(FxPacked));
+}

@@ -100,6 +100,15 @@ TEST(SflintRules, DetectsSeededViolations)
     ASSERT_EQ(s1.size(), 2u);
     EXPECT_EQ(s1[0].context, "fxGlobalCounter");
     EXPECT_EQ(s1[1].context, "fxCache");
+
+    // s2_rawio.cc seeds a whole-struct memcpy and a whole-struct
+    // fwrite; its primitive bit-pattern and byte-buffer shapes must
+    // stay silent.
+    auto s2 = newFindings(res, "S2", "fixtures/s2_rawio.cc");
+    ASSERT_EQ(s2.size(), 2u);
+    EXPECT_EQ(s2[0].context, "memcpy");
+    EXPECT_EQ(s2[1].context, "fwrite");
+    EXPECT_NE(s2[0].message.find("padding"), std::string::npos);
 }
 
 TEST(SflintRules, SuppressionsAndCleanFile)
@@ -116,7 +125,7 @@ TEST(SflintRules, SuppressionsAndCleanFile)
         EXPECT_NE(fd.file, "fixtures/clean.cc");
     }
     // One suppressed case per rule class.
-    EXPECT_EQ(suppressedSeen, 6);
+    EXPECT_EQ(suppressedSeen, 7);
 }
 
 TEST(SflintBaseline, RoundTripAndRatchet)
@@ -124,7 +133,7 @@ TEST(SflintBaseline, RoundTripAndRatchet)
     AnalysisResult res = analyze(fixtureConfig());
     Baseline b = baselineFromFindings(res);
     // Suppressed findings never enter the baseline.
-    EXPECT_EQ(b.entries.size(), 12u);
+    EXPECT_EQ(b.entries.size(), 14u);
 
     fs::path tmp =
         fs::path(::testing::TempDir()) / "sflint_baseline.json";

@@ -36,6 +36,15 @@
  *       (std::atomic, mutexes, once_flag, …) are exempt; functions
  *       (internal linkage, static members) are not state. Suppress
  *       with `// sflint: allow(S1, <reason>)`.
+ *   S2  no raw byte-image copies of non-primitive objects:
+ *       memcpy/memmove/fwrite/fread taking `&obj` together with a
+ *       `sizeof` of a non-primitive type copies indeterminate struct
+ *       padding bytes, which poisons snapshots, checksums and golden
+ *       files (DESIGN.md §4j). Serialize field-by-field through
+ *       snap::Encoder/Decoder (src/sim/snapshot.hh) instead.
+ *       Copies whose sizeof operand is a plain arithmetic type or a
+ *       Tick/Cycles/Addr alias (the float bit-pattern idiom) are
+ *       exempt. Suppress with `// sflint: allow(S2, <reason>)`.
  *
  * Generic suppression for any rule:
  *   `// sflint: allow(<RULE>, <reason>)` on the finding line or the
