@@ -423,7 +423,6 @@ runPoint(const FuzzProgram &prog, const ConfigPoint &pt, uint64_t *ops)
         sys::SystemConfig::make(pt.machine, pt.core, 2, 2);
     cfg.maxCycles = 50'000'000;
     cfg.verify = true;
-    // sflint: allow(D2, verify-oracle fault-injection hook, not timed state)
     if (const char *bug = std::getenv("SF_VERIFY_BUG"))
         cfg.verifyBug = bug;
     // Tiny floating budget: even the fuzzer's small footprints float.

@@ -331,7 +331,6 @@ BENCHMARK(BM_ProfilerHooksOff)->Unit(benchmark::kMillisecond);
 static void
 BM_ProfilerHookOverheadPaired(benchmark::State &state)
 {
-    // sflint: allow(D2, host-side paired timing of the hook cost)
     using hclock = std::chrono::steady_clock;
     constexpr uint64_t burstEvents = 200'000;
     prof::Profiler *prof = nullProfiler;

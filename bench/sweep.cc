@@ -531,6 +531,7 @@ struct Child
 {
     size_t idx;
     int attempt;
+    // sflint: allow(D2, host-side child-timeout deadline of the sweep scheduler)
     std::chrono::steady_clock::time_point deadline;
     bool killed = false;
 };

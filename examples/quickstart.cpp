@@ -118,7 +118,6 @@ runOne(sys::Machine machine, const std::string &wl_name, double scale,
     if (!rob.restorePath.empty())
         cfg.restorePath = machineSnapPath(rob.restorePath, machine);
     cfg.workloadTag = wl_name;
-    // sflint: allow(D2, verify-oracle fault-injection hook, not timed state)
     if (const char *bug = std::getenv("SF_VERIFY_BUG"))
         cfg.verifyBug = bug;
     sys::TiledSystem system(cfg);

@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -213,7 +214,8 @@ class PhysMem
         return l;
     }
 
-    std::unordered_map<Addr, std::vector<uint8_t>> _pages;
+    std::unordered_map<Addr, std::vector<uint8_t>> _pages
+        SF_GUARDED_BY(_mu);
     mutable std::shared_mutex _mu;
     bool _concurrent = false;
 };
@@ -356,7 +358,7 @@ class AddressSpace
   private:
     /** Map one page; the caller holds the write lock (concurrent mode). */
     Addr
-    mapPage(Addr vpage)
+    mapPage(Addr vpage) SF_REQUIRES(_mu)
     {
         // Deterministic frame scramble: hash the virtual page number.
         uint64_t vpn = vpage / pageBytes;
@@ -397,9 +399,9 @@ class AddressSpace
 
     int _asid;
     PhysMem &_mem;
-    Addr _brk;
-    std::unordered_map<Addr, Addr> _pageTable;
-    std::unordered_set<Addr> _usedFrames;
+    Addr _brk SF_GUARDED_BY(_mu);
+    std::unordered_map<Addr, Addr> _pageTable SF_GUARDED_BY(_mu);
+    std::unordered_set<Addr> _usedFrames SF_GUARDED_BY(_mu);
     mutable std::shared_mutex _mu;
     bool _concurrent = false;
 };

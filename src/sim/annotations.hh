@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Zero-cost concurrency-contract annotations (DESIGN.md §4g).
+ *
+ * Every macro expands to nothing: the compiler never sees them, the
+ * generated code is identical with or without them. They exist for
+ * `tools/sflint`, which parses the annotation tokens out of the
+ * source and enforces the contracts statically (rules C1 and C2),
+ * the same contracts TSan can only check on paths that happen to
+ * execute.
+ *
+ * Placement grammar (mirrors the clang thread-safety attributes):
+ *
+ *   - `SF_GUARDED_BY(m)` follows a *data member's name*:
+ *
+ *         std::unordered_map<Addr, Page> _pages SF_GUARDED_BY(_mu);
+ *
+ *     sflint C1 then requires every member-function access to
+ *     `_pages` to happen while `_mu` is held — via a
+ *     `lock_guard`/`unique_lock`/`shared_lock`/`scoped_lock`
+ *     constructed on `_mu`, via a member lock-helper that returns
+ *     such a lock (`auto l = readLock();` — sflint discovers helper
+ *     functions interprocedurally), or inside a function annotated
+ *     `SF_REQUIRES(_mu)`. Constructors and destructors are exempt
+ *     (the object is not shared yet / any longer).
+ *
+ *   - `SF_REQUIRES(m)` follows a *function's parameter list* (before
+ *     the body or `;`), declaring that the caller must already hold
+ *     `m`:
+ *
+ *         Addr mapPage(Addr vpage) SF_REQUIRES(_mu);
+ *
+ *     C1 checks both sides: the annotated body may touch
+ *     `SF_GUARDED_BY(m)` state freely, and every call site must
+ *     itself hold `m`.
+ *
+ *   - `SF_SHARD_LOCAL` follows a data member's name or a function's
+ *     parameter list. On a member it marks state owned by one
+ *     shard's execution context (DESIGN.md §4i); on a function it
+ *     marks code that runs on a shard worker thread inside a
+ *     parallel window (an event handler or its helpers).
+ *
+ *   - `SF_BARRIER_ONLY` follows a function's parameter list and
+ *     marks code that runs only inside the quantum-barrier merge —
+ *     single-threaded, canonically ordered, between windows.
+ *
+ *     sflint C2 then enforces shard affinity over the cross-TU call
+ *     graph: no function reachable from `SF_BARRIER_ONLY` code may
+ *     touch `SF_SHARD_LOCAL` state, and no `SF_BARRIER_ONLY`
+ *     function may be reachable from `SF_SHARD_LOCAL` (shard-
+ *     context) code.
+ */
+
+#ifndef SF_SIM_ANNOTATIONS_HH
+#define SF_SIM_ANNOTATIONS_HH
+
+/** Member may only be accessed while mutex @p m is held (sflint C1). */
+#define SF_GUARDED_BY(m)
+
+/** Function requires the caller to hold mutex @p m (sflint C1). */
+#define SF_REQUIRES(m)
+
+/** State / code owned by one shard's execution context (sflint C2). */
+#define SF_SHARD_LOCAL
+
+/** Code that runs only inside the quantum-barrier merge (sflint C2). */
+#define SF_BARRIER_ONLY
+
+#endif // SF_SIM_ANNOTATIONS_HH

@@ -69,7 +69,6 @@ checkLevelFromString(const std::string &s)
 inline CheckLevel
 checkLevelFromEnv(CheckLevel dflt)
 {
-    // sflint: allow(D2, startup-only config read; never on the timed path)
     const char *env = std::getenv("SF_CHECK");
     return env && *env ? checkLevelFromString(env) : dflt;
 }

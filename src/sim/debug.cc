@@ -128,7 +128,6 @@ setFlagsFromString(const std::string &spec)
 void
 initFromEnv()
 {
-    // sflint: allow(D2, startup-only config read; never on the timed path)
     const char *env = std::getenv("SF_DEBUG_FLAGS");
     if (env && *env)
         setFlagsFromString(env);

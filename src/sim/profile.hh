@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/json.hh"
 #include "sim/stat_registry.hh"
 #include "sim/types.hh"
@@ -284,17 +285,17 @@ class Profiler
 
     /** Apply queued cross-tile ops in (tile, FIFO) order. Call at the
      *  window barrier (never concurrently with shard execution). */
-    void flushDeferred();
+    void flushDeferred() SF_BARRIER_ONLY;
 
     /** Begin tracking one request/element on @p tile (the calling
      *  execution context). sid == invalidStream means a plain demand
      *  access. Returns 0 when the tile's arena is full. */
-    uint32_t open(TileId tile, StreamId sid, Tick now);
+    uint32_t open(TileId tile, StreamId sid, Tick now) SF_SHARD_LOCAL;
 
     /** Fold [lastMark, now) into @p p and advance the mark. @p exec
      *  is the tile whose execution context calls. */
     void
-    mark(TileId exec, uint32_t id, Phase p, Tick now)
+    mark(TileId exec, uint32_t id, Phase p, Tick now) SF_SHARD_LOCAL
     {
         if (!id)
             return;
@@ -309,7 +310,7 @@ class Profiler
     /** Attribute @p cycles to @p p without moving the phase mark
      *  (overlapping sub-interval, e.g. one NoC hop). */
     void
-    add(TileId exec, uint32_t id, Phase p, uint64_t cycles)
+    add(TileId exec, uint32_t id, Phase p, uint64_t cycles) SF_SHARD_LOCAL
     {
         if (!id)
             return;
@@ -325,7 +326,7 @@ class Profiler
      *  end-to-end latency lands in Phase::Total, the slot recycles. */
     void
     close(TileId exec, uint32_t id, Tick now,
-          Phase residual = Phase::Fill)
+          Phase residual = Phase::Fill) SF_SHARD_LOCAL
     {
         if (!id)
             return;

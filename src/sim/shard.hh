@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -94,7 +95,7 @@ class TileDomains
      * execution context (its shard thread).
      */
     uint64_t
-    nextKey(TileId tile)
+    nextKey(TileId tile) SF_SHARD_LOCAL
     {
         return (uint64_t(tile) + 1) << 40 | _keyCnt[tile]++;
     }
@@ -204,12 +205,12 @@ class TileDomains
     };
 
     /** Run one shard's queue up to the window end, capturing errors. */
-    void runShardSlice(int shard);
-    void workerLoop(int shard);
+    void runShardSlice(int shard) SF_SHARD_LOCAL;
+    void workerLoop(int shard) SF_SHARD_LOCAL;
     void startWorkers();
     void stopWorkers();
     /** Merge outboxes / global ops / wakes; run the global slice. */
-    void windowBarrier(Tick windowEnd);
+    void windowBarrier(Tick windowEnd) SF_BARRIER_ONLY;
     void rethrowWorkerError();
 
     EventQueue &_global;
@@ -217,7 +218,7 @@ class TileDomains
     Cycles _lookahead;
     std::vector<std::unique_ptr<EventQueue>> _shardQ;
     /** Per-tile canonical key counters (owned by the tile's shard). */
-    std::vector<uint64_t> _keyCnt;
+    std::vector<uint64_t> _keyCnt SF_SHARD_LOCAL;
 
     /** Per-shard cross-shard outboxes (owner-append, barrier-drain). */
     std::vector<std::vector<OutboxEntry>> _outbox;

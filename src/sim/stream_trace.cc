@@ -28,7 +28,6 @@ phaseName(StreamPhase p)
 
 StreamLifecycleTracer::StreamLifecycleTracer()
 {
-    // sflint: allow(D2, startup-only config read; never on the timed path)
     const char *env = std::getenv("SF_STREAM_TRACE");
     _enabled = env && *env && std::string(env) != "0";
 }

@@ -69,7 +69,15 @@ machineFloats(Machine m)
            m == Machine::SF;
 }
 
-/** Full system configuration. */
+/**
+ * Full system configuration.
+ *
+ * Threading (sim/annotations.hh): deliberately un-annotated. The
+ * config is built by the driver, copied into TiledSystem, and never
+ * mutated once workers exist — immutable-after-construction state
+ * needs no SF_GUARDED_BY. Anything added here that a shard thread
+ * writes mid-run must move behind a lock and carry an annotation.
+ */
 struct SystemConfig
 {
     int nx = 4;

@@ -28,6 +28,7 @@
 #include "noc/mesh.hh"
 #include "prefetch/bingo.hh"
 #include "prefetch/stride.hh"
+#include "sim/annotations.hh"
 #include "sim/checker.hh"
 #include "sim/fault.hh"
 #include "sim/interval_sampler.hh"
@@ -172,7 +173,8 @@ class TiledSystem
 
   private:
     void buildTiles();
-    void dispatch(TileId tile, const noc::MsgPtr &msg);
+    /** Mesh sink: runs in @p tile's shard execution context. */
+    void dispatch(TileId tile, const noc::MsgPtr &msg) SF_SHARD_LOCAL;
     /** Create the interval sampler and register its standard probes. */
     void startSampler();
     SimResults collect(bool hit_limit);

@@ -1,0 +1,10 @@
+// sflint fixture: A1 — a suppression naming a rule that does not
+// exist is a hard finding, not a silent no-op.
+#include <cstdint>
+
+inline uint64_t
+fxScale(uint64_t n)
+{
+    // sflint: allow(D9, fixture: meant D1 but typo'd the id)
+    return n * 2;
+}

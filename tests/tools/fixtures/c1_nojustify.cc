@@ -1,0 +1,16 @@
+// sflint fixture: C1 negative suppression — an allow() with no
+// justification text must not silence the unguarded access.
+#include <mutex>
+
+struct FxMeter
+{
+    int
+    fxDrain()
+    {
+        // sflint: allow(C1)
+        return _pending;
+    }
+
+    std::mutex _m;
+    int _pending SF_GUARDED_BY(_m) = 0;
+};

@@ -1,0 +1,15 @@
+// sflint fixture: C1 suppressed — justified lock-free access.
+#include <mutex>
+
+struct FxGauge
+{
+    int
+    fxRead() const
+    {
+        // sflint: allow(C1, fixture: stats path runs with workers stopped)
+        return _level;
+    }
+
+    std::mutex _m;
+    int _level SF_GUARDED_BY(_m) = 0;
+};

@@ -1,0 +1,48 @@
+// sflint fixture: C1 — lock-discipline positives plus the silent
+// shapes (direct lock, SF_REQUIRES body, discovered lock helper).
+#include <mutex>
+
+struct FxCounter
+{
+    int
+    fxBump()
+    {
+        std::lock_guard<std::mutex> l(_m);
+        return ++_hits; // silent: _m held via lock_guard
+    }
+
+    int
+    fxPeek() const
+    {
+        return _hits; // C1: _m not held
+    }
+
+    void
+    fxReset() SF_REQUIRES(_m)
+    {
+        _hits = 0; // silent: SF_REQUIRES implies the caller holds _m
+    }
+
+    void
+    fxZero()
+    {
+        fxReset(); // C1: callee requires _m, not held here
+    }
+
+    std::unique_lock<std::mutex>
+    fxLock()
+    {
+        std::unique_lock<std::mutex> l(_m);
+        return l;
+    }
+
+    int
+    fxSum()
+    {
+        auto l = fxLock();
+        return _hits; // silent: the discovered helper holds _m
+    }
+
+    std::mutex _m;
+    int _hits SF_GUARDED_BY(_m) = 0;
+};

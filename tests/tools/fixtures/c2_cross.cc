@@ -1,0 +1,27 @@
+// sflint fixture: C2 — both shard-affinity directions: barrier code
+// touching shard-owned state, and barrier-only code reachable from a
+// shard execution context.
+struct FxDomains
+{
+    unsigned long
+    fxNext() SF_SHARD_LOCAL
+    {
+        return _seq++; // silent: shard-local code, shard-local state
+    }
+
+    void
+    fxMerge() SF_BARRIER_ONLY
+    {
+        _seq = 0; // C2: shard-local member written from barrier code
+    }
+
+    void fxDrain() SF_BARRIER_ONLY;
+
+    void
+    fxSlice() SF_SHARD_LOCAL
+    {
+        fxDrain(); // C2: barrier-only callee reachable from shard code
+    }
+
+    unsigned long _seq SF_SHARD_LOCAL = 0;
+};

@@ -1,0 +1,13 @@
+// sflint fixture: C2 negative suppression — an allow() with no
+// justification text must not silence the affinity violation.
+struct FxCold
+{
+    void
+    fxTrim() SF_BARRIER_ONLY
+    {
+        // sflint: allow(C2)
+        _live = 0;
+    }
+
+    int _live SF_SHARD_LOCAL = 0;
+};

@@ -1,0 +1,12 @@
+// sflint fixture: C2 suppressed — justified pre-worker access.
+struct FxWarm
+{
+    void
+    fxPrefill() SF_BARRIER_ONLY
+    {
+        // sflint: allow(C2, fixture: runs once before workers start)
+        _slots = 8;
+    }
+
+    int _slots SF_SHARD_LOCAL = 0;
+};

@@ -1,8 +1,20 @@
-// sflint fixture: D2 positive — libc PRNG call outside the allowlist.
+// sflint fixture: D2 positive — libc PRNG on the timed path
+// (fxRoll is reachable from the timed root TiledSystem::run).
 #include <cstdlib>
 
 inline int
 fxRoll()
 {
     return rand();
+}
+
+struct TiledSystem
+{
+    void run();
+};
+
+void
+TiledSystem::run()
+{
+    fxRoll();
 }

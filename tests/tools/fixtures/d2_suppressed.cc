@@ -1,4 +1,6 @@
-// sflint fixture: D2 suppressed — justified environment read.
+// sflint fixture: D2 suppressed — justified environment read on the
+// timed path (fxConfig is scheduled as an event handler, so the
+// handler-seed half of the reachability analysis marks it timed).
 #include <cstdlib>
 
 inline const char *
@@ -6,4 +8,15 @@ fxConfig()
 {
     // sflint: allow(D2, fixture: startup-only config read)
     return std::getenv("FX_CONFIG");
+}
+
+struct FxQueue
+{
+    template <typename F> void schedule(long when, F fn);
+};
+
+inline void
+fxArm(FxQueue &q)
+{
+    q.schedule(10, [] { fxConfig(); });
 }

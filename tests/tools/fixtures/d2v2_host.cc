@@ -1,0 +1,16 @@
+// sflint fixture: D2 v2 negative — host-side reporting code reads
+// the wall clock freely; nothing here is reachable from a timed root
+// or scheduled as an event handler, so D2 stays silent.
+#include <ctime>
+
+inline long
+fxWallNow()
+{
+    return time(nullptr);
+}
+
+inline long
+fxReportSeconds(long start)
+{
+    return fxWallNow() - start;
+}

@@ -1,0 +1,15 @@
+// sflint fixture: D2 v2 negative suppression — an allow() with no
+// justification text must not silence a timed-path finding.
+#include <cstdlib>
+
+struct EventQueue
+{
+    void run();
+};
+
+void
+EventQueue::run()
+{
+    // sflint: allow(D2)
+    srand(42);
+}

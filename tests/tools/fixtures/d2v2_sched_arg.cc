@@ -1,0 +1,15 @@
+// sflint fixture: D2 v2 positive — entropy inside a scheduler call's
+// argument list (a lambda event handler). The enclosing function is
+// not itself timed-reachable; the argument-range check flags it.
+#include <cstdlib>
+
+struct FxQ
+{
+    template <typename F> void scheduleIn(long delay, F fn);
+};
+
+inline void
+fxArmJitter(FxQ &q)
+{
+    q.scheduleIn(5, [] { return rand(); });
+}

@@ -1,8 +1,10 @@
 /**
  * @file
  * sflint unit tests: every rule class detects its seeded fixture
- * violation, suppressions work, the baseline ratchet only shrinks,
- * and JSON/SARIF output is byte-stable.
+ * violation, suppressions work (and unjustified ones do not), the
+ * baseline ratchet only shrinks, JSON/SARIF output is byte-stable,
+ * --fix is idempotent, and the concurrency contracts C1/C2 catch
+ * seeded bugs in copies of the real annotated tree sources.
  */
 
 #include <gtest/gtest.h>
@@ -109,6 +111,80 @@ TEST(SflintRules, DetectsSeededViolations)
     EXPECT_EQ(s2[0].context, "memcpy");
     EXPECT_EQ(s2[1].context, "fwrite");
     EXPECT_NE(s2[0].message.find("padding"), std::string::npos);
+
+    // c1_unlocked.cc seeds an unguarded SF_GUARDED_BY access and an
+    // SF_REQUIRES call without the lock; its lock_guard, SF_REQUIRES
+    // body and lock-helper shapes must all stay silent.
+    auto c1 = newFindings(res, "C1", "fixtures/c1_unlocked.cc");
+    ASSERT_EQ(c1.size(), 2u);
+    EXPECT_EQ(c1[0].context, "_hits");
+    EXPECT_NE(c1[0].message.find("SF_GUARDED_BY(_m)"),
+              std::string::npos);
+    EXPECT_EQ(c1[1].context, "fxReset");
+    EXPECT_NE(c1[1].message.find("SF_REQUIRES"), std::string::npos);
+
+    // c2_cross.cc seeds both shard-affinity directions.
+    auto c2 = newFindings(res, "C2", "fixtures/c2_cross.cc");
+    ASSERT_EQ(c2.size(), 2u);
+    EXPECT_EQ(c2[0].context, "_seq");
+    EXPECT_NE(c2[0].message.find("SF_BARRIER_ONLY"), std::string::npos);
+    EXPECT_EQ(c2[1].context, "fxDrain");
+    EXPECT_NE(c2[1].message.find("reachable from SF_SHARD_LOCAL"),
+              std::string::npos);
+
+    // a1_unknown.cc suppresses a rule id that does not exist.
+    auto a1 = newFindings(res, "A1", "fixtures/a1_unknown.cc");
+    ASSERT_EQ(a1.size(), 1u);
+    EXPECT_EQ(a1[0].context, "D9");
+    EXPECT_NE(a1[0].message.find("unknown rule 'D9'"),
+              std::string::npos);
+}
+
+TEST(SflintRules, D2TimedPathReachability)
+{
+    AnalysisResult res = analyze(fixtureConfig());
+
+    // Host-side reporting code reads the wall clock freely: nothing
+    // in d2v2_host.cc is reachable from a timed root, so D2 is
+    // silent there (the old path-allowlist would have flagged it).
+    for (const Finding &fd : res.findings)
+        EXPECT_NE(fd.file, "fixtures/d2v2_host.cc")
+            << fd.rule << " " << fd.message;
+
+    // The same primitive inside a scheduler call's argument list is
+    // an event handler and therefore on the timed path.
+    auto sched = newFindings(res, "D2", "fixtures/d2v2_sched_arg.cc");
+    ASSERT_EQ(sched.size(), 1u);
+    EXPECT_EQ(sched[0].context, "rand");
+    EXPECT_NE(sched[0].message.find("timed simulation path"),
+              std::string::npos);
+
+    // And reachability from a named timed root marks callees timed.
+    EXPECT_EQ(newFindings(res, "D2", "fixtures/d2_banned.cc").size(),
+              1u);
+}
+
+TEST(SflintRules, UnjustifiedSuppressionsDoNotSilence)
+{
+    AnalysisResult res = analyze(fixtureConfig());
+
+    // An `allow(RULE)` with no justification text leaves the finding
+    // new and tags it so --fix/reviewers see what is missing.
+    for (const char *file :
+         {"fixtures/c1_nojustify.cc", "fixtures/c2_nojustify.cc",
+          "fixtures/d2v2_nojustify.cc"}) {
+        SCOPED_TRACE(file);
+        int fresh = 0;
+        for (const Finding &fd : res.findings) {
+            if (fd.file != file)
+                continue;
+            EXPECT_FALSE(fd.suppressed);
+            EXPECT_NE(fd.message.find("missing a justification"),
+                      std::string::npos);
+            ++fresh;
+        }
+        EXPECT_EQ(fresh, 1);
+    }
 }
 
 TEST(SflintRules, SuppressionsAndCleanFile)
@@ -124,8 +200,9 @@ TEST(SflintRules, SuppressionsAndCleanFile)
         }
         EXPECT_NE(fd.file, "fixtures/clean.cc");
     }
-    // One suppressed case per rule class.
-    EXPECT_EQ(suppressedSeen, 7);
+    // One suppressed case per rule class (D1, D2, E1, P1, S1, S2, T1,
+    // C1, C2).
+    EXPECT_EQ(suppressedSeen, 9);
 }
 
 TEST(SflintBaseline, RoundTripAndRatchet)
@@ -133,7 +210,7 @@ TEST(SflintBaseline, RoundTripAndRatchet)
     AnalysisResult res = analyze(fixtureConfig());
     Baseline b = baselineFromFindings(res);
     // Suppressed findings never enter the baseline.
-    EXPECT_EQ(b.entries.size(), 14u);
+    EXPECT_EQ(b.entries.size(), 23u);
 
     fs::path tmp =
         fs::path(::testing::TempDir()) / "sflint_baseline.json";
@@ -186,6 +263,125 @@ TEST(SflintOutput, ByteStableAndMatchesGolden)
     fs::path root(SFLINT_FIXTURE_ROOT);
     EXPECT_EQ(renderJson(a), slurp(root / "fixtures_golden.json"));
     EXPECT_EQ(renderSarif(a), slurp(root / "fixtures_golden.sarif"));
+}
+
+TEST(SflintConcurrency, CatchesSeededLockBugInPhysMem)
+{
+    fs::path tmp = fs::path(::testing::TempDir()) / "sflint_c1_tree";
+    fs::create_directories(tmp / "seed");
+    std::string text =
+        slurp(fs::path(SFLINT_SOURCE_ROOT) / "src/mem/phys_mem.hh");
+
+    Config cfg;
+    cfg.root = tmp.string();
+    cfg.inputs = {"seed"};
+
+    // The annotated file as shipped is contract-clean.
+    spit(tmp / "seed" / "phys_mem.hh", text);
+    for (const Finding &fd : analyze(cfg).findings)
+        EXPECT_TRUE(fd.suppressed) << fd.message;
+
+    // Deleting the writeLock() acquisition in materialize() is
+    // exactly the bug C1 exists to catch. The search string pins the
+    // 8-space indent so only materialize()'s copy matches.
+    const std::string lock =
+        "        auto l = writeLock();\n        auto &storage";
+    size_t at = text.find(lock);
+    ASSERT_NE(at, std::string::npos);
+    std::string broken = text;
+    broken.erase(at, lock.find('\n') + 1);
+    spit(tmp / "seed" / "phys_mem.hh", broken);
+
+    AnalysisResult res = analyze(cfg);
+    auto c1 = newFindings(res, "C1", "seed/phys_mem.hh");
+    ASSERT_EQ(c1.size(), 1u);
+    EXPECT_EQ(c1[0].context, "_pages");
+    EXPECT_NE(c1[0].message.find("SF_GUARDED_BY(_mu)"),
+              std::string::npos);
+}
+
+TEST(SflintConcurrency, CatchesSeededAffinityBugInShard)
+{
+    fs::path tmp = fs::path(::testing::TempDir()) / "sflint_c2_tree";
+    fs::create_directories(tmp / "seed");
+    fs::path root(SFLINT_SOURCE_ROOT);
+    std::string hh = slurp(root / "src/sim/shard.hh");
+    std::string cc = slurp(root / "src/sim/shard.cc");
+
+    Config cfg;
+    cfg.root = tmp.string();
+    cfg.inputs = {"seed"};
+
+    // The annotated pair as shipped is contract-clean.
+    spit(tmp / "seed" / "shard.hh", hh);
+    spit(tmp / "seed" / "shard.cc", cc);
+    for (const Finding &fd : analyze(cfg).findings)
+        EXPECT_TRUE(fd.suppressed) << fd.file << ": " << fd.message;
+
+    // The barrier merge touching a shard-owned counter is exactly
+    // the worker-count-dependent race C2 exists to catch. The
+    // SF_BARRIER_ONLY annotation lives on the .hh declaration; the
+    // cross-TU merge must carry it to the .cc definition.
+    const std::string anchor =
+        "TileDomains::windowBarrier(Tick windowEnd)\n{\n";
+    size_t at = cc.find(anchor);
+    ASSERT_NE(at, std::string::npos);
+    std::string broken = cc;
+    broken.insert(at + anchor.size(), "    _keyCnt[0] = 0;\n");
+    spit(tmp / "seed" / "shard.cc", broken);
+
+    AnalysisResult res = analyze(cfg);
+    auto c2 = newFindings(res, "C2", "seed/shard.cc");
+    ASSERT_EQ(c2.size(), 1u);
+    EXPECT_EQ(c2[0].context, "_keyCnt");
+    EXPECT_NE(c2[0].message.find("SF_SHARD_LOCAL"), std::string::npos);
+}
+
+TEST(SflintFix, IdempotentAcrossRerunsIncludingSharedLines)
+{
+    // One line carrying findings from two different rules forces
+    // --fix to write two `sflint: allow(...)` groups into a single
+    // comment; the re-run must parse every group (regression test for
+    // the one-directive-per-comment lexer bug) and a second --fix
+    // must change nothing.
+    fs::path tmp = fs::path(::testing::TempDir()) / "sflint_fixidem";
+    fs::create_directories(tmp / "seed");
+    spit(tmp / "seed" / "mixed.cc",
+         "struct EventQueue\n"
+         "{\n"
+         "    void run();\n"
+         "};\n"
+         "\n"
+         "void\n"
+         "EventQueue::run()\n"
+         "{\n"
+         "    int t = (int)curTick + rand();\n"
+         "}\n");
+
+    Config cfg;
+    cfg.root = tmp.string();
+    cfg.inputs = {"seed"};
+
+    AnalysisResult before = analyze(cfg);
+    int fresh = 0;
+    for (const Finding &fd : before.findings)
+        fresh += fd.suppressed ? 0 : 1;
+    ASSERT_GE(fresh, 2); // T1 and D2 share the line
+
+    EXPECT_EQ(applyFixes(cfg, before), 1);
+    std::string once = slurp(tmp / "seed" / "mixed.cc");
+    EXPECT_NE(once.find("allow(D2, FIXME: justify)"),
+              std::string::npos);
+    EXPECT_NE(once.find("allow(T1, FIXME: justify)"),
+              std::string::npos);
+
+    AnalysisResult after = analyze(cfg);
+    for (const Finding &fd : after.findings)
+        EXPECT_TRUE(fd.suppressed) << fd.rule << " " << fd.message;
+
+    // Second pass: nothing new to fix, bytes untouched.
+    EXPECT_EQ(applyFixes(cfg, after), 0);
+    EXPECT_EQ(slurp(tmp / "seed" / "mixed.cc"), once);
 }
 
 TEST(SflintFix, InsertedAnnotationSuppresses)

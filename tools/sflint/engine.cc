@@ -1,8 +1,9 @@
 /**
  * @file
- * sflint engine: deterministic file walk, two-phase analysis
- * (declaration registry, then rules), stable key assignment, and the
- * `--fix` annotation writer.
+ * sflint engine: deterministic file walk, staged analysis
+ * (declaration registry + declaration-scoped AST, cross-TU call
+ * graph, then rules), stable key assignment, and the `--fix`
+ * annotation writer.
  */
 
 #include "sflint.hh"
@@ -85,13 +86,18 @@ analyze(const Config &cfg)
     }
 
     Registry reg;
-    for (const SourceFile &sf : sources)
+    Program prog;
+    for (const SourceFile &sf : sources) {
         collectDecls(sf, cfg, reg);
+        buildAst(sf, prog);
+    }
+    indexProgram(prog);
+    CallGraph cg = buildCallGraph(sources, prog, cfg);
 
     AnalysisResult res;
     res.fileCount = static_cast<int>(sources.size());
     for (const SourceFile &sf : sources)
-        runRules(sf, cfg, reg, res.findings);
+        runRules(sf, cfg, reg, prog, cg, res.findings);
 
     std::sort(res.findings.begin(), res.findings.end(),
               [](const Finding &a, const Finding &b) {

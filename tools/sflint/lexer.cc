@@ -23,11 +23,6 @@ namespace {
 void
 parseDirectives(const std::string &text, int line, SourceFile &out)
 {
-    size_t at = text.find("sflint:");
-    if (at == std::string::npos)
-        return;
-    size_t pos = at + 7;
-
     auto parenArg = [&](size_t kw_end, std::string &arg) -> size_t {
         size_t p = kw_end;
         while (p < text.size() && std::isspace((unsigned char)text[p]))
@@ -58,40 +53,49 @@ parseDirectives(const std::string &text, int line, SourceFile &out)
         return s.substr(b, e - b + 1);
     };
 
-    while (pos < text.size()) {
-        while (pos < text.size() &&
-               (std::isspace((unsigned char)text[pos]) ||
-                text[pos] == ',')) {
-            ++pos;
+    // A comment may carry several `sflint:` groups (e.g. two --fix
+    // annotations merged onto one line); parse every one of them so a
+    // re-run sees the same suppressions the writer intended.
+    size_t at = text.find("sflint:");
+    while (at != std::string::npos) {
+        size_t pos = at + 7;
+        while (pos < text.size()) {
+            while (pos < text.size() &&
+                   (std::isspace((unsigned char)text[pos]) ||
+                    text[pos] == ',')) {
+                ++pos;
+            }
+            size_t kw = pos;
+            while (pos < text.size() &&
+                   (std::isalnum((unsigned char)text[pos]) ||
+                    text[pos] == '-' || text[pos] == '_')) {
+                ++pos;
+            }
+            if (pos == kw)
+                break;
+            std::string word = text.substr(kw, pos - kw);
+            if (word == "ordered-ok") {
+                std::string arg;
+                pos = parenArg(pos, arg);
+                out.suppressions[line].push_back({"D1", trim(arg)});
+            } else if (word == "allow") {
+                std::string arg;
+                pos = parenArg(pos, arg);
+                size_t sep = arg.find_first_of(",:");
+                std::string rule = trim(
+                    sep == std::string::npos ? arg : arg.substr(0, sep));
+                std::string reason =
+                    sep == std::string::npos ? "" : trim(arg.substr(sep + 1));
+                if (!rule.empty())
+                    out.suppressions[line].push_back({rule, reason});
+            } else if (word == "exhaustive") {
+                out.exhaustiveMarks.insert(line);
+            } else {
+                pos = kw; // not a directive list after all
+                break;
+            }
         }
-        size_t kw = pos;
-        while (pos < text.size() &&
-               (std::isalnum((unsigned char)text[pos]) ||
-                text[pos] == '-' || text[pos] == '_')) {
-            ++pos;
-        }
-        if (pos == kw)
-            break;
-        std::string word = text.substr(kw, pos - kw);
-        if (word == "ordered-ok") {
-            std::string arg;
-            pos = parenArg(pos, arg);
-            out.suppressions[line].push_back({"D1", trim(arg)});
-        } else if (word == "allow") {
-            std::string arg;
-            pos = parenArg(pos, arg);
-            size_t sep = arg.find_first_of(",:");
-            std::string rule =
-                trim(sep == std::string::npos ? arg : arg.substr(0, sep));
-            std::string reason =
-                sep == std::string::npos ? "" : trim(arg.substr(sep + 1));
-            if (!rule.empty())
-                out.suppressions[line].push_back({rule, reason});
-        } else if (word == "exhaustive") {
-            out.exhaustiveMarks.insert(line);
-        } else {
-            break; // not a directive list after all
-        }
+        at = text.find("sflint:", pos > at ? pos : at + 7);
     }
 }
 

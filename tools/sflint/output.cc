@@ -46,14 +46,15 @@ struct RuleDoc
     const char *summary;
 };
 
-constexpr std::array<RuleDoc, 5> kRules = {{
+constexpr std::array<RuleDoc, 10> kRules = {{
     {"D1", "deterministic-iteration",
      "No iteration over unordered or pointer-keyed containers in "
      "simulator code; order must not depend on hashing or allocation "
      "addresses."},
     {"D2", "no-host-entropy",
-     "No rand()/random_device/wall-clock/getenv outside the approved "
-     "host-timing and configuration files."},
+     "No rand()/random_device/wall-clock/getenv in code reachable "
+     "from the timed simulation path (call-graph reachability from "
+     "the timed roots and scheduled event handlers)."},
     {"P1", "exhaustive-protocol-switch",
      "Switches over message-type and coherence-state enums must "
      "enumerate every value and carry no default arm."},
@@ -63,6 +64,25 @@ constexpr std::array<RuleDoc, 5> kRules = {{
     {"E1", "arena-events",
      "Event objects are placed only by the event-queue slab arena; "
      "raw `new` of events is forbidden."},
+    {"S1", "no-mutable-statics",
+     "No mutable namespace-scope or function-local static state; "
+     "hidden globals race under the tile-parallel engine."},
+    {"S2", "no-padded-byte-images",
+     "No raw memcpy/fwrite byte images of non-primitive objects; "
+     "struct padding is indeterminate and poisons snapshots and "
+     "checksums."},
+    {"C1", "lock-discipline",
+     "Members annotated SF_GUARDED_BY(m) are only accessed while m "
+     "is held (lock construction, a discovered lock helper, or an "
+     "SF_REQUIRES(m) context); SF_REQUIRES callees demand the lock "
+     "at every call site."},
+    {"C2", "shard-affinity",
+     "SF_SHARD_LOCAL state is never reachable from SF_BARRIER_ONLY "
+     "barrier-merge code over the cross-TU call graph, and barrier "
+     "code is never reachable from shard-context code."},
+    {"A1", "suppression-hygiene",
+     "Every sflint suppression must name a rule that exists; "
+     "unknown rule ids are hard findings."},
 }};
 
 struct Counts

@@ -1,12 +1,14 @@
 /**
  * @file
- * sflint rule passes D1/D2/P1/T1/E1/S1 (see sflint.hh for the registry
- * of what each rule enforces and why).
+ * sflint rule passes D1/D2/P1/T1/E1/S1/S2/A1 (see sflint.hh for the
+ * registry of what each rule enforces and why). The concurrency rules
+ * C1/C2 live in rules_concurrency.cc.
  */
 
 #include "sflint.hh"
 
 #include <algorithm>
+#include <cctype>
 
 namespace sflint {
 
@@ -172,13 +174,36 @@ const BannedIdent kBanned[] = {
     {"getenv", true, "environment read"},
 };
 
+/**
+ * D2 v2: a banned primitive is only illegal on the timed simulation
+ * path — in a function reachable (via the call graph) from a timed
+ * root or inside a scheduler call's argument list (a lambda event
+ * handler). Host-side driver/reporting code reads clocks freely; a
+ * primitive outside any known function is flagged conservatively.
+ */
 void
-ruleD2(const SourceFile &f, const Config &cfg,
-       std::vector<Finding> &out)
+ruleD2(const SourceFile &f, const Config &cfg, const Program &prog,
+       const CallGraph &cg, std::vector<Finding> &out)
 {
-    if (cfg.d2Allow.count(f.path))
-        return;
     const std::vector<Token> &toks = f.toks;
+    // Token ranges of scheduler-call argument lists in this file.
+    std::vector<std::pair<size_t, size_t>> schedArgs;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::Ident &&
+            cfg.schedulers.count(toks[i].text) &&
+            isPunct(toks[i + 1], "(")) {
+            schedArgs.push_back(
+                {i + 2, matchDelim(toks, i + 1, "(", ")")});
+        }
+    }
+    auto inSchedArg = [&](size_t i) {
+        for (const auto &[b, e] : schedArgs) {
+            if (i >= b && i + 1 < e)
+                return true;
+        }
+        return false;
+    };
+
     for (size_t i = 0; i < toks.size(); ++i) {
         if (toks[i].kind != TokKind::Ident)
             continue;
@@ -193,11 +218,19 @@ ruleD2(const SourceFile &f, const Config &cfg,
             if (i > 0 && (isPunct(toks[i - 1], ".") ||
                           isPunct(toks[i - 1], ">")))
                 continue;
+            size_t fnIdx = enclosingFunction(prog, f.path, i);
+            bool timed = true;
+            if (!inSchedArg(i) && fnIdx != static_cast<size_t>(-1))
+                timed = cg.timedReachable[fnIdx] != 0;
+            if (!timed)
+                break;
             emit(out, f, "D2", toks[i].line, b.name,
                  std::string(b.what) + " '" + b.name +
-                     "' is nondeterministic; only the approved "
-                     "host-timing/config files may use it, or "
-                     "annotate `// sflint: allow(D2, <reason>)`");
+                     "' is nondeterministic and this code is on the "
+                     "timed simulation path (reachable from a timed "
+                     "root or scheduled as an event handler); move "
+                     "it off the timed path or annotate "
+                     "`// sflint: allow(D2, <reason>)`");
             break;
         }
     }
@@ -659,6 +692,51 @@ ruleS2(const SourceFile &f, std::vector<Finding> &out)
     }
 }
 
+// ------------------------------------------------------------------ A1
+
+/**
+ * Does @p s look like a rule id someone meant to write? Filters the
+ * `<RULE>` placeholders of documentation comments out of A1.
+ */
+bool
+plausibleRuleId(const std::string &s)
+{
+    if (s.empty() || s.size() > 8)
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])))
+        return false;
+    for (char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Suppressions naming a rule id that does not exist are hard
+ * findings: a typo like `allow(S3, …)` must not silently mask the
+ * hazard it meant to justify.
+ */
+void
+ruleA1(const SourceFile &f, const Config &cfg,
+       std::vector<Finding> &out)
+{
+    for (const auto &[line, sups] : f.suppressions) {
+        for (const Suppression &s : sups) {
+            if (s.rule == "*" || cfg.knownRules.count(s.rule) ||
+                !plausibleRuleId(s.rule))
+                continue;
+            std::string known;
+            for (const std::string &r : cfg.knownRules)
+                known += (known.empty() ? "" : ", ") + r;
+            emit(out, f, "A1", line, s.rule,
+                 "suppression names unknown rule '" + s.rule +
+                     "' (known: " + known +
+                     "); a typo here would silently mask a hazard");
+        }
+    }
+}
+
 bool
 suppressed(const SourceFile &f, Finding &fd)
 {
@@ -684,16 +762,20 @@ suppressed(const SourceFile &f, Finding &fd)
 
 void
 runRules(const SourceFile &f, const Config &cfg, const Registry &reg,
+         const Program &prog, const CallGraph &cg,
          std::vector<Finding> &out)
 {
     std::vector<Finding> raw;
     ruleD1(f, reg, raw);
-    ruleD2(f, cfg, raw);
+    ruleD2(f, cfg, prog, cg, raw);
     ruleP1(f, cfg, reg, raw);
     ruleT1(f, raw);
     ruleE1(f, cfg, raw);
     ruleS1(f, raw);
     ruleS2(f, raw);
+    ruleC1(f, prog, raw);
+    ruleC2(f, prog, cg, raw);
+    ruleA1(f, cfg, raw);
     for (Finding &fd : raw) {
         fd.suppressed = suppressed(f, fd);
         out.push_back(std::move(fd));

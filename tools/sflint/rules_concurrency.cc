@@ -1,0 +1,241 @@
+/**
+ * @file
+ * sflint concurrency-contract rules C1 (lock discipline) and C2
+ * (shard affinity), driven by the annotations of
+ * src/sim/annotations.hh, the declaration-scoped AST and the cross-TU
+ * call graph.
+ *
+ * C1 tracks the held-lock set with a coarse linear scan over each
+ * function body: locks acquired (directly, via a discovered lock
+ * helper, or implied by SF_REQUIRES) stay held to the end of the
+ * body — early RAII release is not modeled, which can hide a finding
+ * but never invents one for correctly lock-first code. Mutexes are
+ * compared by name, so a caller holding *its own* `_mu` satisfies a
+ * callee requiring a same-named mutex; the annotated surfaces keep
+ * mutex names unique per protected structure.
+ */
+
+#include "sflint.hh"
+
+namespace sflint {
+
+namespace {
+
+bool
+isPunct(const Token &t, const char *s)
+{
+    return t.kind == TokKind::Punct && t.text == s;
+}
+
+/** Index one past the token matching the opener at @p i. */
+size_t
+matchDelim(const std::vector<Token> &toks, size_t i, const char *open,
+           const char *close)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        if (isPunct(toks[i], open))
+            ++depth;
+        else if (isPunct(toks[i], close) && --depth == 0)
+            return i + 1;
+    }
+    return toks.size();
+}
+
+void
+emit(std::vector<Finding> &out, const SourceFile &f, const char *rule,
+     int line, std::string context, std::string message)
+{
+    Finding fd;
+    fd.rule = rule;
+    fd.file = f.path;
+    fd.line = line;
+    fd.context = std::move(context);
+    fd.message = std::move(message);
+    out.push_back(std::move(fd));
+}
+
+bool
+isLockType(const std::string &s)
+{
+    return s == "lock_guard" || s == "unique_lock" ||
+           s == "shared_lock" || s == "scoped_lock";
+}
+
+/**
+ * Is the member identifier at @p j an access through *this* object?
+ * Unqualified and `this->`/`this.` count; `other._pages` does not
+ * (another instance's lock state is unknowable here).
+ */
+bool
+selfAccess(const std::vector<Token> &toks, size_t j)
+{
+    if (j == 0)
+        return true;
+    if (isPunct(toks[j - 1], "::"))
+        return false; // qualified non-member use (e.g. Foo::_x)
+    bool dot = isPunct(toks[j - 1], ".");
+    bool arrow = j >= 2 && isPunct(toks[j - 1], ">") &&
+                 isPunct(toks[j - 2], "-");
+    if (!dot && !arrow)
+        return true;
+    size_t r = dot ? j - 1 : j - 2;
+    return r > 0 && toks[r - 1].kind == TokKind::Ident &&
+           toks[r - 1].text == "this";
+}
+
+/** Is the call at @p j in an assignment-ish context (`auto l = …`)?
+ *  A discarded lock helper's return would unlock immediately. */
+bool
+assignedContext(const std::vector<Token> &toks, size_t j, size_t begin)
+{
+    for (size_t back = 1; back <= 6 && j >= begin + back; ++back) {
+        const Token &t = toks[j - back];
+        if (isPunct(t, "=") || isPunct(t, "{") || isPunct(t, "("))
+            return isPunct(t, "=");
+        if (isPunct(t, ";") || isPunct(t, "}"))
+            return false;
+    }
+    return false;
+}
+
+/** Mutex identifiers out of a lock constructor's argument list. */
+void
+lockArgs(const std::vector<Token> &toks, size_t open, size_t end,
+         std::set<std::string> &held)
+{
+    for (size_t j = open + 1; j + 1 < end; ++j) {
+        if (toks[j].kind != TokKind::Ident)
+            continue;
+        const std::string &s = toks[j].text;
+        if (s == "std" || s == "defer_lock" || s == "adopt_lock" ||
+            s == "try_to_lock" || s == "this")
+            continue;
+        held.insert(s);
+    }
+}
+
+} // namespace
+
+void
+ruleC1(const SourceFile &f, const Program &prog,
+       std::vector<Finding> &out)
+{
+    for (const FunctionDecl &fn : prog.functions) {
+        if (!fn.hasBody || fn.file != f.path || fn.ctorDtor)
+            continue;
+        std::set<std::string> held = fn.requiresMutexes;
+        const std::vector<Token> &toks = f.toks;
+        for (size_t j = fn.bodyBegin + 1; j + 1 < fn.bodyEnd; ++j) {
+            const Token &t = toks[j];
+            if (t.kind != TokKind::Ident)
+                continue;
+            // Direct lock construction:
+            //   std::unique_lock<std::shared_mutex> l(_mu);
+            if (isLockType(t.text)) {
+                size_t k = j + 1;
+                if (k < fn.bodyEnd && isPunct(toks[k], "<"))
+                    k = matchDelim(toks, k, "<", ">");
+                if (k < fn.bodyEnd && toks[k].kind == TokKind::Ident &&
+                    k + 1 < fn.bodyEnd && isPunct(toks[k + 1], "(")) {
+                    lockArgs(toks, k + 1,
+                             matchDelim(toks, k + 1, "(", ")"), held);
+                }
+                continue;
+            }
+            // Explicit `m.lock()`.
+            if (t.text == "lock" && j + 1 < fn.bodyEnd &&
+                isPunct(toks[j + 1], "(") && j >= 2 &&
+                isPunct(toks[j - 1], ".") &&
+                toks[j - 2].kind == TokKind::Ident) {
+                held.insert(toks[j - 2].text);
+                continue;
+            }
+            // Calls: lock helpers add their mutexes; SF_REQUIRES
+            // callees demand theirs.
+            if (j + 1 < fn.bodyEnd && isPunct(toks[j + 1], "(")) {
+                std::set<std::string> req, locks;
+                for (size_t tgt : resolveCall(prog, fn, toks, j)) {
+                    const FunctionDecl &g = prog.functions[tgt];
+                    req.insert(g.requiresMutexes.begin(),
+                               g.requiresMutexes.end());
+                    locks.insert(g.returnsLockOn.begin(),
+                                 g.returnsLockOn.end());
+                }
+                if (!locks.empty() &&
+                    assignedContext(toks, j, fn.bodyBegin))
+                    held.insert(locks.begin(), locks.end());
+                for (const std::string &mu : req) {
+                    if (held.count(mu))
+                        continue;
+                    emit(out, f, "C1", t.line, t.text,
+                         "call to '" + t.text +
+                             "' requires mutex '" + mu +
+                             "' (SF_REQUIRES) but it is not held "
+                             "here; acquire it first or annotate "
+                             "this function SF_REQUIRES(" + mu + ")");
+                }
+            }
+            // Guarded member access.
+            const MemberDecl *m = prog.findMember(fn.className, t.text);
+            if (m && !m->guardedBy.empty() && selfAccess(toks, j) &&
+                !held.count(m->guardedBy)) {
+                emit(out, f, "C1", t.line, t.text,
+                     "member '" + t.text + "' is SF_GUARDED_BY(" +
+                         m->guardedBy + ") but '" + m->guardedBy +
+                         "' is not held here; take the lock, use a "
+                         "lock helper, or annotate the function "
+                         "SF_REQUIRES(" + m->guardedBy + ")");
+            }
+        }
+    }
+}
+
+void
+ruleC2(const SourceFile &f, const Program &prog, const CallGraph &cg,
+       std::vector<Finding> &out)
+{
+    for (size_t i = 0; i < prog.functions.size(); ++i) {
+        const FunctionDecl &fn = prog.functions[i];
+        if (fn.file != f.path)
+            continue;
+        // An SF_BARRIER_ONLY function reachable from shard-context
+        // code would run the single-threaded merge inside a parallel
+        // window.
+        if (fn.barrierOnly && cg.shardReachable[i]) {
+            emit(out, f, "C2", fn.line, fn.name,
+                 "SF_BARRIER_ONLY function '" + fn.name +
+                     "' is reachable from SF_SHARD_LOCAL "
+                     "(shard-context) code; the barrier merge must "
+                     "only run between windows");
+        }
+        // And the converse: shard-context code reached by the merge.
+        if (fn.shardLocal && !fn.barrierOnly && cg.barrierReachable[i]) {
+            emit(out, f, "C2", fn.line, fn.name,
+                 "SF_SHARD_LOCAL function '" + fn.name +
+                     "' is reachable from SF_BARRIER_ONLY code; "
+                     "shard-owned state must not be driven from the "
+                     "barrier merge");
+        }
+        // Shard-local members touched on a barrier-reachable path.
+        if (!fn.hasBody || !cg.barrierReachable[i])
+            continue;
+        const std::vector<Token> &toks = f.toks;
+        for (size_t j = fn.bodyBegin + 1; j + 1 < fn.bodyEnd; ++j) {
+            if (toks[j].kind != TokKind::Ident)
+                continue;
+            const MemberDecl *m =
+                prog.findMember(fn.className, toks[j].text);
+            if (m && m->shardLocal && selfAccess(toks, j)) {
+                emit(out, f, "C2", toks[j].line, toks[j].text,
+                     "SF_SHARD_LOCAL member '" + toks[j].text +
+                         "' accessed in code reachable from "
+                         "SF_BARRIER_ONLY (the cross-window merge); "
+                         "shard-owned state may only be touched by "
+                         "its owning shard inside a window");
+            }
+        }
+    }
+}
+
+} // namespace sflint

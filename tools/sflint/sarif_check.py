@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Structural validator for sflint's SARIF 2.1.0 output.
+
+Stdlib-only on purpose: CI runs this with a bare python3, no pip.
+It checks the subset of the SARIF 2.1.0 schema that sflint emits and
+that artifact consumers (GitHub code scanning, the artifact download)
+rely on, so a renderer regression fails the lint job instead of
+silently producing an artifact nothing can ingest.
+
+Usage:
+    sarif_check.py FILE            # validate; exit 0/1
+    sarif_check.py FILE --summary  # also print per-rule finding groups
+"""
+
+import json
+import sys
+
+VALID_LEVELS = {"error", "warning", "note", "none"}
+
+
+def _fail(errors):
+    for e in errors:
+        print(f"sarif_check: {e}", file=sys.stderr)
+    print(f"sarif_check: {len(errors)} schema violation(s)",
+          file=sys.stderr)
+    return 1
+
+
+def _check_result(i, j, res, rule_ids, errors):
+    where = f"runs[{i}].results[{j}]"
+    if not isinstance(res, dict):
+        errors.append(f"{where} is not an object")
+        return
+    rule = res.get("ruleId")
+    if not isinstance(rule, str) or not rule:
+        errors.append(f"{where}.ruleId missing or not a string")
+    elif rule not in rule_ids:
+        errors.append(
+            f"{where}.ruleId '{rule}' is not declared in "
+            "tool.driver.rules")
+    level = res.get("level")
+    if level is not None and level not in VALID_LEVELS:
+        errors.append(f"{where}.level '{level}' is not a SARIF level")
+    msg = res.get("message")
+    if (not isinstance(msg, dict) or
+            not isinstance(msg.get("text"), str) or not msg["text"]):
+        errors.append(f"{where}.message.text missing or empty")
+    locs = res.get("locations")
+    if not isinstance(locs, list) or not locs:
+        errors.append(f"{where}.locations missing or empty")
+        return
+    for k, loc in enumerate(locs):
+        lwhere = f"{where}.locations[{k}]"
+        phys = loc.get("physicalLocation") if isinstance(loc, dict) \
+            else None
+        if not isinstance(phys, dict):
+            errors.append(f"{lwhere}.physicalLocation missing")
+            continue
+        art = phys.get("artifactLocation")
+        if (not isinstance(art, dict) or
+                not isinstance(art.get("uri"), str) or not art["uri"]):
+            errors.append(
+                f"{lwhere}.physicalLocation.artifactLocation.uri "
+                "missing or empty")
+        region = phys.get("region")
+        if (not isinstance(region, dict) or
+                not isinstance(region.get("startLine"), int) or
+                region["startLine"] < 1):
+            errors.append(
+                f"{lwhere}.physicalLocation.region.startLine missing "
+                "or not a positive integer")
+    sups = res.get("suppressions")
+    if sups is not None:
+        if not isinstance(sups, list):
+            errors.append(f"{where}.suppressions is not an array")
+        else:
+            for k, sup in enumerate(sups):
+                if (not isinstance(sup, dict) or
+                        not isinstance(sup.get("kind"), str)):
+                    errors.append(
+                        f"{where}.suppressions[{k}].kind missing")
+
+
+def validate(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    if doc.get("version") != "2.1.0":
+        errors.append(f"version is {doc.get('version')!r}, "
+                      "expected '2.1.0'")
+    if not isinstance(doc.get("$schema"), str):
+        errors.append("$schema missing or not a string")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("runs missing or empty")
+        return errors
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            errors.append(f"runs[{i}] is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if not isinstance(driver, dict):
+            errors.append(f"runs[{i}].tool.driver missing")
+            continue
+        if not isinstance(driver.get("name"), str) or \
+                not driver["name"]:
+            errors.append(f"runs[{i}].tool.driver.name missing")
+        rules = driver.get("rules")
+        rule_ids = set()
+        if not isinstance(rules, list) or not rules:
+            errors.append(f"runs[{i}].tool.driver.rules missing or "
+                          "empty")
+        else:
+            for j, rule in enumerate(rules):
+                rwhere = f"runs[{i}].tool.driver.rules[{j}]"
+                if not isinstance(rule, dict) or \
+                        not isinstance(rule.get("id"), str):
+                    errors.append(f"{rwhere}.id missing")
+                    continue
+                if rule["id"] in rule_ids:
+                    errors.append(f"{rwhere}.id '{rule['id']}' is a "
+                                  "duplicate")
+                rule_ids.add(rule["id"])
+                desc = rule.get("shortDescription")
+                if (not isinstance(desc, dict) or
+                        not isinstance(desc.get("text"), str)):
+                    errors.append(
+                        f"{rwhere}.shortDescription.text missing")
+        results = run.get("results")
+        if not isinstance(results, list):
+            errors.append(f"runs[{i}].results missing")
+            continue
+        for j, res in enumerate(results):
+            _check_result(i, j, res, rule_ids, errors)
+    return errors
+
+
+def summarize(doc):
+    """Per-rule groups of the non-suppressed findings, for the CI log."""
+    groups = {}
+    for run in doc.get("runs", []):
+        for res in run.get("results", []):
+            if not isinstance(res, dict):
+                continue
+            rule = res.get("ruleId", "?")
+            entry = groups.setdefault(
+                rule, {"new": 0, "noted": 0, "sites": []})
+            if res.get("level") == "error":
+                entry["new"] += 1
+                loc = (res.get("locations") or [{}])[0]
+                phys = loc.get("physicalLocation", {})
+                uri = phys.get("artifactLocation", {}).get("uri", "?")
+                line = phys.get("region", {}).get("startLine", "?")
+                msg = res.get("message", {}).get("text", "")
+                entry["sites"].append(f"{uri}:{line}: {msg}")
+            else:
+                entry["noted"] += 1
+    if not any(g["new"] for g in groups.values()):
+        print("sarif_check: no new findings"
+              + (" (only suppressed/baselined notes)" if groups else ""))
+        return
+    print("sarif_check: new findings by rule:")
+    for rule in sorted(groups):
+        g = groups[rule]
+        if not g["new"]:
+            continue
+        print(f"  [{rule}] {g['new']} new"
+              + (f" ({g['noted']} suppressed/baselined)"
+                 if g["noted"] else ""))
+        for site in g["sites"][:10]:
+            print(f"    {site}")
+        if len(g["sites"]) > 10:
+            print(f"    ... and {len(g['sites']) - 10} more")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--summary"]
+    want_summary = "--summary" in argv[1:]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(args[0], "rb") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"sarif_check: cannot parse {args[0]}: {e}",
+              file=sys.stderr)
+        return 1
+    errors = validate(doc)
+    if errors:
+        return _fail(errors)
+    print(f"sarif_check: {args[0]} is structurally valid SARIF 2.1.0")
+    if want_summary:
+        summarize(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

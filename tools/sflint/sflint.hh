@@ -45,6 +45,29 @@
  *       Copies whose sizeof operand is a plain arithmetic type or a
  *       Tick/Cycles/Addr alias (the float bit-pattern idiom) are
  *       exempt. Suppress with `// sflint: allow(S2, <reason>)`.
+ *   C1  lock discipline: a member annotated `SF_GUARDED_BY(m)`
+ *       (src/sim/annotations.hh) may only be accessed while `m` is
+ *       held — via lock_guard/unique_lock/shared_lock/scoped_lock,
+ *       via an interprocedurally-discovered lock helper that returns
+ *       such a lock, or inside a function annotated
+ *       `SF_REQUIRES(m)`; calling an `SF_REQUIRES(m)` function also
+ *       demands `m` be held. Constructors/destructors are exempt.
+ *   C2  shard affinity (DESIGN.md §4i): over the cross-TU call
+ *       graph, code reachable from `SF_BARRIER_ONLY` functions must
+ *       not touch `SF_SHARD_LOCAL` members, and `SF_BARRIER_ONLY`
+ *       functions must not be reachable from `SF_SHARD_LOCAL`
+ *       (shard-context) code.
+ *   D2 (v2)  a banned primitive is only illegal in functions on the
+ *       timed simulation path: reachable, via the call graph, from a
+ *       timed root (TiledSystem::run / TileDomains::runWindows /
+ *       EventQueue::run / the barrier merge) or from any callback
+ *       scheduled onto an event queue. Host-side driver/reporting
+ *       code may read clocks and the environment freely — the old
+ *       per-file allowlist is gone.
+ *   A1  annotation hygiene: a `// sflint: allow(<RULE>, …)` naming a
+ *       rule id that does not exist in the registry is a hard
+ *       finding — a typo like `allow(S3, …)` must not silently mask
+ *       a hazard.
  *
  * Generic suppression for any rule:
  *   `// sflint: allow(<RULE>, <reason>)` on the finding line or the
@@ -129,6 +152,141 @@ struct Registry
     std::map<std::string, EnumDecl> enums;
 };
 
+// ------------------------------------------------------------------ ast
+
+/**
+ * One parsed function — a definition (with a body token range) or an
+ * annotated declaration. The declaration-scoped AST is deliberately
+ * lightweight: enough structure to attach annotations, resolve
+ * member/qualified calls, and walk bodies; no expressions, no types
+ * beyond the identifier soup needed for receiver resolution.
+ */
+struct FunctionDecl
+{
+    std::string name;      //!< bare name
+    std::string className; //!< owning/qualifying class ("" = free)
+    std::string qualName;  //!< scope-joined, e.g. sf::sim::Foo::bar
+    std::string file;
+    int line = 0;
+    bool hasBody = false;
+    size_t bodyBegin = 0;  //!< token index of the body `{`
+    size_t bodyEnd = 0;    //!< one past the matching `}`
+    bool ctorDtor = false;
+    /** Identifiers appearing in the return type / declaration head. */
+    std::set<std::string> typeIdents;
+    /** SF_REQUIRES(m) mutexes (last identifier of each argument). */
+    std::set<std::string> requiresMutexes;
+    bool shardLocal = false;  //!< SF_SHARD_LOCAL
+    bool barrierOnly = false; //!< SF_BARRIER_ONLY
+    /**
+     * Mutexes this function acquires and returns as a movable lock
+     * (`auto l = readLock();` at a call site then holds them).
+     * Discovered from the body, not annotated.
+     */
+    std::set<std::string> returnsLockOn;
+};
+
+/** An annotated or type-recorded data member. */
+struct MemberDecl
+{
+    std::string name;
+    std::string className;
+    std::string guardedBy; //!< SF_GUARDED_BY mutex ("" = none)
+    bool shardLocal = false;
+    /** Identifiers of the declared type (receiver resolution). */
+    std::set<std::string> typeIdents;
+    std::string file;
+    int line = 0;
+};
+
+/**
+ * Cross-TU program index: every function and member declaration in
+ * the scanned tree, plus lookup tables for call resolution.
+ */
+struct Program
+{
+    std::vector<FunctionDecl> functions;
+    /** bare name -> indices into functions. */
+    std::map<std::string, std::vector<size_t>> byName;
+    /** class -> member declarations (annotated or typed). */
+    std::map<std::string, std::vector<MemberDecl>> members;
+    /** class -> set of method bare names it declares. */
+    std::map<std::string, std::set<std::string>> methodsOf;
+
+    const MemberDecl *
+    findMember(const std::string &cls, const std::string &name) const
+    {
+        auto it = members.find(cls);
+        if (it == members.end())
+            return nullptr;
+        for (const MemberDecl &m : it->second) {
+            if (m.name == name)
+                return &m;
+        }
+        return nullptr;
+    }
+};
+
+/** Parse one file's declaration-scoped AST into @p prog. */
+void buildAst(const SourceFile &f, Program &prog);
+
+/** Merge per-file declarations, build indices, find lock helpers. */
+void indexProgram(Program &prog);
+
+// ------------------------------------------------------------ callgraph
+
+/**
+ * Cross-TU call graph over Program::functions plus the timed-path
+ * and barrier/shard reachability sets the C2 and D2v2 rules consume.
+ * Call edges are added only when confidently resolved (qualified
+ * name, same-class bare call, receiver-typed member call, or a
+ * program-unique bare name); ambiguous names get no edge — an
+ * under-approximation, traded for near-zero false fan-out.
+ */
+struct CallGraph
+{
+    /** function index -> resolved callee indices (sorted, unique). */
+    std::vector<std::vector<size_t>> callees;
+    /** Reachable from a timed root or a scheduled callback (D2v2). */
+    std::vector<char> timedReachable;
+    /** Reachable from an SF_BARRIER_ONLY function (C2). */
+    std::vector<char> barrierReachable;
+    /** Reachable from an SF_SHARD_LOCAL function (C2). */
+    std::vector<char> shardReachable;
+};
+
+struct Config; // forward
+
+/** Build edges + reachability over the fully indexed @p prog. */
+CallGraph buildCallGraph(const std::vector<SourceFile> &files,
+                         const Program &prog, const Config &cfg);
+
+/** Index of the innermost function whose body contains token @p i
+ *  of @p file ((size_t)-1 when none). */
+size_t enclosingFunction(const Program &prog, const std::string &file,
+                         size_t tokIndex);
+
+/**
+ * Resolve the call site whose callee identifier is token @p i
+ * (toks[i+1] is `(`) to Program::functions indices; empty when the
+ * name is ambiguous or unknown (see callgraph.cc for the ladder).
+ */
+std::vector<size_t> resolveCall(const Program &prog,
+                                const FunctionDecl &caller,
+                                const std::vector<Token> &toks, size_t i);
+
+// -------------------------------------------------- concurrency rules
+
+struct Finding; // forward
+
+/** C1 lock discipline over one file (rules_concurrency.cc). */
+void ruleC1(const SourceFile &f, const Program &prog,
+            std::vector<Finding> &out);
+
+/** C2 shard affinity over one file (rules_concurrency.cc). */
+void ruleC2(const SourceFile &f, const Program &prog, const CallGraph &cg,
+            std::vector<Finding> &out);
+
 // -------------------------------------------------------------- engine
 
 struct Config
@@ -137,15 +295,34 @@ struct Config
     std::string root = ".";
     /** Directories (or files) under root to scan. */
     std::vector<std::string> inputs;
-    /** Files where D2 host-timing/config reads are approved. */
-    std::set<std::string> d2Allow = {"bench/bench_util.hh",
-                                     "bench/sweep.cc",
-                                     "bench/threads.cc"};
     /** Files allowed to place event objects (the slab arena). */
     std::set<std::string> e1Allow = {"src/sim/event_queue.hh"};
     /** Enums whose switches must be exhaustive (P1). */
     std::set<std::string> monitoredEnums = {"MemMsgType", "MsgType",
                                             "StreamMsgType", "LineState"};
+    /**
+     * Timed-simulation-path roots for D2v2, matched as a suffix of
+     * the qualified function name (so `sf::sim::EventQueue::run`
+     * matches `EventQueue::run`). A banned D2 primitive is only
+     * illegal in functions reachable from one of these roots or from
+     * a scheduled callback; if the scanned tree defines *no* root at
+     * all, every function is treated as reachable (fail-safe).
+     */
+    std::set<std::string> timedRoots = {
+        "TiledSystem::run", "TileDomains::runWindows",
+        "TileDomains::windowBarrier", "EventQueue::run"};
+    /**
+     * Callback-registration calls whose lambda arguments execute on
+     * the timed path (event handlers): any function called inside
+     * their argument lists seeds timed reachability.
+     */
+    std::set<std::string> schedulers = {
+        "schedule",       "scheduleIn", "scheduleKeyed",
+        "scheduleTile",   "postGlobal", "deferWake",
+        "setBarrierHook", "setBoundaryHook"};
+    /** Rule ids that exist (A1 flags suppressions naming others). */
+    std::set<std::string> knownRules = {"D1", "D2", "P1", "T1", "E1",
+                                        "S1", "S2", "C1", "C2", "A1"};
 };
 
 struct Finding
@@ -171,9 +348,11 @@ struct AnalysisResult
 /** Collect enum + container declarations from one file. */
 void collectDecls(const SourceFile &f, const Config &cfg, Registry &reg);
 
-/** Run every rule over one file (registry must be complete). */
+/** Run every rule over one file (registry, program and call graph
+ *  must be complete across every scanned file). */
 void runRules(const SourceFile &f, const Config &cfg,
-              const Registry &reg, std::vector<Finding> &out);
+              const Registry &reg, const Program &prog,
+              const CallGraph &cg, std::vector<Finding> &out);
 
 /**
  * Walk cfg.inputs, lex, build the registry, run all rules, apply
